@@ -1,0 +1,89 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "tunespace/util/stats.hpp"
+#include "tunespace/util/table.hpp"
+#include "tunespace/util/timer.hpp"
+
+namespace bench {
+
+using namespace tunespace;
+
+bool fast_mode() {
+  const char* v = std::getenv("TUNESPACE_BENCH_FAST");
+  return v != nullptr && std::string(v) == "1";
+}
+
+void section(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+TimedRun timed_construct(const tuner::TuningProblem& spec,
+                         const tuner::Method& method) {
+  util::WallTimer timer;
+  auto result = tuner::construct(spec, method);
+  return TimedRun{timer.seconds(), result.solutions.size()};
+}
+
+double MethodSeries::total() const {
+  double t = 0;
+  for (double s : seconds) t += s;
+  return t;
+}
+
+void print_scaling_fits(const std::vector<MethodSeries>& series, bool vs_valid) {
+  util::Table table({"method", vs_valid ? "x-axis" : "x-axis", "slope",
+                     "intercept", "r^2", "p-value", "n"});
+  for (const auto& s : series) {
+    const auto& xs = vs_valid ? s.valid_sizes : s.cartesian;
+    const auto fit = util::loglog_fit(xs, s.seconds);
+    table.add_row({s.name, vs_valid ? "valid configs" : "Cartesian size",
+                   util::fmt_double(fit.slope, 3), util::fmt_double(fit.intercept, 3),
+                   util::fmt_double(fit.r2, 3), util::fmt_double(fit.p_value, 2),
+                   std::to_string(fit.n)});
+  }
+  table.print(std::cout);
+}
+
+void print_time_distributions(const std::vector<MethodSeries>& series) {
+  util::Table table({"method", "min", "q25", "median", "q75", "max",
+                     "kde(log10 s)"});
+  for (const auto& s : series) {
+    if (s.seconds.empty()) continue;
+    auto summary = util::summarize(s.seconds);
+    std::vector<double> logs;
+    for (double t : s.seconds) {
+      if (t > 0) logs.push_back(std::log10(t));
+    }
+    const auto k = util::kde(logs, 32);
+    table.add_row({s.name, util::fmt_seconds(summary.min),
+                   util::fmt_seconds(summary.q25), util::fmt_seconds(summary.median),
+                   util::fmt_seconds(summary.q75), util::fmt_seconds(summary.max),
+                   util::sparkline(k.density)});
+  }
+  table.print(std::cout);
+}
+
+void print_totals(const std::vector<MethodSeries>& series,
+                  const std::string& speedup_reference) {
+  double ref_total = 0;
+  for (const auto& s : series) {
+    if (s.name == speedup_reference) ref_total = s.total();
+  }
+  util::Table table({"method", "total time", "speedup of '" + speedup_reference + "'"});
+  for (const auto& s : series) {
+    const double total = s.total();
+    std::string speedup = "-";
+    if (ref_total > 0 && s.name != speedup_reference && total > 0) {
+      speedup = util::fmt_double(total / ref_total, 4) + "x";
+    }
+    table.add_row({s.name, util::fmt_seconds(total), speedup});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace bench

@@ -1,0 +1,55 @@
+#pragma once
+// Shared helpers for the benchmark harnesses.
+//
+// Every bench binary is runnable with no arguments and prints the
+// corresponding paper table / figure data to stdout.  Environment knobs:
+//   TUNESPACE_BENCH_FAST=1   skip the slowest baseline runs (brute force on
+//                            Cartesian products > 1e8) for quick iterations.
+
+#include <string>
+#include <vector>
+
+#include "tunespace/solver/solver.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+
+namespace bench {
+
+/// True when TUNESPACE_BENCH_FAST=1 is set.
+bool fast_mode();
+
+/// Print a section header ("== title ==").
+void section(const std::string& title);
+
+/// One timed construction: lower the spec with the method's pipeline and
+/// solve, returning (seconds, #solutions).  Timing includes pipeline build,
+/// matching the paper's inclusion of search-space compile time (§5.1).
+struct TimedRun {
+  double seconds = 0;
+  std::size_t solutions = 0;
+};
+TimedRun timed_construct(const tunespace::tuner::TuningProblem& spec,
+                         const tunespace::tuner::Method& method);
+
+/// Per-method series of per-space timings, used for the scaling fits.
+struct MethodSeries {
+  std::string name;
+  std::vector<double> seconds;       ///< per space
+  std::vector<double> valid_sizes;   ///< #solutions per space
+  std::vector<double> cartesian;     ///< Cartesian size per space
+  double total() const;
+};
+
+/// Print the log-log scaling fit (slope / intercept / r2 / p) of a series
+/// against the chosen x-axis values.
+void print_scaling_fits(const std::vector<MethodSeries>& series, bool vs_valid);
+
+/// Print a KDE summary of log10(time) per method (the Fig. 3B / 5C view):
+/// quantile table plus a unicode sparkline of the density curve.
+void print_time_distributions(const std::vector<MethodSeries>& series);
+
+/// Print the total-time bar view (Fig. 3C / 5F) with speedups vs a baseline
+/// method (by name).
+void print_totals(const std::vector<MethodSeries>& series,
+                  const std::string& speedup_reference);
+
+}  // namespace bench

@@ -1,0 +1,66 @@
+// Figure 2: density of three characteristics of the 78 synthetic search
+// spaces: (A) Cartesian size, (B) number of valid configurations,
+// (C) fraction of constrained (invalid) configurations.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tunespace/spaces/synthetic.hpp"
+#include "tunespace/util/stats.hpp"
+#include "tunespace/util/table.hpp"
+
+using namespace tunespace;
+
+namespace {
+
+void print_density(const std::string& title, const std::vector<double>& samples,
+                   bool log_axis) {
+  std::vector<double> axis;
+  for (double s : samples) axis.push_back(log_axis ? std::log10(s) : s);
+  const auto summary = util::summarize(axis);
+  const auto k = util::kde(axis, 48);
+  std::cout << title << (log_axis ? " (log10)" : "") << "\n";
+  std::cout << "  density  " << util::sparkline(k.density) << "\n";
+  std::cout << "  min=" << util::fmt_double(summary.min, 4)
+            << " q25=" << util::fmt_double(summary.q25, 4)
+            << " median=" << util::fmt_double(summary.median, 4)
+            << " q75=" << util::fmt_double(summary.q75, 4)
+            << " max=" << util::fmt_double(summary.max, 4) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  auto suite = spaces::synthetic_suite();
+  auto methods = tuner::construction_methods(false);
+  const auto& optimized = methods[0];
+
+  std::vector<double> cartesian, valid, sparsity;
+  for (const auto& s : suite) {
+    auto run = bench::timed_construct(s.spec, optimized);
+    const double cart = static_cast<double>(s.spec.cartesian_size());
+    cartesian.push_back(cart);
+    valid.push_back(static_cast<double>(run.solutions));
+    sparsity.push_back(1.0 - static_cast<double>(run.solutions) / cart);
+  }
+
+  bench::section("Fig. 2A: Cartesian size of the 78 synthetic search spaces");
+  print_density("Cartesian size", cartesian, /*log_axis=*/true);
+
+  bench::section("Fig. 2B: number of valid configurations");
+  print_density("valid configurations", valid, /*log_axis=*/true);
+
+  bench::section("Fig. 2C: fraction of constrained configurations (sparsity)");
+  print_density("sparsity", sparsity, /*log_axis=*/false);
+
+  // Paper observation: valid count is on average about one order of
+  // magnitude below Cartesian size.
+  double log_gap = 0;
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    log_gap += std::log10(cartesian[i]) - std::log10(std::max(valid[i], 1.0));
+  }
+  std::cout << "\naverage log10(Cartesian / valid) = "
+            << util::fmt_double(log_gap / static_cast<double>(valid.size()), 3)
+            << " (paper: ~1 order of magnitude)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 3: search-space construction performance on the 78 synthetic
+// spaces, for the five methods (optimized, ATF, original, brute-force,
+// pyATF).
+//
+//   A: per-space times + log-log scaling fits vs number of valid configs,
+//      with the crossover extrapolations the paper derives from the fits.
+//   B: kernel-density view of the per-space time distributions.
+//   C: total time per method with speedups relative to 'optimized'.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tunespace/spaces/synthetic.hpp"
+#include "tunespace/util/stats.hpp"
+#include "tunespace/util/table.hpp"
+
+using namespace tunespace;
+
+int main() {
+  auto suite = spaces::synthetic_suite();
+  auto methods = tuner::construction_methods(false);
+
+  std::vector<bench::MethodSeries> series;
+  for (const auto& method : methods) {
+    bench::MethodSeries s;
+    s.name = method.name;
+    for (const auto& space : suite) {
+      auto run = bench::timed_construct(space.spec, method);
+      s.seconds.push_back(run.seconds);
+      s.valid_sizes.push_back(static_cast<double>(run.solutions));
+      s.cartesian.push_back(static_cast<double>(space.spec.cartesian_size()));
+    }
+    series.push_back(std::move(s));
+    std::cerr << "[fig3] finished " << method.name << "\n";
+  }
+
+  bench::section("Fig. 3A: log-log scaling fits (time vs #valid configs)");
+  bench::print_scaling_fits(series, /*vs_valid=*/true);
+
+  // Crossover extrapolation between methods, as in the paper's Fig. 3A
+  // discussion (e.g. where brute force would overtake ATF).
+  bench::section("Fig. 3A: extrapolated crossovers (from the fits)");
+  {
+    util::Table table({"method A", "method B", "crossover at #valid configs"});
+    auto fit_of = [&](const std::string& name) {
+      for (const auto& s : series) {
+        if (s.name == name) return util::loglog_fit(s.valid_sizes, s.seconds);
+      }
+      return util::LinearFit{};
+    };
+    auto crossover = [&](const std::string& a, const std::string& b) {
+      const auto fa = fit_of(a), fb = fit_of(b);
+      if (fa.slope == fb.slope) return std::string("never (parallel)");
+      const double log_x = (fb.intercept - fa.intercept) / (fa.slope - fb.slope);
+      if (log_x > 18 || log_x < 0) return std::string("beyond practical sizes");
+      return util::fmt_double(std::pow(10.0, log_x), 3);
+    };
+    table.add_row({"original", "ATF", crossover("original", "ATF")});
+    table.add_row({"brute-force", "ATF", crossover("brute-force", "ATF")});
+    table.add_row({"brute-force", "optimized", crossover("brute-force", "optimized")});
+    table.add_row({"original", "optimized", crossover("original", "optimized")});
+    table.print(std::cout);
+  }
+
+  bench::section("Fig. 3B: distribution of per-space construction times");
+  bench::print_time_distributions(series);
+
+  bench::section("Fig. 3C: total construction time over all 78 spaces");
+  bench::print_totals(series, "optimized");
+
+  // Paper headline numbers for reference: optimized achieved 96x over
+  // brute-force, 16x over ATF, 2547x over pyATF on the synthetic suite.
+  std::cout << "\n(paper reference speedups vs optimized: brute-force 96x, "
+               "ATF 16x, pyATF 2547x)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 6: best configuration performance found over an auto-tuning run of
+// the Hotspot kernel using the three Python-based construction methods
+// (optimized, original, pyATF), random sampling, 10 repetitions.
+//
+// The paper uses a 30-minute wall-clock budget on an A100.  Here the kernel
+// is a simulated performance surface, so the session replays on a virtual
+// clock: the measured construction time is charged first (scaled so its
+// share of the budget matches the paper's regime — pyATF's construction
+// consumed ~2/3 of the paper's budget), then each simulated kernel
+// evaluation advances the clock.  See EXPERIMENTS.md for the scaling note.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tunespace/spaces/realworld.hpp"
+#include "tunespace/tuner/runner.hpp"
+#include "tunespace/util/stats.hpp"
+#include "tunespace/util/table.hpp"
+
+using namespace tunespace;
+
+int main() {
+  const auto rw = spaces::hotspot();
+  tuner::HotspotModel model;
+
+  const double budget = 1800.0;  // the paper's 30 minutes, in virtual seconds
+  const int repetitions = bench::fast_mode() ? 3 : 10;
+
+  // Construction-time scale: chosen so that the *relative* construction
+  // latencies land in the paper's regime (brute force losing a large chunk
+  // of the 30-minute budget, optimized near-instant).  The measured C++
+  // construction times are orders of magnitude below the paper's
+  // Python/A100 numbers, so the virtual clock charges them at 100x;
+  // see EXPERIMENTS.md.
+  const double construction_scale = 100.0;
+
+  auto all = tuner::construction_methods(false);
+  std::vector<tuner::Method> methods;
+  for (auto& m : all) {
+    if (m.name == "optimized" || m.name == "original" || m.name == "pyATF" ||
+        m.name == "brute-force") {
+      methods.push_back(std::move(m));
+    }
+  }
+
+  bench::section("Fig. 6: Hotspot, random sampling, 30-minute virtual budget");
+  util::Table table({"method", "construction (virtual)", "first eval at",
+                     "best @ 25%", "best @ 50%", "best @ 100%", "evals (mean)"});
+
+  std::vector<double> checkpoints = {0.25 * budget, 0.5 * budget, budget};
+  for (const auto& method : methods) {
+    std::vector<double> best25, best50, best100, evals, construction;
+    double first_eval = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      tuner::RandomSearch optimizer;
+      tuner::TuningOptions options;
+      options.budget_seconds = budget;
+      options.seed = 100 + static_cast<std::uint64_t>(rep);
+      options.construction_time_scale = construction_scale;
+      auto run = tuner::run_tuning(rw.spec, method, model, optimizer, options);
+      best25.push_back(run.best_at(checkpoints[0]));
+      best50.push_back(run.best_at(checkpoints[1]));
+      best100.push_back(run.best_at(checkpoints[2]));
+      evals.push_back(static_cast<double>(run.evaluations));
+      construction.push_back(run.construction_seconds * construction_scale);
+      if (!run.trajectory.empty()) first_eval = run.trajectory.front().time_seconds;
+    }
+    table.add_row({method.name, util::fmt_seconds(util::mean(construction)),
+                   util::fmt_seconds(first_eval),
+                   util::fmt_double(util::mean(best25), 4),
+                   util::fmt_double(util::mean(best50), 4),
+                   util::fmt_double(util::mean(best100), 4),
+                   util::fmt_double(util::mean(evals), 4)});
+    std::cerr << "[fig6] finished " << method.name << "\n";
+  }
+  table.print(std::cout);
+
+  // Trajectory sparklines (best-so-far sampled at 24 points) for one seed.
+  bench::section("Fig. 6: best-found trajectory (seed 100, higher is better)");
+  for (const auto& method : methods) {
+    tuner::RandomSearch optimizer;
+    tuner::TuningOptions options;
+    options.budget_seconds = budget;
+    options.seed = 100;
+    options.construction_time_scale = construction_scale;
+    auto run = tuner::run_tuning(rw.spec, method, model, optimizer, options);
+    std::vector<double> curve;
+    for (int i = 1; i <= 24; ++i) {
+      curve.push_back(run.best_at(budget * i / 24.0));
+    }
+    std::cout << "  " << method.name << std::string(12 - method.name.size(), ' ')
+              << util::sparkline(curve) << "  best="
+              << util::fmt_double(run.best_gflops, 4) << " GFLOP/s\n";
+  }
+  std::cout << "\n(paper: optimized starts tuning almost immediately; brute "
+               "force loses ~8 min and pyATF >20 min to construction)\n";
+  return 0;
+}

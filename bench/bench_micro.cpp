@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark): the per-evaluation costs that drive
+// the macro results — compiled vs interpreted constraint evaluation, specific
+// vs generic constraints, and SearchSpace lookup/neighbour operations.
+#include <benchmark/benchmark.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/expr/compiler.hpp"
+#include "tunespace/expr/function_constraint.hpp"
+#include "tunespace/expr/interpreter.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/expr/recognizer.hpp"
+#include "tunespace/searchspace/neighbors.hpp"
+#include "tunespace/searchspace/sampling.hpp"
+#include "tunespace/spaces/realworld.hpp"
+
+using namespace tunespace;
+using csp::Value;
+
+namespace {
+
+const char* kConstraint = "32 <= block_size_x * block_size_y <= 1024";
+
+std::vector<Value> sample_values() { return {Value(64), Value(8)}; }
+
+}  // namespace
+
+static void BM_EvalInterpreted(benchmark::State& state) {
+  const expr::AstPtr ast = expr::parse(kConstraint);
+  std::unordered_map<std::string, Value> vars{{"block_size_x", Value(64)},
+                                              {"block_size_y", Value(8)}};
+  const auto env = expr::map_env(vars);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::eval_bool(*ast, env));
+  }
+}
+BENCHMARK(BM_EvalInterpreted);
+
+static void BM_EvalCompiled(benchmark::State& state) {
+  const expr::Program prog = expr::compile(expr::parse(kConstraint));
+  const auto values = sample_values();
+  std::vector<std::uint32_t> slots;
+  for (std::size_t i = 0; i < prog.var_names().size(); ++i) {
+    slots.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prog.run_bool(values.data(), slots.data()));
+  }
+}
+BENCHMARK(BM_EvalCompiled);
+
+static void BM_EvalSpecificConstraint(benchmark::State& state) {
+  csp::MaxProduct c(1024, {"block_size_x", "block_size_y"});
+  c.bind({0, 1});
+  const auto values = sample_values();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.satisfied(values.data()));
+  }
+}
+BENCHMARK(BM_EvalSpecificConstraint);
+
+static void BM_EvalFunctionConstraint(benchmark::State& state) {
+  expr::FunctionConstraint c(expr::parse(kConstraint));
+  c.bind({0, 1});
+  const auto values = sample_values();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.satisfied(values.data()));
+  }
+}
+BENCHMARK(BM_EvalFunctionConstraint);
+
+static void BM_ParseAndOptimizeConstraint(benchmark::State& state) {
+  for (auto _ : state) {
+    auto constraints = expr::optimize_constraint(expr::parse(
+        "2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024"));
+    benchmark::DoNotOptimize(constraints);
+  }
+}
+BENCHMARK(BM_ParseAndOptimizeConstraint);
+
+static void BM_ConstructDedispersion(benchmark::State& state) {
+  const auto rw = spaces::dedispersion();
+  auto methods = tuner::construction_methods(false);
+  for (auto _ : state) {
+    auto result = tuner::construct(rw.spec, methods[0]);
+    benchmark::DoNotOptimize(result.solutions.size());
+  }
+}
+BENCHMARK(BM_ConstructDedispersion)->Unit(benchmark::kMillisecond);
+
+static void BM_SearchSpaceLookup(benchmark::State& state) {
+  searchspace::SearchSpace space(spaces::dedispersion().spec);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    auto found = space.find(space.indices(row));
+    benchmark::DoNotOptimize(found);
+    row = (row + 1) % space.size();
+  }
+}
+BENCHMARK(BM_SearchSpaceLookup);
+
+static void BM_HammingNeighbors(benchmark::State& state) {
+  searchspace::SearchSpace space(spaces::dedispersion().spec);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    auto n = searchspace::neighbors_of(space, row);
+    benchmark::DoNotOptimize(n);
+    row = (row + 17) % space.size();
+  }
+}
+BENCHMARK(BM_HammingNeighbors);
+
+static void BM_LatinHypercube64(benchmark::State& state) {
+  searchspace::SearchSpace space(spaces::dedispersion().spec);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto rows = searchspace::latin_hypercube_sample(space, 64, rng);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_LatinHypercube64)->Unit(benchmark::kMicrosecond);

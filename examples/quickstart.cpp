@@ -1,0 +1,55 @@
+// Quickstart: define a tunable kernel's parameters and constraints, resolve
+// the search space, and inspect it.
+//
+//   $ ./quickstart
+//
+// This is the paper's §2 running example: the Hotspot thread-block
+// dimensions with the 32 <= x*y <= 1024 constraint.
+#include <iostream>
+
+#include "tunespace/searchspace/neighbors.hpp"
+#include "tunespace/searchspace/sampling.hpp"
+#include "tunespace/searchspace/searchspace.hpp"
+
+using namespace tunespace;
+
+int main() {
+  // 1. Declare tunable parameters and constraints (Python-subset strings).
+  tuner::TuningProblem spec("hotspot-blocks");
+  spec.add_param("block_size_x", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+      .add_param("block_size_y", {1, 2, 4, 8, 16, 32})
+      .add_param("sh_power", {0, 1});
+  spec.add_constraint("32 <= block_size_x * block_size_y <= 1024");
+  spec.add_constraint("sh_power == 0 or block_size_x >= 16");
+
+  // 2. Resolve the space (optimized CSP pipeline under the hood).
+  searchspace::SearchSpace space(spec);
+  std::cout << "Cartesian size:  " << space.cartesian_size() << "\n"
+            << "valid configs:   " << space.size() << "\n"
+            << "sparsity:        " << space.sparsity() << "\n"
+            << "construction:    " << space.construction_seconds() * 1e3
+            << " ms\n\n";
+
+  // 3. Inspect configurations and true bounds.
+  std::cout << "first valid config: "
+            << space.problem().config_to_string(space.config(0)) << "\n";
+  std::cout << "true bounds of block_size_x (value indices present in valid "
+               "configs): ";
+  for (std::uint32_t vi : space.present_values(0)) {
+    std::cout << space.problem().domain(0)[vi].to_string() << " ";
+  }
+  std::cout << "\n\n";
+
+  // 4. Query neighbours (what a genetic algorithm's mutation step uses).
+  const auto neighbors = searchspace::neighbors_of(space, 0);
+  std::cout << "config 0 has " << neighbors.size() << " valid Hamming-1 neighbours\n";
+
+  // 5. Draw a Latin Hypercube sample for balanced initial tuning.
+  util::Rng rng(42);
+  const auto sample = searchspace::latin_hypercube_sample(space, 8, rng);
+  std::cout << "LHS sample of " << sample.size() << " configs:\n";
+  for (std::size_t row : sample) {
+    std::cout << "  " << space.problem().config_to_string(space.config(row)) << "\n";
+  }
+  return 0;
+}

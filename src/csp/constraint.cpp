@@ -1,0 +1,28 @@
+#include "tunespace/csp/constraint.hpp"
+
+#include <cassert>
+
+namespace tunespace::csp {
+
+void Constraint::bind(std::vector<std::uint32_t> indices) {
+  assert(indices.size() == scope_.size());
+  indices_ = std::move(indices);
+  on_bound();
+}
+
+void Constraint::prepare(const std::vector<const Domain*>& domains) {
+  (void)domains;
+}
+
+bool Constraint::consistent(const Value* values, const unsigned char* assigned) const {
+  // Generic constraints can only be evaluated once fully assigned.
+  if (!all_assigned(assigned)) return true;
+  return satisfied(values);
+}
+
+bool Constraint::preprocess(const std::vector<Domain*>& domains) {
+  (void)domains;
+  return true;
+}
+
+}  // namespace tunespace::csp

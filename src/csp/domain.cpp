@@ -1,0 +1,61 @@
+#include "tunespace/csp/domain.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tunespace::csp {
+
+Domain Domain::range(std::int64_t lo, std::int64_t hi, std::int64_t stride) {
+  assert(stride > 0);
+  std::vector<Value> v;
+  for (std::int64_t x = lo; x <= hi; x += stride) v.emplace_back(x);
+  return Domain(std::move(v));
+}
+
+Domain Domain::powers(std::int64_t lo, std::int64_t hi, std::int64_t base) {
+  assert(lo > 0 && base > 1);
+  std::vector<Value> v;
+  for (std::int64_t x = lo; x <= hi; x *= base) v.emplace_back(x);
+  return Domain(std::move(v));
+}
+
+std::size_t Domain::index_of(const Value& v) const {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == v) return i;
+  }
+  return npos;
+}
+
+const Value& Domain::min_value() const {
+  if (values_.empty()) throw std::out_of_range("min_value of empty domain");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    if (values_[i].compare(values_[best]) < 0) best = i;
+  }
+  return values_[best];
+}
+
+const Value& Domain::max_value() const {
+  if (values_.empty()) throw std::out_of_range("max_value of empty domain");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    if (values_[i].compare(values_[best]) > 0) best = i;
+  }
+  return values_[best];
+}
+
+bool Domain::all_numeric() const {
+  for (const auto& v : values_) {
+    if (!v.is_numeric()) return false;
+  }
+  return true;
+}
+
+bool Domain::all_positive() const {
+  for (const auto& v : values_) {
+    if (!v.is_numeric() || v.as_real() <= 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace tunespace::csp

@@ -1,0 +1,43 @@
+#include "tunespace/csp/lambda_constraint.hpp"
+
+#include <array>
+
+namespace tunespace::csp {
+
+LambdaConstraint::LambdaConstraint(std::vector<std::string> scope,
+                                   LambdaPredicate predicate,
+                                   std::string description)
+    : Constraint(std::move(scope)),
+      predicate_(std::move(predicate)),
+      description_(std::move(description)) {}
+
+bool LambdaConstraint::satisfied(const Value* values) const {
+  // Gather scope values contiguously (scope sizes are small).
+  constexpr std::size_t kInline = 16;
+  std::array<Value, kInline> inline_buf;
+  std::vector<Value> heap_buf;
+  Value* buf = inline_buf.data();
+  if (indices_.size() > kInline) {
+    heap_buf.resize(indices_.size());
+    buf = heap_buf.data();
+  }
+  for (std::size_t i = 0; i < indices_.size(); ++i) buf[i] = values[indices_[i]];
+  try {
+    return predicate_(std::span<const Value>(buf, indices_.size()));
+  } catch (...) {
+    return false;  // raising predicates invalidate the configuration
+  }
+}
+
+std::string LambdaConstraint::describe() const {
+  return description_ + "(" + [this] {
+    std::string s;
+    for (std::size_t i = 0; i < scope_.size(); ++i) {
+      if (i) s += ", ";
+      s += scope_[i];
+    }
+    return s;
+  }() + ")";
+}
+
+}  // namespace tunespace::csp

@@ -1,0 +1,76 @@
+#include "tunespace/csp/problem.hpp"
+
+#include <limits>
+
+namespace tunespace::csp {
+
+std::size_t Problem::add_variable(std::string name, Domain domain) {
+  if (index_.count(name)) {
+    throw std::invalid_argument("duplicate variable: " + name);
+  }
+  const std::size_t idx = names_.size();
+  index_.emplace(name, idx);
+  names_.push_back(std::move(name));
+  domains_.push_back(std::move(domain));
+  return idx;
+}
+
+void Problem::add_constraint(ConstraintPtr constraint) {
+  std::vector<std::uint32_t> indices;
+  indices.reserve(constraint->scope().size());
+  for (const std::string& var : constraint->scope()) {
+    indices.push_back(static_cast<std::uint32_t>(index_of(var)));
+  }
+  constraint->bind(std::move(indices));
+  constraints_.push_back(std::move(constraint));
+}
+
+std::size_t Problem::index_of(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) throw std::out_of_range("unknown variable: " + name);
+  return it->second;
+}
+
+bool Problem::has_variable(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+std::vector<std::size_t> Problem::constraint_counts() const {
+  std::vector<std::size_t> counts(names_.size(), 0);
+  for (const auto& c : constraints_) {
+    for (std::uint32_t idx : c->indices()) counts[idx]++;
+  }
+  return counts;
+}
+
+std::uint64_t Problem::cartesian_size() const {
+  std::uint64_t size = 1;
+  for (const auto& d : domains_) {
+    if (d.empty()) return 0;
+    const std::uint64_t n = d.size();
+    if (size > std::numeric_limits<std::uint64_t>::max() / n) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    size *= n;
+  }
+  return size;
+}
+
+std::string Problem::config_to_string(const Config& config) const {
+  std::string out;
+  for (std::size_t i = 0; i < config.size() && i < names_.size(); ++i) {
+    if (i) out += ", ";
+    out += names_[i] + "=" + config[i].to_string();
+  }
+  return out;
+}
+
+bool Problem::config_valid(const Config& config) const {
+  if (config.size() != names_.size()) return false;
+  for (const auto& c : constraints_) {
+    if (!c->satisfied(config.data())) return false;
+  }
+  return true;
+}
+
+}  // namespace tunespace::csp

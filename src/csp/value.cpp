@@ -1,0 +1,110 @@
+#include "tunespace/csp/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tunespace::csp {
+
+std::int64_t Value::as_int() const {
+  switch (kind_) {
+    case ValueKind::Int:
+      return u_.i;
+    case ValueKind::Bool:
+      return u_.b ? 1 : 0;
+    case ValueKind::Real:
+      // Allow exact integral reals to be read as ints (mirrors Python's
+      // operator.index tolerance in practice for e.g. 4.0 used as a size).
+      if (std::nearbyint(u_.d) == u_.d) return static_cast<std::int64_t>(u_.d);
+      throw ValueError("non-integral real used as int: " + to_string());
+    case ValueKind::Str:
+      throw ValueError("string used as int: " + to_string());
+  }
+  throw ValueError("corrupt value kind");
+}
+
+double Value::as_real() const {
+  switch (kind_) {
+    case ValueKind::Int:
+      return static_cast<double>(u_.i);
+    case ValueKind::Real:
+      return u_.d;
+    case ValueKind::Bool:
+      return u_.b ? 1.0 : 0.0;
+    case ValueKind::Str:
+      throw ValueError("string used as number: " + to_string());
+  }
+  throw ValueError("corrupt value kind");
+}
+
+bool Value::truthy() const {
+  switch (kind_) {
+    case ValueKind::Int:
+      return u_.i != 0;
+    case ValueKind::Real:
+      return u_.d != 0.0;
+    case ValueKind::Bool:
+      return u_.b;
+    case ValueKind::Str:
+      return !s_.empty();
+  }
+  return false;
+}
+
+const std::string& Value::as_str() const {
+  if (kind_ != ValueKind::Str) throw ValueError("number used as string: " + to_string());
+  return s_;
+}
+
+bool Value::operator==(const Value& o) const {
+  if (is_str() != o.is_str()) return false;
+  if (is_str()) return s_ == o.s_;
+  // Fast path for the common int-int case.
+  if (kind_ == ValueKind::Int && o.kind_ == ValueKind::Int) return u_.i == o.u_.i;
+  return as_real() == o.as_real();
+}
+
+int Value::compare(const Value& o) const {
+  if (is_str() && o.is_str()) {
+    const int c = s_.compare(o.s_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_str() || o.is_str()) {
+    throw ValueError("unorderable: " + to_string() + " vs " + o.to_string());
+  }
+  if (kind_ == ValueKind::Int && o.kind_ == ValueKind::Int) {
+    return u_.i < o.u_.i ? -1 : (u_.i > o.u_.i ? 1 : 0);
+  }
+  const double a = as_real(), b = o.as_real();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::size_t Value::hash() const {
+  if (is_str()) return std::hash<std::string>{}(s_);
+  // Hash numerics through double so 1 == 1.0 == true hash equal; integral
+  // doubles hash like their int64 counterpart to keep int hashing cheap.
+  if (kind_ == ValueKind::Int) return std::hash<std::int64_t>{}(u_.i);
+  const double d = as_real();
+  if (std::nearbyint(d) == d && std::fabs(d) < 9.2e18) {
+    return std::hash<std::int64_t>{}(static_cast<std::int64_t>(d));
+  }
+  return std::hash<double>{}(d);
+}
+
+std::string Value::to_string() const {
+  char buf[64];
+  switch (kind_) {
+    case ValueKind::Int:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(u_.i));
+      return buf;
+    case ValueKind::Real:
+      std::snprintf(buf, sizeof(buf), "%g", u_.d);
+      return buf;
+    case ValueKind::Bool:
+      return u_.b ? "True" : "False";
+    case ValueKind::Str:
+      return "'" + s_ + "'";
+  }
+  return "?";
+}
+
+}  // namespace tunespace::csp

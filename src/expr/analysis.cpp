@@ -1,0 +1,56 @@
+#include "tunespace/expr/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tunespace::expr {
+
+namespace {
+
+void collect_vars(const Ast& node, std::set<std::string>& out) {
+  if (node.kind == AstKind::Var) out.insert(node.name);
+  for (const auto& c : node.children) collect_vars(*c, out);
+}
+
+void decompose_into(const AstPtr& node, std::vector<AstPtr>& out) {
+  if (node->kind == AstKind::BoolOp && node->is_and) {
+    for (const auto& c : node->children) decompose_into(c, out);
+    return;
+  }
+  if (node->kind == AstKind::Compare && node->cmp_ops.size() > 1) {
+    // Split a chain into adjacent binary comparisons.  Sound even when the
+    // middle operands are compound expressions, because a Python chain
+    // "a op1 b op2 c" is defined as "(a op1 b) and (b op2 c)" (with b
+    // evaluated once; our expressions are side-effect free, so duplicated
+    // evaluation is equivalent).
+    for (std::size_t i = 0; i < node->cmp_ops.size(); ++i) {
+      decompose_into(make_compare({node->children[i], node->children[i + 1]},
+                                  {node->cmp_ops[i]}),
+                     out);
+    }
+    return;
+  }
+  out.push_back(node);
+}
+
+}  // namespace
+
+std::vector<std::string> variables(const Ast& node) {
+  std::set<std::string> set;
+  collect_vars(node, set);
+  return {set.begin(), set.end()};
+}
+
+std::size_t variable_count(const Ast& node) {
+  std::set<std::string> set;
+  collect_vars(node, set);
+  return set.size();
+}
+
+std::vector<AstPtr> decompose(const AstPtr& node) {
+  std::vector<AstPtr> out;
+  decompose_into(node, out);
+  return out;
+}
+
+}  // namespace tunespace::expr

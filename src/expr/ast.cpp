@@ -1,0 +1,214 @@
+#include "tunespace/expr/ast.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace tunespace::expr {
+
+const char* bin_op_name(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::TrueDiv: return "/";
+    case BinOp::FloorDiv: return "//";
+    case BinOp::Mod: return "%";
+    case BinOp::Pow: return "**";
+  }
+  return "?";
+}
+
+const char* compare_op_name(CompareOp op) {
+  switch (op) {
+    case CompareOp::Lt: return "<";
+    case CompareOp::Le: return "<=";
+    case CompareOp::Gt: return ">";
+    case CompareOp::Ge: return ">=";
+    case CompareOp::Eq: return "==";
+    case CompareOp::Ne: return "!=";
+    case CompareOp::In: return "in";
+    case CompareOp::NotIn: return "not in";
+  }
+  return "?";
+}
+
+namespace {
+
+// Parenthesize children whose precedence could be ambiguous; we keep it
+// simple and always parenthesize compound children.
+std::string child_str(const AstPtr& c) {
+  const bool atomic = c->kind == AstKind::Literal || c->kind == AstKind::Var ||
+                      c->kind == AstKind::Call || c->kind == AstKind::Tuple;
+  if (atomic) return c->to_string();
+  return "(" + c->to_string() + ")";
+}
+
+}  // namespace
+
+std::string Ast::to_string() const {
+  std::ostringstream ss;
+  switch (kind) {
+    case AstKind::Literal:
+      return literal.to_string();
+    case AstKind::Var:
+      return name;
+    case AstKind::Unary:
+      switch (un_op) {
+        case UnOp::Neg: return "-" + child_str(children[0]);
+        case UnOp::Pos: return "+" + child_str(children[0]);
+        case UnOp::Not: return "not " + child_str(children[0]);
+      }
+      return "?";
+    case AstKind::Binary:
+      return child_str(children[0]) + " " + bin_op_name(bin_op) + " " +
+             child_str(children[1]);
+    case AstKind::Compare: {
+      ss << child_str(children[0]);
+      for (std::size_t i = 0; i < cmp_ops.size(); ++i) {
+        ss << " " << compare_op_name(cmp_ops[i]) << " " << child_str(children[i + 1]);
+      }
+      return ss.str();
+    }
+    case AstKind::BoolOp: {
+      const char* sep = is_and ? " and " : " or ";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) ss << sep;
+        ss << child_str(children[i]);
+      }
+      return ss.str();
+    }
+    case AstKind::Call: {
+      ss << name << "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) ss << ", ";
+        ss << children[i]->to_string();
+      }
+      ss << ")";
+      return ss.str();
+    }
+    case AstKind::Tuple: {
+      ss << "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) ss << ", ";
+        ss << children[i]->to_string();
+      }
+      if (children.size() == 1) ss << ",";
+      ss << ")";
+      return ss.str();
+    }
+    case AstKind::IfElse:
+      return child_str(children[0]) + " if " + child_str(children[1]) + " else " +
+             child_str(children[2]);
+  }
+  return "?";
+}
+
+bool Ast::equals(const Ast& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case AstKind::Literal:
+      // Distinguish kinds so 1 != 1.0 at AST level (matters for round-trips).
+      if (literal.kind() != other.literal.kind()) return false;
+      return literal == other.literal;
+    case AstKind::Var:
+      return name == other.name;
+    case AstKind::Unary:
+      if (un_op != other.un_op) return false;
+      break;
+    case AstKind::Binary:
+      if (bin_op != other.bin_op) return false;
+      break;
+    case AstKind::Compare:
+      if (cmp_ops != other.cmp_ops) return false;
+      break;
+    case AstKind::BoolOp:
+      if (is_and != other.is_and) return false;
+      break;
+    case AstKind::Call:
+      if (name != other.name) return false;
+      break;
+    case AstKind::Tuple:
+    case AstKind::IfElse:
+      break;
+  }
+  if (children.size() != other.children.size()) return false;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->equals(*other.children[i])) return false;
+  }
+  return true;
+}
+
+AstPtr make_literal(csp::Value v) {
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::Literal;
+  node->literal = std::move(v);
+  return node;
+}
+
+AstPtr make_var(std::string name) {
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::Var;
+  node->name = std::move(name);
+  return node;
+}
+
+AstPtr make_unary(UnOp op, AstPtr operand) {
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::Unary;
+  node->un_op = op;
+  node->children.push_back(std::move(operand));
+  return node;
+}
+
+AstPtr make_binary(BinOp op, AstPtr lhs, AstPtr rhs) {
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::Binary;
+  node->bin_op = op;
+  node->children.push_back(std::move(lhs));
+  node->children.push_back(std::move(rhs));
+  return node;
+}
+
+AstPtr make_compare(std::vector<AstPtr> operands, std::vector<CompareOp> ops) {
+  assert(operands.size() == ops.size() + 1 && !ops.empty());
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::Compare;
+  node->children = std::move(operands);
+  node->cmp_ops = std::move(ops);
+  return node;
+}
+
+AstPtr make_bool_op(bool is_and, std::vector<AstPtr> operands) {
+  assert(operands.size() >= 2);
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::BoolOp;
+  node->is_and = is_and;
+  node->children = std::move(operands);
+  return node;
+}
+
+AstPtr make_call(std::string name, std::vector<AstPtr> args) {
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::Call;
+  node->name = std::move(name);
+  node->children = std::move(args);
+  return node;
+}
+
+AstPtr make_tuple(std::vector<AstPtr> elements) {
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::Tuple;
+  node->children = std::move(elements);
+  return node;
+}
+
+AstPtr make_if_else(AstPtr then, AstPtr cond, AstPtr otherwise) {
+  auto node = std::make_shared<Ast>();
+  node->kind = AstKind::IfElse;
+  node->children.push_back(std::move(then));
+  node->children.push_back(std::move(cond));
+  node->children.push_back(std::move(otherwise));
+  return node;
+}
+
+}  // namespace tunespace::expr

@@ -1,0 +1,312 @@
+#include "tunespace/expr/compiler.hpp"
+
+#include <unordered_map>
+
+#include "tunespace/expr/interpreter.hpp"
+
+namespace tunespace::expr {
+
+using csp::Value;
+
+namespace {
+
+bool has_variables(const Ast& node) {
+  if (node.kind == AstKind::Var) return true;
+  for (const auto& c : node.children) {
+    if (has_variables(*c)) return true;
+  }
+  return false;
+}
+
+const Env& empty_env() {
+  static const Env env = [](const std::string& name) -> Value {
+    throw EvalError("unbound variable in constant context: " + name);
+  };
+  return env;
+}
+
+}  // namespace
+
+AstPtr fold_constants(const AstPtr& node) {
+  // Fold children first.
+  std::vector<AstPtr> folded;
+  folded.reserve(node->children.size());
+  bool changed = false;
+  for (const auto& c : node->children) {
+    AstPtr f = fold_constants(c);
+    changed |= (f != c);
+    folded.push_back(std::move(f));
+  }
+
+  auto rebuilt = [&]() -> AstPtr {
+    if (!changed) return node;
+    auto copy = std::make_shared<Ast>(*node);
+    copy->children = folded;
+    return copy;
+  };
+
+  AstPtr out = rebuilt();
+  if (out->kind == AstKind::Literal || out->kind == AstKind::Var ||
+      out->kind == AstKind::Tuple) {
+    return out;
+  }
+  if (has_variables(*out)) return out;
+  // Pure constant subtree: evaluate now; keep unfolded if evaluation raises.
+  try {
+    return make_literal(eval(*out, empty_env()));
+  } catch (const EvalError&) {
+    return out;
+  }
+}
+
+namespace {
+
+class Compiler {
+ public:
+  Program run(const AstPtr& root) {
+    emit_expr(*root);
+    emit(Op::Return);
+    return Program(std::move(code_), std::move(consts_), std::move(tuples_),
+                   std::move(var_names_), static_cast<std::size_t>(max_depth_));
+  }
+
+ private:
+  void emit(Op op, std::int32_t arg = 0) { code_.push_back(Instr{op, arg}); }
+
+  // Track stack depth conservatively as we emit.
+  void push(int n = 1) {
+    depth_ += n;
+    if (depth_ > max_depth_) max_depth_ = depth_;
+  }
+  void pop(int n = 1) { depth_ -= n; }
+
+  std::int32_t const_index(const Value& v) {
+    consts_.push_back(v);
+    return static_cast<std::int32_t>(consts_.size() - 1);
+  }
+
+  std::int32_t var_slot(const std::string& name) {
+    auto it = slot_.find(name);
+    if (it != slot_.end()) return it->second;
+    const auto s = static_cast<std::int32_t>(var_names_.size());
+    var_names_.push_back(name);
+    slot_.emplace(name, s);
+    return s;
+  }
+
+  std::int32_t tuple_const(const Ast& tuple) {
+    std::vector<Value> items;
+    items.reserve(tuple.children.size());
+    for (const auto& el : tuple.children) {
+      if (el->kind != AstKind::Literal) {
+        throw CompileError("membership tuple must be constant: " + tuple.to_string());
+      }
+      items.push_back(el->literal);
+    }
+    tuples_.push_back(std::move(items));
+    return static_cast<std::int32_t>(tuples_.size() - 1);
+  }
+
+  void patch(std::size_t at) {
+    code_[at].arg = static_cast<std::int32_t>(code_.size());
+  }
+
+  void emit_expr(const Ast& node) {
+    switch (node.kind) {
+      case AstKind::Literal:
+        emit(Op::PushConst, const_index(node.literal));
+        push();
+        return;
+      case AstKind::Var:
+        emit(Op::LoadVar, var_slot(node.name));
+        push();
+        return;
+      case AstKind::Unary:
+        emit_expr(*node.children[0]);
+        switch (node.un_op) {
+          case UnOp::Neg: emit(Op::Neg); break;
+          case UnOp::Not: emit(Op::Not); break;
+          case UnOp::Pos: break;  // no-op (type check deferred to runtime ops)
+        }
+        return;
+      case AstKind::Binary: {
+        emit_expr(*node.children[0]);
+        emit_expr(*node.children[1]);
+        switch (node.bin_op) {
+          case BinOp::Add: emit(Op::Add); break;
+          case BinOp::Sub: emit(Op::Sub); break;
+          case BinOp::Mul: emit(Op::Mul); break;
+          case BinOp::TrueDiv: emit(Op::TrueDiv); break;
+          case BinOp::FloorDiv: emit(Op::FloorDiv); break;
+          case BinOp::Mod: emit(Op::Mod); break;
+          case BinOp::Pow: emit(Op::Pow); break;
+        }
+        pop();
+        return;
+      }
+      case AstKind::Compare:
+        emit_compare(node);
+        return;
+      case AstKind::BoolOp:
+        emit_bool_op(node);
+        return;
+      case AstKind::Call:
+        emit_call(node);
+        return;
+      case AstKind::Tuple:
+        throw CompileError("tuple outside of membership test: " + node.to_string());
+      case AstKind::IfElse: {
+        // cond; PopJumpIfFalse else; then; Jump end; else: otherwise; end:
+        emit_expr(*node.children[1]);
+        const std::size_t jump_else = code_.size();
+        emit(Op::PopJumpIfFalse, 0);
+        pop();
+        emit_expr(*node.children[0]);
+        const std::size_t jump_end = code_.size();
+        emit(Op::Jump, 0);
+        pop();  // only one branch's value is live at `end`
+        patch(jump_else);
+        emit_expr(*node.children[2]);
+        patch(jump_end);
+        return;
+      }
+    }
+  }
+
+  void emit_cmp_op(CompareOp op, const Ast& rhs_node) {
+    switch (op) {
+      case CompareOp::Lt: emit(Op::CmpLt); pop(); return;
+      case CompareOp::Le: emit(Op::CmpLe); pop(); return;
+      case CompareOp::Gt: emit(Op::CmpGt); pop(); return;
+      case CompareOp::Ge: emit(Op::CmpGe); pop(); return;
+      case CompareOp::Eq: emit(Op::CmpEq); pop(); return;
+      case CompareOp::Ne: emit(Op::CmpNe); pop(); return;
+      case CompareOp::In:
+      case CompareOp::NotIn:
+        // lhs is on the stack; the tuple is an immediate.
+        emit(op == CompareOp::In ? Op::InConst : Op::NotInConst,
+             tuple_const(rhs_node));
+        return;
+    }
+  }
+
+  void emit_compare(const Ast& node) {
+    const std::size_t n_ops = node.cmp_ops.size();
+    if (n_ops == 1) {
+      const CompareOp op = node.cmp_ops[0];
+      emit_expr(*node.children[0]);
+      if (op == CompareOp::In || op == CompareOp::NotIn) {
+        if (node.children[1]->kind != AstKind::Tuple) {
+          throw CompileError("'in' requires a tuple/list literal");
+        }
+        emit_cmp_op(op, *node.children[1]);
+      } else {
+        emit_expr(*node.children[1]);
+        emit_cmp_op(op, *node.children[1]);
+      }
+      return;
+    }
+    // Chained comparison, CPython pattern:
+    //   emit a; for each middle operand b: emit b, Dup, Rot3, Cmp,
+    //   JumpIfFalseOrPop cleanup; final: emit z, Cmp, Jump end;
+    //   cleanup: Rot2, Pop; end:
+    std::vector<std::size_t> to_cleanup;
+    emit_expr(*node.children[0]);
+    for (std::size_t i = 0; i + 1 < n_ops; ++i) {
+      const CompareOp op = node.cmp_ops[i];
+      if (op == CompareOp::In || op == CompareOp::NotIn) {
+        throw CompileError("membership cannot appear mid-chain");
+      }
+      emit_expr(*node.children[i + 1]);
+      emit(Op::Dup);
+      push();
+      emit(Op::Rot3);
+      emit_cmp_op(op, *node.children[i + 1]);
+      to_cleanup.push_back(code_.size());
+      emit(Op::JumpIfFalseOrPop, 0);
+      pop();  // taken-branch keeps one; fallthrough pops the bool
+    }
+    {
+      const CompareOp op = node.cmp_ops[n_ops - 1];
+      const Ast& rhs = *node.children[n_ops];
+      if (op == CompareOp::In || op == CompareOp::NotIn) {
+        if (rhs.kind != AstKind::Tuple) {
+          throw CompileError("'in' requires a tuple/list literal");
+        }
+        emit_cmp_op(op, rhs);
+      } else {
+        emit_expr(rhs);
+        emit_cmp_op(op, rhs);
+      }
+    }
+    const std::size_t jump_end = code_.size();
+    emit(Op::Jump, 0);
+    // cleanup: the intermediate operand sits under the false result.
+    for (std::size_t at : to_cleanup) patch(at);
+    emit(Op::Rot2);
+    emit(Op::Pop);
+    patch(jump_end);
+    emit(Op::ToBool);
+  }
+
+  void emit_bool_op(const Ast& node) {
+    // Short-circuit: for and, JumpIfFalseOrPop to end; for or, JumpIfTrueOrPop.
+    std::vector<std::size_t> jumps;
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      emit_expr(*node.children[i]);
+      if (i + 1 < node.children.size()) {
+        jumps.push_back(code_.size());
+        emit(node.is_and ? Op::JumpIfFalseOrPop : Op::JumpIfTrueOrPop, 0);
+        pop();  // fallthrough pops; taken branch keeps one (counted by last operand)
+      }
+    }
+    for (std::size_t at : jumps) patch(at);
+    emit(Op::ToBool);
+  }
+
+  void emit_call(const Ast& node) {
+    const std::size_t argc = node.children.size();
+    auto emit_args = [&] {
+      for (const auto& a : node.children) emit_expr(*a);
+    };
+    if (node.name == "min" || node.name == "max") {
+      if (argc == 0) throw CompileError("min()/max() needs arguments");
+      emit_args();
+      emit(node.name == "min" ? Op::CallMin : Op::CallMax,
+           static_cast<std::int32_t>(argc));
+      pop(static_cast<int>(argc) - 1);
+      return;
+    }
+    if (node.name == "abs" || node.name == "int" || node.name == "float") {
+      if (argc != 1) throw CompileError(node.name + "() needs one argument");
+      emit_args();
+      emit(node.name == "abs" ? Op::CallAbs
+                              : (node.name == "int" ? Op::CallInt : Op::CallFloat));
+      return;
+    }
+    if (node.name == "pow" || node.name == "gcd") {
+      if (argc != 2) throw CompileError(node.name + "() needs two arguments");
+      emit_args();
+      emit(node.name == "pow" ? Op::CallPow : Op::CallGcd);
+      pop();
+      return;
+    }
+    throw CompileError("unknown function: " + node.name);
+  }
+
+  std::vector<Instr> code_;
+  std::vector<Value> consts_;
+  std::vector<std::vector<Value>> tuples_;
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, std::int32_t> slot_;
+  int depth_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace
+
+Program compile(const AstPtr& node) {
+  return Compiler{}.run(fold_constants(node));
+}
+
+}  // namespace tunespace::expr

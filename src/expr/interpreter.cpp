@@ -1,0 +1,291 @@
+#include "tunespace/expr/interpreter.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace tunespace::expr {
+
+using csp::Value;
+
+namespace {
+
+bool both_int(const Value& a, const Value& b) {
+  return !a.is_real() && !b.is_real() && !a.is_str() && !b.is_str();
+}
+
+void require_numeric(const Value& a, const Value& b, const char* op) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    throw EvalError(std::string("unsupported operand types for ") + op + ": " +
+                    a.to_string() + ", " + b.to_string());
+  }
+}
+
+}  // namespace
+
+Value value_add(const Value& a, const Value& b) {
+  if (a.is_str() && b.is_str()) return Value(a.as_str() + b.as_str());
+  require_numeric(a, b, "+");
+  if (both_int(a, b)) {
+    std::int64_t r;
+    if (!__builtin_add_overflow(a.as_int(), b.as_int(), &r)) return Value(r);
+  }
+  return Value(a.as_real() + b.as_real());
+}
+
+Value value_sub(const Value& a, const Value& b) {
+  require_numeric(a, b, "-");
+  if (both_int(a, b)) {
+    std::int64_t r;
+    if (!__builtin_sub_overflow(a.as_int(), b.as_int(), &r)) return Value(r);
+  }
+  return Value(a.as_real() - b.as_real());
+}
+
+Value value_mul(const Value& a, const Value& b) {
+  require_numeric(a, b, "*");
+  if (both_int(a, b)) {
+    std::int64_t r;
+    if (!__builtin_mul_overflow(a.as_int(), b.as_int(), &r)) return Value(r);
+  }
+  return Value(a.as_real() * b.as_real());
+}
+
+Value value_truediv(const Value& a, const Value& b) {
+  require_numeric(a, b, "/");
+  const double d = b.as_real();
+  if (d == 0.0) throw EvalError("division by zero");
+  return Value(a.as_real() / d);
+}
+
+Value value_floordiv(const Value& a, const Value& b) {
+  require_numeric(a, b, "//");
+  if (both_int(a, b)) {
+    const std::int64_t x = a.as_int(), y = b.as_int();
+    if (y == 0) throw EvalError("integer division by zero");
+    // Python floors toward negative infinity.
+    std::int64_t q = x / y;
+    if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
+    return Value(q);
+  }
+  const double d = b.as_real();
+  if (d == 0.0) throw EvalError("division by zero");
+  return Value(std::floor(a.as_real() / d));
+}
+
+Value value_mod(const Value& a, const Value& b) {
+  require_numeric(a, b, "%");
+  if (both_int(a, b)) {
+    const std::int64_t x = a.as_int(), y = b.as_int();
+    if (y == 0) throw EvalError("integer modulo by zero");
+    std::int64_t r = x % y;
+    // Python: result has the sign of the divisor.
+    if (r != 0 && ((r < 0) != (y < 0))) r += y;
+    return Value(r);
+  }
+  const double d = b.as_real();
+  if (d == 0.0) throw EvalError("modulo by zero");
+  double r = std::fmod(a.as_real(), d);
+  if (r != 0.0 && ((r < 0.0) != (d < 0.0))) r += d;
+  return Value(r);
+}
+
+Value value_pow(const Value& a, const Value& b) {
+  require_numeric(a, b, "**");
+  if (both_int(a, b) && b.as_int() >= 0) {
+    // Exponentiation by squaring with overflow promotion to real.
+    std::int64_t base = a.as_int(), result = 1;
+    std::int64_t exp = b.as_int();
+    bool overflow = false;
+    while (exp > 0 && !overflow) {
+      if (exp & 1) overflow |= __builtin_mul_overflow(result, base, &result);
+      exp >>= 1;
+      if (exp > 0) overflow |= __builtin_mul_overflow(base, base, &base);
+    }
+    if (!overflow) return Value(result);
+  }
+  return Value(std::pow(a.as_real(), b.as_real()));
+}
+
+Value value_neg(const Value& a) {
+  if (!a.is_numeric()) throw EvalError("cannot negate " + a.to_string());
+  if (!a.is_real()) return Value(-a.as_int());
+  return Value(-a.as_real());
+}
+
+bool value_compare(CompareOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CompareOp::Eq:
+      return a == b;
+    case CompareOp::Ne:
+      return a != b;
+    case CompareOp::Lt:
+    case CompareOp::Le:
+    case CompareOp::Gt:
+    case CompareOp::Ge: {
+      int c;
+      try {
+        c = a.compare(b);
+      } catch (const csp::ValueError& e) {
+        throw EvalError(e.what());
+      }
+      switch (op) {
+        case CompareOp::Lt: return c < 0;
+        case CompareOp::Le: return c <= 0;
+        case CompareOp::Gt: return c > 0;
+        case CompareOp::Ge: return c >= 0;
+        default: return false;
+      }
+    }
+    case CompareOp::In:
+    case CompareOp::NotIn:
+      throw EvalError("membership handled by evaluator");
+  }
+  return false;
+}
+
+Env map_env(const std::unordered_map<std::string, Value>& map) {
+  return [&map](const std::string& name) -> Value {
+    auto it = map.find(name);
+    if (it == map.end()) throw EvalError("unknown variable: " + name);
+    return it->second;
+  };
+}
+
+namespace {
+
+Value eval_call(const Ast& node, const Env& env) {
+  const auto& args = node.children;
+  auto arg = [&](std::size_t i) { return eval(*args[i], env); };
+  if (node.name == "min" || node.name == "max") {
+    if (args.empty()) throw EvalError(node.name + "() needs at least one argument");
+    Value best = arg(0);
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      Value v = arg(i);
+      int c;
+      try {
+        c = v.compare(best);
+      } catch (const csp::ValueError& e) {
+        throw EvalError(e.what());
+      }
+      const bool better = node.name == "min" ? c < 0 : c > 0;
+      if (better) best = std::move(v);
+    }
+    return best;
+  }
+  if (node.name == "abs") {
+    if (args.size() != 1) throw EvalError("abs() needs exactly one argument");
+    Value v = arg(0);
+    if (!v.is_numeric()) throw EvalError("abs() of non-number");
+    if (!v.is_real()) {
+      const std::int64_t i = v.as_int();
+      return Value(i < 0 ? -i : i);
+    }
+    return Value(std::fabs(v.as_real()));
+  }
+  if (node.name == "pow") {
+    if (args.size() != 2) throw EvalError("pow() needs exactly two arguments");
+    return value_pow(arg(0), arg(1));
+  }
+  if (node.name == "gcd") {
+    if (args.size() != 2) throw EvalError("gcd() needs exactly two arguments");
+    return Value(std::gcd(arg(0).as_int(), arg(1).as_int()));
+  }
+  if (node.name == "int") {
+    if (args.size() != 1) throw EvalError("int() needs exactly one argument");
+    const Value v = arg(0);
+    if (!v.is_numeric()) throw EvalError("int() of non-number");
+    if (!v.is_real()) return Value(v.as_int());
+    return Value(static_cast<std::int64_t>(std::trunc(v.as_real())));
+  }
+  if (node.name == "float") {
+    if (args.size() != 1) throw EvalError("float() needs exactly one argument");
+    return Value(arg(0).as_real());
+  }
+  throw EvalError("unknown function: " + node.name);
+}
+
+}  // namespace
+
+Value eval(const Ast& node, const Env& env) {
+  switch (node.kind) {
+    case AstKind::Literal:
+      return node.literal;
+    case AstKind::Var:
+      return env(node.name);
+    case AstKind::Unary: {
+      if (node.un_op == UnOp::Not) return Value(!eval_bool(*node.children[0], env));
+      Value v = eval(*node.children[0], env);
+      if (node.un_op == UnOp::Neg) return value_neg(v);
+      if (!v.is_numeric()) throw EvalError("unary + of non-number");
+      return v;
+    }
+    case AstKind::Binary: {
+      const Value a = eval(*node.children[0], env);
+      const Value b = eval(*node.children[1], env);
+      switch (node.bin_op) {
+        case BinOp::Add: return value_add(a, b);
+        case BinOp::Sub: return value_sub(a, b);
+        case BinOp::Mul: return value_mul(a, b);
+        case BinOp::TrueDiv: return value_truediv(a, b);
+        case BinOp::FloorDiv: return value_floordiv(a, b);
+        case BinOp::Mod: return value_mod(a, b);
+        case BinOp::Pow: return value_pow(a, b);
+      }
+      throw EvalError("corrupt binary op");
+    }
+    case AstKind::Compare: {
+      // Chained, short-circuiting left-to-right as in Python.
+      Value left = eval(*node.children[0], env);
+      for (std::size_t i = 0; i < node.cmp_ops.size(); ++i) {
+        const CompareOp op = node.cmp_ops[i];
+        const Ast& rhs_node = *node.children[i + 1];
+        if (op == CompareOp::In || op == CompareOp::NotIn) {
+          if (rhs_node.kind != AstKind::Tuple) {
+            throw EvalError("'in' requires a tuple/list literal on the right");
+          }
+          bool found = false;
+          for (const auto& el : rhs_node.children) {
+            if (left == eval(*el, env)) {
+              found = true;
+              break;
+            }
+          }
+          const bool ok = op == CompareOp::In ? found : !found;
+          if (!ok) return Value(false);
+          if (i + 1 < node.cmp_ops.size()) {
+            throw EvalError("cannot chain after membership test");
+          }
+          return Value(true);
+        }
+        Value right = eval(rhs_node, env);
+        if (!value_compare(op, left, right)) return Value(false);
+        left = std::move(right);
+      }
+      return Value(true);
+    }
+    case AstKind::BoolOp: {
+      // Python semantics: return the deciding operand's truthiness.
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        const bool truth = eval_bool(*node.children[i], env);
+        const bool last = i + 1 == node.children.size();
+        if (node.is_and && !truth) return Value(false);
+        if (!node.is_and && truth) return Value(true);
+        if (last) return Value(truth);
+      }
+      return Value(node.is_and);
+    }
+    case AstKind::Call:
+      return eval_call(node, env);
+    case AstKind::Tuple:
+      throw EvalError("tuple is only valid as the right side of 'in'");
+    case AstKind::IfElse:
+      // Python order: condition first, then only the taken branch.
+      return eval_bool(*node.children[1], env) ? eval(*node.children[0], env)
+                                               : eval(*node.children[2], env);
+  }
+  throw EvalError("corrupt AST node");
+}
+
+bool eval_bool(const Ast& node, const Env& env) { return eval(node, env).truthy(); }
+
+}  // namespace tunespace::expr

@@ -1,0 +1,174 @@
+#include "tunespace/expr/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tunespace::expr {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind kind, std::size_t at, std::string text = {},
+                  csp::Value value = csp::Value{}) {
+    out.push_back(Token{kind, std::move(text), std::move(value), at});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t at = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      // Number: integer, or real if it contains '.' or exponent.
+      std::size_t j = i;
+      bool is_real = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      if (j < n && src[j] == '.') {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      }
+      if (j < n && (src[j] == 'e' || src[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) {
+          is_real = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        }
+      }
+      const std::string text = src.substr(i, j - i);
+      if (is_real) {
+        push(TokKind::Number, at, text, csp::Value(std::strtod(text.c_str(), nullptr)));
+      } else {
+        errno = 0;
+        const long long v = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno != 0) throw SyntaxError("integer literal out of range: " + text, at);
+        push(TokKind::Number, at, text, csp::Value(static_cast<std::int64_t>(v)));
+      }
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          ++j;
+          switch (src[j]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '\'': text += '\''; break;
+            case '"': text += '"'; break;
+            default: text += src[j]; break;
+          }
+        } else {
+          text += src[j];
+        }
+        ++j;
+      }
+      if (j >= n) throw SyntaxError("unterminated string literal", at);
+      push(TokKind::Str, at, text, csp::Value(text));
+      i = j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      const std::string word = src.substr(i, j - i);
+      if (word == "and") push(TokKind::KwAnd, at, word);
+      else if (word == "or") push(TokKind::KwOr, at, word);
+      else if (word == "not") push(TokKind::KwNot, at, word);
+      else if (word == "in") push(TokKind::KwIn, at, word);
+      else if (word == "True") push(TokKind::KwTrue, at, word, csp::Value(true));
+      else if (word == "False") push(TokKind::KwFalse, at, word, csp::Value(false));
+      else if (word == "if") push(TokKind::KwIf, at, word);
+      else if (word == "else") push(TokKind::KwElse, at, word);
+      else push(TokKind::Ident, at, word);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '+': push(TokKind::Plus, at); ++i; break;
+      case '-': push(TokKind::Minus, at); ++i; break;
+      case '*':
+        if (i + 1 < n && src[i + 1] == '*') {
+          push(TokKind::DoubleStar, at);
+          i += 2;
+        } else {
+          push(TokKind::Star, at);
+          ++i;
+        }
+        break;
+      case '/':
+        if (i + 1 < n && src[i + 1] == '/') {
+          push(TokKind::DoubleSlash, at);
+          i += 2;
+        } else {
+          push(TokKind::Slash, at);
+          ++i;
+        }
+        break;
+      case '%': push(TokKind::Percent, at); ++i; break;
+      case '<':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokKind::Le, at);
+          i += 2;
+        } else {
+          push(TokKind::Lt, at);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokKind::Ge, at);
+          i += 2;
+        } else {
+          push(TokKind::Gt, at);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokKind::EqEq, at);
+          i += 2;
+        } else {
+          throw SyntaxError("single '=' is not valid; use '=='", at);
+        }
+        break;
+      case '!':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokKind::NotEq, at);
+          i += 2;
+        } else {
+          throw SyntaxError("unexpected '!'", at);
+        }
+        break;
+      case '(': push(TokKind::LParen, at); ++i; break;
+      case ')': push(TokKind::RParen, at); ++i; break;
+      case '[': push(TokKind::LBracket, at); ++i; break;
+      case ']': push(TokKind::RBracket, at); ++i; break;
+      case ',': push(TokKind::Comma, at); ++i; break;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'", at);
+    }
+  }
+  out.push_back(Token{TokKind::End, {}, {}, n});
+  return out;
+}
+
+}  // namespace tunespace::expr

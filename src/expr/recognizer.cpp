@@ -1,0 +1,260 @@
+#include "tunespace/expr/recognizer.hpp"
+
+#include <map>
+#include <optional>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/expr/analysis.hpp"
+#include "tunespace/expr/compiler.hpp"
+
+namespace tunespace::expr {
+
+using csp::CmpOp;
+using csp::ConstraintPtr;
+using csp::Value;
+
+namespace {
+
+std::optional<CmpOp> to_csp_op(CompareOp op) {
+  switch (op) {
+    case CompareOp::Lt: return CmpOp::Lt;
+    case CompareOp::Le: return CmpOp::Le;
+    case CompareOp::Gt: return CmpOp::Gt;
+    case CompareOp::Ge: return CmpOp::Ge;
+    case CompareOp::Eq: return CmpOp::Eq;
+    case CompareOp::Ne: return CmpOp::Ne;
+    default: return std::nullopt;
+  }
+}
+
+/// Mirror an operator for operand swap: a < b  <=>  b > a.
+CmpOp mirror(CmpOp op) {
+  switch (op) {
+    case CmpOp::Lt: return CmpOp::Gt;
+    case CmpOp::Le: return CmpOp::Ge;
+    case CmpOp::Gt: return CmpOp::Lt;
+    case CmpOp::Ge: return CmpOp::Le;
+    default: return op;  // Eq/Ne symmetric
+  }
+}
+
+bool is_const(const Ast& node) { return node.kind == AstKind::Literal; }
+bool is_numeric_const(const Ast& node) {
+  return node.kind == AstKind::Literal && node.literal.is_numeric();
+}
+
+/// Product form: coeff * var1 * var2 * ... with distinct variables and a
+/// strictly positive coefficient.
+struct ProductForm {
+  double coeff = 1.0;
+  std::vector<std::string> vars;
+};
+
+std::optional<ProductForm> match_product(const Ast& node) {
+  switch (node.kind) {
+    case AstKind::Literal:
+      if (!node.literal.is_numeric()) return std::nullopt;
+      return ProductForm{node.literal.as_real(), {}};
+    case AstKind::Var:
+      return ProductForm{1.0, {node.name}};
+    case AstKind::Unary: {
+      if (node.un_op == UnOp::Not) return std::nullopt;
+      auto inner = match_product(*node.children[0]);
+      if (!inner) return std::nullopt;
+      if (node.un_op == UnOp::Neg) inner->coeff = -inner->coeff;
+      return inner;
+    }
+    case AstKind::Binary: {
+      if (node.bin_op != BinOp::Mul) return std::nullopt;
+      auto lhs = match_product(*node.children[0]);
+      auto rhs = match_product(*node.children[1]);
+      if (!lhs || !rhs) return std::nullopt;
+      for (const auto& v : rhs->vars) {
+        for (const auto& u : lhs->vars) {
+          if (u == v) return std::nullopt;  // repeated variable: x*x unsupported
+        }
+        lhs->vars.push_back(v);
+      }
+      lhs->coeff *= rhs->coeff;
+      return lhs;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Weighted-sum form: sum of w_i * x_i plus a constant term, where each
+/// addend is itself a product form with at most one variable.
+struct SumForm {
+  double constant = 0.0;
+  std::map<std::string, double> weights;  // ordered for determinism
+};
+
+std::optional<SumForm> match_sum(const Ast& node) {
+  // Leaf addends: single-variable product forms.
+  auto leaf = [&](const Ast& n) -> std::optional<SumForm> {
+    auto p = match_product(n);
+    if (!p) return std::nullopt;
+    SumForm s;
+    if (p->vars.empty()) {
+      s.constant = p->coeff;
+    } else if (p->vars.size() == 1) {
+      s.weights[p->vars[0]] = p->coeff;
+    } else {
+      return std::nullopt;  // product of 2+ vars inside a sum: not linear
+    }
+    return s;
+  };
+  switch (node.kind) {
+    case AstKind::Binary: {
+      if (node.bin_op != BinOp::Add && node.bin_op != BinOp::Sub) return leaf(node);
+      auto lhs = match_sum(*node.children[0]);
+      auto rhs = match_sum(*node.children[1]);
+      if (!lhs || !rhs) return std::nullopt;
+      const double sign = node.bin_op == BinOp::Add ? 1.0 : -1.0;
+      lhs->constant += sign * rhs->constant;
+      for (const auto& [var, w] : rhs->weights) lhs->weights[var] += sign * w;
+      return lhs;
+    }
+    case AstKind::Unary: {
+      if (node.un_op == UnOp::Not) return std::nullopt;
+      auto inner = match_sum(*node.children[0]);
+      if (!inner) return std::nullopt;
+      if (node.un_op == UnOp::Neg) {
+        inner->constant = -inner->constant;
+        for (auto& [var, w] : inner->weights) w = -w;
+      }
+      return inner;
+    }
+    default:
+      return leaf(node);
+  }
+}
+
+/// x % y == 0 or x % k == 0 pattern on an Eq comparison against zero.
+ConstraintPtr match_divisibility(const Ast& lhs, const Ast& rhs, CmpOp op) {
+  if (op != CmpOp::Eq) return nullptr;
+  if (!is_numeric_const(rhs) || rhs.literal.as_real() != 0.0) return nullptr;
+  if (lhs.kind != AstKind::Binary || lhs.bin_op != BinOp::Mod) return nullptr;
+  const Ast& a = *lhs.children[0];
+  const Ast& b = *lhs.children[1];
+  if (a.kind != AstKind::Var) return nullptr;
+  if (b.kind == AstKind::Var) {
+    return std::make_unique<csp::Divisibility>(a.name, b.name);
+  }
+  if (is_numeric_const(b) && b.literal.is_int() && b.literal.as_int() != 0) {
+    return std::make_unique<csp::Divisibility>(a.name, b.literal.as_int());
+  }
+  return nullptr;
+}
+
+ConstraintPtr recognize_comparison(const Ast& node, EvalMode fallback_mode,
+                                   const AstPtr& original) {
+  const CompareOp eop = node.cmp_ops[0];
+
+  // Membership: x in (a, b, c) with a constant tuple.
+  if (eop == CompareOp::In || eop == CompareOp::NotIn) {
+    const Ast& lhs = *node.children[0];
+    const Ast& rhs = *node.children[1];
+    if (lhs.kind == AstKind::Var && rhs.kind == AstKind::Tuple) {
+      std::vector<Value> items;
+      for (const auto& el : rhs.children) {
+        if (el->kind != AstKind::Literal) {
+          return std::make_unique<FunctionConstraint>(original, fallback_mode);
+        }
+        items.push_back(el->literal);
+      }
+      return std::make_unique<csp::InSet>(lhs.name, std::move(items),
+                                          eop == CompareOp::NotIn);
+    }
+    return std::make_unique<FunctionConstraint>(original, fallback_mode);
+  }
+
+  auto maybe_op = to_csp_op(eop);
+  if (!maybe_op) return std::make_unique<FunctionConstraint>(original, fallback_mode);
+  CmpOp op = *maybe_op;
+
+  const Ast* lhs = node.children[0].get();
+  const Ast* rhs = node.children[1].get();
+  // Normalize: constant on the right.
+  if (is_const(*lhs) && !is_const(*rhs)) {
+    std::swap(lhs, rhs);
+    op = mirror(op);
+  }
+
+  // x == 'string' / x != 'string': singleton membership.
+  if (lhs->kind == AstKind::Var && rhs->kind == AstKind::Literal &&
+      rhs->literal.is_str() && (op == CmpOp::Eq || op == CmpOp::Ne)) {
+    return std::make_unique<csp::InSet>(lhs->name, std::vector<Value>{rhs->literal},
+                                        op == CmpOp::Ne);
+  }
+
+  // x <op> y between two bare variables.
+  if (lhs->kind == AstKind::Var && rhs->kind == AstKind::Var) {
+    return std::make_unique<csp::VarComparison>(lhs->name, op, rhs->name);
+  }
+
+  if (is_numeric_const(*rhs)) {
+    const double bound = rhs->literal.as_real();
+
+    if (auto div = match_divisibility(*lhs, *rhs, op)) return div;
+
+    if (auto prod = match_product(*lhs)) {
+      if (prod->vars.size() >= 2 && prod->coeff > 0.0) {
+        return std::make_unique<csp::ProductConstraint>(op, bound,
+                                                        std::move(prod->vars),
+                                                        prod->coeff);
+      }
+      // 0/1-variable products fall through to the sum matcher below, which
+      // covers them as weighted sums.
+    }
+
+    if (auto sum = match_sum(*lhs)) {
+      if (!sum->weights.empty()) {
+        std::vector<std::string> scope;
+        std::vector<double> weights;
+        scope.reserve(sum->weights.size());
+        for (const auto& [var, w] : sum->weights) {
+          if (w == 0.0) continue;  // cancelled terms leave the constraint
+          scope.push_back(var);
+          weights.push_back(w);
+        }
+        if (!scope.empty()) {
+          return std::make_unique<csp::SumConstraint>(op, bound - sum->constant,
+                                                      std::move(scope),
+                                                      std::move(weights));
+        }
+      }
+    }
+  }
+
+  return std::make_unique<FunctionConstraint>(original, fallback_mode);
+}
+
+}  // namespace
+
+ConstraintPtr recognize(const AstPtr& conjunct, EvalMode fallback_mode) {
+  const AstPtr folded = fold_constants(conjunct);
+  if (folded->kind == AstKind::Literal) {
+    return std::make_unique<csp::ConstBool>(folded->literal.truthy());
+  }
+  if (folded->kind == AstKind::Compare && folded->cmp_ops.size() == 1) {
+    return recognize_comparison(*folded, fallback_mode, folded);
+  }
+  return std::make_unique<FunctionConstraint>(folded, fallback_mode);
+}
+
+std::vector<ConstraintPtr> optimize_constraint(const AstPtr& expression,
+                                               EvalMode fallback_mode) {
+  std::vector<ConstraintPtr> out;
+  for (const AstPtr& conjunct : decompose(fold_constants(expression))) {
+    ConstraintPtr c = recognize(conjunct, fallback_mode);
+    if (auto* cb = dynamic_cast<csp::ConstBool*>(c.get()); cb && cb->value()) {
+      continue;  // always-true conjuncts are dropped
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace tunespace::expr

@@ -1,0 +1,67 @@
+#pragma once
+// Domain: the finite set of legal values of one CSP variable (= one tunable
+// parameter).  Order is preserved as declared by the user, because parameter
+// value order is meaningful to auto-tuning neighbour operators ("adjacent"
+// neighbours of 64 are 32 and 128 in a power-of-two domain).
+
+#include <cstdint>
+#include <vector>
+
+#include "tunespace/csp/value.hpp"
+
+namespace tunespace::csp {
+
+/// Finite, ordered value set for one variable.
+class Domain {
+ public:
+  Domain() = default;
+  explicit Domain(std::vector<Value> values) : values_(std::move(values)) {}
+
+  /// Convenience: integer range [lo, hi] with stride (like Python range, but
+  /// inclusive since tuning specs are usually inclusive bounds).
+  static Domain range(std::int64_t lo, std::int64_t hi, std::int64_t stride = 1);
+
+  /// Convenience: {base^0 * lo, lo*base, ...} powers-of-`base` series capped at hi.
+  static Domain powers(std::int64_t lo, std::int64_t hi, std::int64_t base = 2);
+
+  const std::vector<Value>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& operator[](std::size_t i) const { return values_[i]; }
+
+  /// Index of a value, or npos if absent (linear scan; domains are small).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(const Value& v) const;
+  bool contains(const Value& v) const { return index_of(v) != npos; }
+
+  /// Remove all values for which `pred` returns false; returns #removed.
+  template <typename Pred>
+  std::size_t filter(Pred pred) {
+    std::size_t removed = 0;
+    std::vector<Value> kept;
+    kept.reserve(values_.size());
+    for (auto& v : values_) {
+      if (pred(v)) kept.push_back(std::move(v));
+      else ++removed;
+    }
+    values_ = std::move(kept);
+    return removed;
+  }
+
+  /// Minimum / maximum under numeric ordering. Requires a non-empty numeric
+  /// domain; throws ValueError for string domains.
+  const Value& min_value() const;
+  const Value& max_value() const;
+
+  /// True if every value is numeric.
+  bool all_numeric() const;
+  /// True if every value is numeric and strictly positive.
+  bool all_positive() const;
+
+  bool operator==(const Domain& o) const { return values_ == o.values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace tunespace::csp

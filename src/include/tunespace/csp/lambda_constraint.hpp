@@ -1,0 +1,37 @@
+#pragma once
+// LambdaConstraint: native C++ callable constraints, the KTT-style API of
+// the paper's Listing 2:
+//
+//   auto minWG = [](std::span<const Value> v) { return v[0]*v[1] >= 32; };
+//   tuner.AddConstraint(kernel, {"block_size_x", "block_size_y"}, minWG);
+//
+// Lambda constraints are opaque to the parsing pipeline (they cannot be
+// decomposed or recognized), exactly like KTT/ATF function constraints;
+// they are evaluated once their whole scope is assigned.  A throwing
+// callable marks the configuration invalid, matching FunctionConstraint.
+
+#include <functional>
+#include <span>
+
+#include "tunespace/csp/constraint.hpp"
+
+namespace tunespace::csp {
+
+/// Predicate signature: scope values in scope order.
+using LambdaPredicate = std::function<bool(std::span<const Value>)>;
+
+/// Constraint backed by a user-provided C++ callable.
+class LambdaConstraint : public Constraint {
+ public:
+  LambdaConstraint(std::vector<std::string> scope, LambdaPredicate predicate,
+                   std::string description = "lambda");
+
+  bool satisfied(const Value* values) const override;
+  std::string describe() const override;
+
+ private:
+  LambdaPredicate predicate_;
+  std::string description_;
+};
+
+}  // namespace tunespace::csp

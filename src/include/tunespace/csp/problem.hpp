@@ -1,0 +1,78 @@
+#pragma once
+// Problem: the CSP triple (X, D, C) of §4.1 — variables with finite domains
+// plus a set of constraints.  This is the common input type of every solver
+// in the repository.  Solvers never mutate a Problem: preprocessing prunes
+// act on solver-local domain copies, so a single Problem can be solved
+// repeatedly and concurrently.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tunespace/csp/constraint.hpp"
+#include "tunespace/csp/domain.hpp"
+#include "tunespace/csp/value.hpp"
+
+namespace tunespace::csp {
+
+/// A full assignment, ordered by the Problem's variable declaration order.
+using Config = std::vector<Value>;
+
+/// The CSP: ordered variables with domains, plus constraints.
+class Problem {
+ public:
+  Problem() = default;
+
+  // Problems own unique_ptr constraints; movable but not copyable.
+  Problem(Problem&&) = default;
+  Problem& operator=(Problem&&) = default;
+  Problem(const Problem&) = delete;
+  Problem& operator=(const Problem&) = delete;
+
+  /// Add a variable; names must be unique. Returns its dense index.
+  std::size_t add_variable(std::string name, Domain domain);
+
+  /// Add a constraint; every scope name must refer to an existing variable.
+  /// The constraint is bound to variable indices immediately.
+  void add_constraint(ConstraintPtr constraint);
+
+  std::size_t num_variables() const { return names_.size(); }
+  const std::vector<std::string>& variable_names() const { return names_; }
+  const std::string& name(std::size_t i) const { return names_[i]; }
+
+  /// Dense index of a variable; throws std::out_of_range if unknown.
+  std::size_t index_of(const std::string& name) const;
+  bool has_variable(const std::string& name) const;
+
+  const Domain& domain(std::size_t i) const { return domains_[i]; }
+  const Domain& domain(const std::string& name) const { return domains_[index_of(name)]; }
+  const std::vector<Domain>& domains() const { return domains_; }
+
+  const std::vector<ConstraintPtr>& constraints() const { return constraints_; }
+
+  /// Number of constraints each variable participates in (used by the
+  /// optimized solver's variable ordering).
+  std::vector<std::size_t> constraint_counts() const;
+
+  /// Size of the unconstrained Cartesian product of all domains.
+  /// Saturates at UINT64_MAX on overflow.
+  std::uint64_t cartesian_size() const;
+
+  /// Render a Config as "name=value, ..." for diagnostics.
+  std::string config_to_string(const Config& config) const;
+
+  /// Evaluate all constraints on a full config (reference semantics used by
+  /// validation and brute-force tests). Counts are not tracked here.
+  bool config_valid(const Config& config) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Domain> domains_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<ConstraintPtr> constraints_;
+};
+
+}  // namespace tunespace::csp

@@ -1,0 +1,89 @@
+#pragma once
+// Value: the dynamically-typed scalar used for tunable-parameter values.
+//
+// Auto-tuning parameters are most often integers (block sizes, tile factors),
+// but real tuning scripts also use floats (e.g. loop skew factors), booleans
+// (feature toggles) and strings (e.g. "NHWC" vs "NCHW" layouts).  Value is a
+// small tagged union covering exactly those four kinds with Python-compatible
+// semantics, since the paper's user-facing constraint language is a Python
+// expression subset.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace tunespace::csp {
+
+/// Discriminator for Value.
+enum class ValueKind : std::uint8_t { Int, Real, Bool, Str };
+
+/// Error thrown on invalid Value operations (e.g. ordering a string against
+/// a number), mirroring Python's TypeError.
+class ValueError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A dynamically-typed scalar with Python-like semantics.
+///
+/// Numeric comparisons are cross-kind (1 == 1.0); bools participate in
+/// arithmetic as 0/1 (as in Python); strings only support equality and
+/// ordering against other strings.
+class Value {
+ public:
+  Value() : kind_(ValueKind::Int) { u_.i = 0; }
+  Value(std::int64_t v) : kind_(ValueKind::Int) { u_.i = v; }        // NOLINT implicit
+  Value(int v) : kind_(ValueKind::Int) { u_.i = v; }                 // NOLINT implicit
+  Value(double v) : kind_(ValueKind::Real) { u_.d = v; }             // NOLINT implicit
+  Value(bool v) : kind_(ValueKind::Bool) { u_.b = v; }               // NOLINT implicit
+  Value(std::string v) : kind_(ValueKind::Str), s_(std::move(v)) {}  // NOLINT implicit
+  Value(const char* v) : kind_(ValueKind::Str), s_(v) {}             // NOLINT implicit
+
+  ValueKind kind() const { return kind_; }
+  bool is_int() const { return kind_ == ValueKind::Int; }
+  bool is_real() const { return kind_ == ValueKind::Real; }
+  bool is_bool() const { return kind_ == ValueKind::Bool; }
+  bool is_str() const { return kind_ == ValueKind::Str; }
+  /// Int, Real and Bool all behave numerically (Python semantics).
+  bool is_numeric() const { return kind_ != ValueKind::Str; }
+
+  /// Raw integer payload; requires is_int() or is_bool().
+  std::int64_t as_int() const;
+  /// Numeric payload widened to double; requires is_numeric().
+  double as_real() const;
+  /// Python truthiness: 0 / 0.0 / false / "" are falsy, all else truthy.
+  bool truthy() const;
+  /// String payload; requires is_str().
+  const std::string& as_str() const;
+
+  /// Python-like equality: cross-kind numeric equality, strings by content,
+  /// string-vs-number is unequal (never an error).
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Three-way ordering: -1/0/+1. Throws ValueError for string-vs-number.
+  int compare(const Value& o) const;
+
+  /// Stable hash consistent with operator== (so 1, 1.0 and true collide).
+  std::size_t hash() const;
+
+  /// Human-readable rendering ("16", "0.5", "True", "'NHWC'").
+  std::string to_string() const;
+
+ private:
+  ValueKind kind_;
+  union U {
+    std::int64_t i;
+    double d;
+    bool b;
+  } u_{};
+  std::string s_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+
+}  // namespace tunespace::csp

@@ -1,0 +1,36 @@
+#pragma once
+// Constraint analysis: scope extraction and decomposition (paper §4.2).
+//
+// Decomposition breaks a user constraint into conjuncts over the smallest
+// possible variable subsets, so the solver can reject partial assignments as
+// early as possible.  Two rewrites apply, recursively:
+//
+//   1. conjunction splitting:   A and B          ->  {A, B}
+//   2. chain splitting:         a <= b <= c      ->  {a <= b, b <= c}
+//
+// Chain splitting is sound because each comparison in a Python chain relates
+// adjacent operands only; it is exactly the Fig. 1 "Step 2" rewrite, e.g.
+//
+//   2 <= y <= 32 <= x * y <= 1024
+//     ->  {2 <= y, y <= 32, 32 <= x*y, x*y <= 1024}
+
+#include <string>
+#include <vector>
+
+#include "tunespace/expr/ast.hpp"
+
+namespace tunespace::expr {
+
+/// Sorted unique parameter names referenced by an expression.
+std::vector<std::string> variables(const Ast& node);
+
+/// Number of distinct parameters referenced.
+std::size_t variable_count(const Ast& node);
+
+/// Decompose an expression into a conjunction of simpler expressions; the
+/// result conjunction is logically equivalent to the input.  Expressions that
+/// cannot be split (disjunctions, negations, single comparisons) come back
+/// as a single element.
+std::vector<AstPtr> decompose(const AstPtr& node);
+
+}  // namespace tunespace::expr

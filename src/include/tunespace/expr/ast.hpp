@@ -1,0 +1,86 @@
+#pragma once
+// Abstract syntax tree for the user-facing constraint expression language.
+//
+// The language is the Python expression subset that auto-tuning scripts
+// actually use in Kernel Tuner / PyATF style constraint strings and lambdas:
+// arithmetic (+ - * / // % **), chained comparisons (2 <= y <= 32), boolean
+// operators (and/or/not), membership (x in (1, 2, 4)), a handful of builtin
+// calls (min/max/abs/pow/gcd), and the Kernel Tuner dictionary style
+// p["block_size_x"] as an alias for the bare identifier.
+//
+// ASTs are immutable and shared (shared_ptr<const Ast>), because the §4.2
+// decomposition step re-uses subtrees: splitting "a <= b <= c" produces two
+// conjuncts that share the node for b.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/value.hpp"
+
+namespace tunespace::expr {
+
+struct Ast;
+using AstPtr = std::shared_ptr<const Ast>;
+
+/// Node discriminator.
+enum class AstKind : std::uint8_t {
+  Literal,  ///< constant Value
+  Var,      ///< parameter reference
+  Unary,    ///< -x, +x, not x
+  Binary,   ///< arithmetic
+  Compare,  ///< (possibly chained) comparison
+  BoolOp,   ///< and / or over 2+ operands
+  Call,     ///< builtin function call
+  Tuple,    ///< tuple/list literal (only valid as rhs of `in`)
+  IfElse,   ///< conditional expression: children = {then, cond, otherwise}
+};
+
+/// Binary arithmetic operators (Python semantics).
+enum class BinOp : std::uint8_t { Add, Sub, Mul, TrueDiv, FloorDiv, Mod, Pow };
+
+/// Unary operators.
+enum class UnOp : std::uint8_t { Neg, Pos, Not };
+
+/// Comparison operators, including membership.
+enum class CompareOp : std::uint8_t { Lt, Le, Gt, Ge, Eq, Ne, In, NotIn };
+
+/// Python spelling of a BinOp ("+", "//", ...).
+const char* bin_op_name(BinOp op);
+/// Python spelling of a CompareOp ("<=", "in", ...).
+const char* compare_op_name(CompareOp op);
+
+/// A single AST node. Field use depends on `kind`; unused fields are empty.
+struct Ast {
+  AstKind kind;
+
+  csp::Value literal;             ///< Literal
+  std::string name;               ///< Var: parameter name; Call: builtin name
+  UnOp un_op = UnOp::Pos;         ///< Unary
+  BinOp bin_op = BinOp::Add;      ///< Binary
+  bool is_and = true;             ///< BoolOp: true = and, false = or
+  std::vector<CompareOp> cmp_ops; ///< Compare: n-1 ops for n operands
+  std::vector<AstPtr> children;   ///< operands/args (Binary: lhs, rhs)
+
+  /// Round-trippable rendering (parse(to_string(a)) is structurally equal
+  /// to a modulo redundant parentheses).
+  std::string to_string() const;
+
+  /// Deep structural equality.
+  bool equals(const Ast& other) const;
+};
+
+// Factory helpers (the parser and tests build ASTs through these).
+AstPtr make_literal(csp::Value v);
+AstPtr make_var(std::string name);
+AstPtr make_unary(UnOp op, AstPtr operand);
+AstPtr make_binary(BinOp op, AstPtr lhs, AstPtr rhs);
+AstPtr make_compare(std::vector<AstPtr> operands, std::vector<CompareOp> ops);
+AstPtr make_bool_op(bool is_and, std::vector<AstPtr> operands);
+AstPtr make_call(std::string name, std::vector<AstPtr> args);
+AstPtr make_tuple(std::vector<AstPtr> elements);
+/// Python conditional expression: `then if cond else otherwise`.
+AstPtr make_if_else(AstPtr then, AstPtr cond, AstPtr otherwise);
+
+}  // namespace tunespace::expr

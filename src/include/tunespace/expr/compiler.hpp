@@ -1,0 +1,29 @@
+#pragma once
+// AST -> bytecode compiler, plus constant folding.
+
+#include <stdexcept>
+
+#include "tunespace/expr/ast.hpp"
+#include "tunespace/expr/bytecode.hpp"
+
+namespace tunespace::expr {
+
+/// Raised when an AST cannot be compiled (e.g. `in` over a non-constant
+/// tuple); callers fall back to the tree interpreter.
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Constant-fold an AST bottom-up: any subtree without variable references
+/// is evaluated at fold time.  Folding is conservative — subtrees whose
+/// evaluation raises (e.g. 1/0) are left unfolded so the runtime error
+/// surfaces during evaluation, matching Python.
+AstPtr fold_constants(const AstPtr& node);
+
+/// Compile an AST to a Program.  Variables get slots in first-appearance
+/// order (see Program::var_names()).  Throws CompileError for constructs the
+/// VM cannot express.
+Program compile(const AstPtr& node);
+
+}  // namespace tunespace::expr

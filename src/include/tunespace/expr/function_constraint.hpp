@@ -1,0 +1,61 @@
+#pragma once
+// FunctionConstraint: bridges arbitrary constraint expressions into the CSP
+// layer.  This is the fallback for constraints the recognizer cannot map to
+// a specific builtin (paper §4.3.2, "Function constraints").
+//
+// Two evaluation modes:
+//   Compiled    - bytecode Program executed against the solver's value array
+//                 through a slot map (the paper's runtime-compiled mode).
+//   Interpreted - tree-walking evaluation with per-variable name lookups
+//                 (the vanilla python-constraint analogue, used to model the
+//                 "original" baseline).
+//
+// A runtime evaluation error (division by zero, type error) makes the
+// configuration invalid rather than aborting the solve, matching how
+// auto-tuners treat raising constraint lambdas.
+
+#include <unordered_map>
+
+#include "tunespace/csp/constraint.hpp"
+#include "tunespace/expr/ast.hpp"
+#include "tunespace/expr/bytecode.hpp"
+
+namespace tunespace::expr {
+
+/// Evaluation strategy for FunctionConstraint.
+enum class EvalMode { Compiled, Interpreted };
+
+/// Generic expression-backed constraint.
+class FunctionConstraint : public csp::Constraint {
+ public:
+  /// Build from an expression; the scope is the expression's variable set.
+  /// In Compiled mode, falls back to Interpreted if compilation fails.
+  explicit FunctionConstraint(AstPtr expression, EvalMode mode = EvalMode::Compiled);
+
+  bool satisfied(const csp::Value* values) const override;
+
+  /// Single-variable function constraints are resolved by preprocessing:
+  /// the domain is filtered by evaluation, after which the constraint always
+  /// holds.  Multi-variable constraints prune nothing.
+  bool preprocess(const std::vector<csp::Domain*>& domains) override;
+
+  std::string describe() const override;
+
+  EvalMode mode() const { return mode_; }
+  const AstPtr& expression() const { return expr_; }
+
+ protected:
+  void on_bound() override;
+
+ private:
+  bool eval_scope_positional(const csp::Value* scope_values) const;
+
+  AstPtr expr_;
+  EvalMode mode_;
+  Program program_;                                    // Compiled mode
+  std::vector<std::uint32_t> program_slot_to_scope_;   // program slot -> scope pos
+  std::vector<std::uint32_t> program_slot_to_global_;  // built by on_bound()
+  std::unordered_map<std::string, std::size_t> name_to_scope_;  // Interpreted
+};
+
+}  // namespace tunespace::expr

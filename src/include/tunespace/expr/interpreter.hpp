@@ -1,0 +1,67 @@
+#pragma once
+// Tree-walking evaluator for constraint expressions, plus the Python-semantics
+// arithmetic kernels shared with the bytecode VM.
+//
+// The interpreter is the evaluation engine of the *unoptimized* pipeline
+// (vanilla python-constraint analogue): it walks the shared AST and resolves
+// variables through an environment callback, paying per-node dispatch and
+// per-variable lookup costs — exactly the overheads the paper's runtime
+// compilation removes (§4.3.2/§4.3.3).
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "tunespace/csp/value.hpp"
+#include "tunespace/expr/ast.hpp"
+
+namespace tunespace::expr {
+
+/// Raised for runtime evaluation failures (division by zero, bad operand
+/// types, unknown variables/functions).  Constraint wrappers convert this
+/// into "configuration invalid", matching how auto-tuners treat raising
+/// constraint lambdas.
+class EvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// --- Python-semantics scalar kernels (shared by interpreter and VM) --------
+
+/// a + b, a - b, a * b: int when both operands are int/bool, else real.
+csp::Value value_add(const csp::Value& a, const csp::Value& b);
+csp::Value value_sub(const csp::Value& a, const csp::Value& b);
+csp::Value value_mul(const csp::Value& a, const csp::Value& b);
+/// Python true division: always real; raises EvalError on division by zero.
+csp::Value value_truediv(const csp::Value& a, const csp::Value& b);
+/// Python floor division: floors toward -inf; int when both int.
+csp::Value value_floordiv(const csp::Value& a, const csp::Value& b);
+/// Python modulo: result takes the divisor's sign; int when both int.
+csp::Value value_mod(const csp::Value& a, const csp::Value& b);
+/// Python power; int**non-negative-int stays int (overflow promotes to real).
+csp::Value value_pow(const csp::Value& a, const csp::Value& b);
+/// Unary negation.
+csp::Value value_neg(const csp::Value& a);
+/// Apply a comparison operator (Lt..Ne); In/NotIn are handled by callers.
+bool value_compare(CompareOp op, const csp::Value& a, const csp::Value& b);
+
+// --- Environments -----------------------------------------------------------
+
+/// Variable resolution callback: name -> value. Must throw EvalError (or any
+/// exception) for unknown names.
+using Env = std::function<csp::Value(const std::string&)>;
+
+/// Environment over a name->value hash map (the "python dict" analogue used
+/// by the unoptimized solver).
+Env map_env(const std::unordered_map<std::string, csp::Value>& map);
+
+// --- Evaluation --------------------------------------------------------------
+
+/// Evaluate an expression in an environment.
+csp::Value eval(const Ast& node, const Env& env);
+
+/// Evaluate and coerce to truthiness.
+bool eval_bool(const Ast& node, const Env& env);
+
+}  // namespace tunespace::expr

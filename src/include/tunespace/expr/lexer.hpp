@@ -1,0 +1,50 @@
+#pragma once
+// Lexer for the constraint expression language.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/value.hpp"
+
+namespace tunespace::expr {
+
+/// Error raised by the lexer or parser; carries the source offset.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Token types.
+enum class TokKind : std::uint8_t {
+  Number,   // integer or real literal (value in `value`)
+  Str,      // quoted string literal
+  Ident,    // identifier (may be a keyword checked by the parser)
+  Plus, Minus, Star, DoubleStar, Slash, DoubleSlash, Percent,
+  Lt, Le, Gt, Ge, EqEq, NotEq,
+  LParen, RParen, LBracket, RBracket, Comma,
+  KwAnd, KwOr, KwNot, KwIn, KwTrue, KwFalse, KwIf, KwElse,
+  End,
+};
+
+/// One lexed token.
+struct Token {
+  TokKind kind;
+  std::string text;   ///< raw text (identifiers, strings)
+  csp::Value value;   ///< literal payload for Number/Str/KwTrue/KwFalse
+  std::size_t offset; ///< byte offset into the source
+};
+
+/// Tokenize a full expression; always ends with a TokKind::End token.
+/// Throws SyntaxError on malformed input.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace tunespace::expr

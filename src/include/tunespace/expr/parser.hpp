@@ -1,0 +1,33 @@
+#pragma once
+// Recursive-descent parser for the constraint expression language.
+//
+// Grammar (Python expression subset):
+//
+//   expr       := or_expr
+//   or_expr    := and_expr ('or' and_expr)*
+//   and_expr   := not_expr ('and' not_expr)*
+//   not_expr   := 'not' not_expr | comparison
+//   comparison := arith ((cmp_op | 'in' | 'not' 'in') arith)*      (chained)
+//   arith      := term (('+'|'-') term)*
+//   term       := factor (('*'|'/'|'//'|'%') factor)*
+//   factor     := ('+'|'-') factor | power
+//   power      := atom ('**' factor)?                          (right assoc)
+//   atom       := NUMBER | STRING | 'True' | 'False'
+//              | IDENT '(' args ')'                           (builtin call)
+//              | IDENT '[' STRING ']'                         (p["name"])
+//              | IDENT
+//              | '(' expr (',' expr)* [','] ')'               (group/tuple)
+//              | '[' expr (',' expr)* [','] ']'               (list literal)
+
+#include <string>
+
+#include "tunespace/expr/ast.hpp"
+#include "tunespace/expr/lexer.hpp"
+
+namespace tunespace::expr {
+
+/// Parse a complete expression; throws SyntaxError on malformed input or
+/// trailing tokens.
+AstPtr parse(const std::string& source);
+
+}  // namespace tunespace::expr

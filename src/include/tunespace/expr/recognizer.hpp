@@ -1,0 +1,37 @@
+#pragma once
+// Recognizer: map decomposed constraint conjuncts onto specific builtin
+// constraints (paper §4.2 "Step 3" / §4.3.2).
+//
+// Recognized shapes (after constant folding and bound normalization, i.e.
+// constants are moved to the right-hand side with the operator mirrored):
+//
+//   True / False                          -> ConstBool
+//   c * x1 * x2 * ... <op> C   (c > 0)    -> Min/Max/ExactProduct (2+ vars)
+//   w1*x1 + w2*x2 + ... + k <op> C        -> Min/Max/ExactSum (incl. 1 var)
+//   x <op> y                              -> VarComparison
+//   x % y == 0,  x % k == 0               -> Divisibility
+//   x in (v1, v2, ...), x not in (...)    -> InSet
+//   x == 'literal'                        -> InSet (singleton)
+//
+// Anything else becomes a FunctionConstraint in the requested EvalMode.
+// The recognizer never changes semantics: tests cross-validate recognized
+// constraints against direct expression evaluation on random assignments.
+
+#include "tunespace/csp/constraint.hpp"
+#include "tunespace/expr/ast.hpp"
+#include "tunespace/expr/function_constraint.hpp"
+
+namespace tunespace::expr {
+
+/// Recognize one conjunct.  `fallback_mode` selects the FunctionConstraint
+/// evaluation strategy when no specific constraint matches.
+csp::ConstraintPtr recognize(const AstPtr& conjunct,
+                             EvalMode fallback_mode = EvalMode::Compiled);
+
+/// Full §4.2 pipeline for one user constraint: parse is done by the caller;
+/// this folds constants, decomposes into conjuncts, and recognizes each.
+/// Always-true conjuncts are dropped.
+std::vector<csp::ConstraintPtr> optimize_constraint(
+    const AstPtr& expression, EvalMode fallback_mode = EvalMode::Compiled);
+
+}  // namespace tunespace::expr

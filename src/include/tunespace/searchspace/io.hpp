@@ -1,0 +1,29 @@
+#pragma once
+// SearchSpace serialization: export a resolved space to CSV (one row per
+// valid configuration, one column per parameter) and re-import it for
+// validation or sharing between tools.  The CSV uses the parameter's
+// rendered values; strings round-trip via the expression-language string
+// literal syntax.
+
+#include <iosfwd>
+#include <string>
+
+#include "tunespace/searchspace/searchspace.hpp"
+
+namespace tunespace::searchspace {
+
+/// Write `space` as CSV: a header of parameter names, then one row per
+/// valid configuration in enumeration order.
+void write_csv(const SearchSpace& space, std::ostream& os);
+
+/// Convenience overload writing to a file; throws std::runtime_error when
+/// the file cannot be opened.
+void write_csv(const SearchSpace& space, const std::string& path);
+
+/// Parse a CSV produced by write_csv against a spec's declared parameters,
+/// returning each row resolved to a Config.  Throws std::runtime_error on
+/// header mismatch or values absent from the declared domains.
+std::vector<csp::Config> read_csv(const tuner::TuningProblem& spec,
+                                  std::istream& is);
+
+}  // namespace tunespace::searchspace

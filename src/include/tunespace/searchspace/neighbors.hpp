@@ -1,0 +1,50 @@
+#pragma once
+// Neighbour queries over a resolved SearchSpace (§4.4).
+//
+// Optimization algorithms (genetic mutation, hill climbing, simulated
+// annealing) repeatedly ask for the *valid* neighbours of a configuration.
+// With a resolved space these are exact hash lookups; dynamic approaches
+// would have to re-check constraints per candidate.
+
+#include <cstddef>
+#include <vector>
+
+#include "tunespace/searchspace/searchspace.hpp"
+
+namespace tunespace::searchspace {
+
+/// Neighbourhood definitions supported by neighbors_of().
+enum class NeighborMethod {
+  Hamming1,        ///< differ in exactly one parameter, any other value
+  Adjacent,        ///< differ in exactly one parameter by one position in the
+                   ///< parameter's present-value order (|64 -> {32,128}|)
+  StrictlyAdjacent ///< like Adjacent but over the full declared value order
+};
+
+/// Row ids of all valid neighbours of `row` under `method`.
+std::vector<std::size_t> neighbors_of(const SearchSpace& space, std::size_t row,
+                                      NeighborMethod method = NeighborMethod::Hamming1);
+
+/// Row ids of valid configurations at Hamming distance <= `max_distance`
+/// from `row` (excluding `row` itself).  Exponential in max_distance; meant
+/// for small distances (1-3) as used by genetic-algorithm mutation.
+std::vector<std::size_t> neighbors_within_hamming(const SearchSpace& space,
+                                                  std::size_t row,
+                                                  std::size_t max_distance);
+
+/// Precomputed Hamming-1 adjacency for repeated queries ("can be indexed
+/// before running the algorithm", §4.4).
+class NeighborIndex {
+ public:
+  NeighborIndex(const SearchSpace& space, NeighborMethod method);
+
+  const std::vector<std::size_t>& neighbors(std::size_t row) const {
+    return lists_[row];
+  }
+  std::size_t total_edges() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> lists_;
+};
+
+}  // namespace tunespace::searchspace

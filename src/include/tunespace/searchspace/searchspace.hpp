@@ -1,0 +1,104 @@
+#pragma once
+// SearchSpace: the fully-resolved search space representation of §4.4.
+//
+// Wraps the solver's SolutionSet with the operations optimization algorithms
+// need: O(1) membership / row lookup through a hash index, true parameter
+// bounds (values that actually occur in valid configurations — unavailable
+// to dynamic approaches), per-parameter inverted indexes (posting lists) for
+// neighbour and stratified-sampling queries, and materialized config views.
+//
+// Configurations are addressed by a dense row id in [0, size()).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tunespace/csp/problem.hpp"
+#include "tunespace/solver/solver.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+#include "tunespace/tuner/tuning_problem.hpp"
+
+namespace tunespace::searchspace {
+
+/// Fully-resolved, indexed search space.
+class SearchSpace {
+ public:
+  /// Construct from a spec using the optimized method (the normal user path:
+  /// "fully resolve the space before tuning, with minimal impact").
+  explicit SearchSpace(const tuner::TuningProblem& spec);
+
+  /// Construct from a spec with an explicit method (benchmarks use this).
+  SearchSpace(const tuner::TuningProblem& spec, const tuner::Method& method);
+
+  // --- Shape ----------------------------------------------------------------
+  std::size_t size() const { return solutions_.size(); }
+  bool empty() const { return solutions_.empty(); }
+  std::size_t num_params() const { return problem_.num_variables(); }
+  const std::string& param_name(std::size_t p) const { return problem_.name(p); }
+  const csp::Problem& problem() const { return problem_; }
+  std::uint64_t cartesian_size() const { return problem_.cartesian_size(); }
+  /// Fraction of the Cartesian product removed by constraints.
+  double sparsity() const;
+
+  // --- Configuration access --------------------------------------------------
+  /// Value-index row of a configuration.
+  std::vector<std::uint32_t> indices(std::size_t row) const {
+    return solutions_.index_row(row);
+  }
+  /// Materialized values of a configuration.
+  csp::Config config(std::size_t row) const {
+    return solutions_.config(row, problem_);
+  }
+  /// Value of parameter `p` in configuration `row`.
+  const csp::Value& value(std::size_t row, std::size_t p) const {
+    return problem_.domain(p)[solutions_.value_index(row, p)];
+  }
+  std::uint32_t value_index(std::size_t row, std::size_t p) const {
+    return solutions_.value_index(row, p);
+  }
+  const solver::SolutionSet& solutions() const { return solutions_; }
+
+  // --- Lookup ---------------------------------------------------------------
+  /// Row id of an index-row, if it is a valid configuration.
+  std::optional<std::size_t> find(const std::vector<std::uint32_t>& index_row) const;
+  /// Row id of a value config (values must exist in the domains).
+  std::optional<std::size_t> find_config(const csp::Config& config) const;
+  bool contains(const std::vector<std::uint32_t>& index_row) const {
+    return find(index_row).has_value();
+  }
+
+  // --- True bounds (§4.4) -----------------------------------------------------
+  /// Domain value indices of parameter `p` that occur in at least one valid
+  /// configuration, ascending.  These are the "true parameter bounds" that
+  /// enable balanced initial sampling.
+  const std::vector<std::uint32_t>& present_values(std::size_t p) const {
+    return present_values_[p];
+  }
+
+  /// Rows whose parameter `p` has domain value index `vi` (posting list);
+  /// empty list if the value never occurs.
+  const std::vector<std::uint32_t>& rows_with(std::size_t p, std::uint32_t vi) const;
+
+  // --- Stats ------------------------------------------------------------------
+  /// Wall-clock seconds spent constructing (pipeline + solve).
+  double construction_seconds() const { return construction_seconds_; }
+  const solver::SolveStats& solve_stats() const { return stats_; }
+
+ private:
+  void build_indexes();
+  std::uint64_t row_hash(const std::uint32_t* row) const;
+
+  csp::Problem problem_;
+  solver::SolutionSet solutions_;
+  solver::SolveStats stats_;
+  double construction_seconds_ = 0.0;
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> hash_index_;
+  std::vector<std::vector<std::uint32_t>> present_values_;
+  // posting_[p][vi] -> rows; indexed by original domain value index.
+  std::vector<std::vector<std::vector<std::uint32_t>>> posting_;
+};
+
+}  // namespace tunespace::searchspace

@@ -1,0 +1,31 @@
+#pragma once
+// Blocking-clause enumerator: models SMT-style all-solutions enumeration
+// (PySMT + Z3 in the paper's Fig. 4).
+//
+// SAT/SMT solvers answer "is there A solution"; to enumerate all solutions
+// one must repeatedly solve, then add the found model as a blocking clause
+// (the negation of the assignment) and solve again until UNSAT (§4.1).
+// The accumulated clause set grows linearly with the number of solutions,
+// and every candidate model must be checked against it, which is what gives
+// the approach its superlinear total cost.
+//
+// This implementation performs a single backtracking sweep to find models
+// one at a time; before accepting each model it scans the full list of
+// previously added blocking clauses (with early-exit comparison, the cheap
+// watched-literal analogue).  The clause bookkeeping cost is therefore
+// Theta(k) per model with k clauses accumulated — the same asymptotics as
+// the incremental SMT loop — while the search itself stays complete and
+// non-revisiting.
+
+#include "tunespace/solver/solver.hpp"
+
+namespace tunespace::solver {
+
+/// SMT-style enumerate-all-solutions baseline.
+class BlockingEnumerator : public Solver {
+ public:
+  std::string name() const override { return "blocking-smt"; }
+  SolveResult solve(csp::Problem& problem) const override;
+};
+
+}  // namespace tunespace::solver

@@ -1,0 +1,20 @@
+#pragma once
+// Brute-force construction: iterate the full Cartesian product and filter
+// by evaluating every constraint on every combination (paper §3).
+//
+// Constraints are evaluated in declaration order with early exit on the
+// first violation, which is the cost model behind Table 2's "average number
+// of constraint evaluations" column.
+
+#include "tunespace/solver/solver.hpp"
+
+namespace tunespace::solver {
+
+/// Exhaustive odometer over the Cartesian product.
+class BruteForce : public Solver {
+ public:
+  std::string name() const override { return "brute-force"; }
+  SolveResult solve(csp::Problem& problem) const override;
+};
+
+}  // namespace tunespace::solver

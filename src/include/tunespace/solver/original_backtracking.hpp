@@ -1,0 +1,30 @@
+#pragma once
+// The "original" baseline: a faithful C++ transliteration of vanilla
+// python-constraint's recursive BacktrackingSolver, before the paper's
+// optimizations (§4.3).  Its characteristic inefficiencies are kept:
+//
+//   * the candidate-variable list is rebuilt and re-sorted at *every* search
+//     node (python-constraint sorts by most-constraints/smallest-domain on
+//     each getSolutionIter step — the paper explicitly calls out "reducing
+//     the number of sorts required" as one of its optimizations);
+//   * the current assignment lives in a name-keyed hash map (the python
+//     dict analogue) and constraint evaluation goes through it;
+//   * no domain preprocessing and no specific-constraint partial pruning:
+//     a constraint is only evaluated once all its variables are assigned;
+//   * recursion instead of an iterative loop.
+//
+// Combined with the interpreted FunctionConstraints that the unoptimized
+// pipeline produces, this models the "original" series of Figs. 3 and 5.
+
+#include "tunespace/solver/solver.hpp"
+
+namespace tunespace::solver {
+
+/// Unoptimized recursive backtracking solver (vanilla python-constraint).
+class OriginalBacktracking : public Solver {
+ public:
+  std::string name() const override { return "original"; }
+  SolveResult solve(csp::Problem& problem) const override;
+};
+
+}  // namespace tunespace::solver

@@ -1,0 +1,38 @@
+#pragma once
+// ParallelBacktracking: multi-threaded variant of the optimized solver.
+//
+// The paper lists parallel construction as an engineering avenue; this
+// implementation embarrassingly parallelizes the search by partitioning the
+// first search variable's (preprocessed) domain into contiguous chunks, one
+// resumable engine per worker thread.  Preprocessing, variable ordering and
+// constraint preparation run once, sequentially; the per-thread engines then
+// share the read-only plan (constraints are stateless during search), and
+// per-thread SolutionSets are concatenated in chunk order, so the output
+// ordering is identical to the sequential solver and fully deterministic.
+
+#include <cstddef>
+
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/solver/solver.hpp"
+
+namespace tunespace::solver {
+
+/// Multi-threaded optimized backtracking.
+class ParallelBacktracking : public Solver {
+ public:
+  /// `threads` = 0 uses the hardware concurrency.
+  explicit ParallelBacktracking(std::size_t threads = 0,
+                                OptimizedOptions options = {})
+      : threads_(threads), options_(options) {}
+
+  std::string name() const override { return "optimized-parallel"; }
+  SolveResult solve(csp::Problem& problem) const override;
+
+  std::size_t threads() const { return threads_; }
+
+ private:
+  std::size_t threads_;
+  OptimizedOptions options_;
+};
+
+}  // namespace tunespace::solver

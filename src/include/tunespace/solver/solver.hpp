@@ -1,0 +1,108 @@
+#pragma once
+// Solver interface and solution storage.
+//
+// All five construction methods (optimized backtracking, original
+// backtracking, brute force, chain-of-trees, blocking enumerator) implement
+// Solver and produce a SolutionSet: the fully-resolved search space.
+//
+// Solutions are stored column-major as indices into the Problem's original
+// domains (uint32 per parameter), which is both the memory-efficient
+// representation the SearchSpace layer wants (§4.3.4 "output formats close
+// to the internal representation") and a canonical encoding that makes
+// cross-solver validation an exact set comparison.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/problem.hpp"
+
+namespace tunespace::solver {
+
+/// Search effort counters reported by each solver.
+struct SolveStats {
+  std::uint64_t nodes = 0;              ///< partial assignments attempted
+  std::uint64_t constraint_checks = 0;  ///< constraint evaluations
+  std::uint64_t prunes = 0;             ///< rejections before full assignment
+  double preprocess_seconds = 0.0;      ///< domain preprocessing time
+  double search_seconds = 0.0;          ///< enumeration time
+  double total_seconds() const { return preprocess_seconds + search_seconds; }
+};
+
+/// Column-major store of all valid configurations.
+class SolutionSet {
+ public:
+  SolutionSet() = default;
+  explicit SolutionSet(std::size_t num_vars) : columns_(num_vars) {}
+
+  std::size_t num_vars() const { return columns_.size(); }
+  std::size_t size() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Append one solution given per-variable domain value indices.
+  void append(const std::uint32_t* value_indices) {
+    for (std::size_t v = 0; v < columns_.size(); ++v) {
+      columns_[v].push_back(value_indices[v]);
+    }
+  }
+
+  /// Append all solutions of another set (column-wise bulk copy; used by
+  /// the parallel solver to merge per-thread results cheaply).
+  void append_all(const SolutionSet& other) {
+    for (std::size_t v = 0; v < columns_.size(); ++v) {
+      columns_[v].insert(columns_[v].end(), other.columns_[v].begin(),
+                         other.columns_[v].end());
+    }
+  }
+
+  /// Domain value index of variable `var` in solution `row`.
+  std::uint32_t value_index(std::size_t row, std::size_t var) const {
+    return columns_[var][row];
+  }
+
+  /// Direct access to one variable's column.
+  const std::vector<std::uint32_t>& column(std::size_t var) const {
+    return columns_[var];
+  }
+
+  /// Materialize one solution as a Config using the problem's domains.
+  csp::Config config(std::size_t row, const csp::Problem& problem) const;
+
+  /// Materialize one solution's index row.
+  std::vector<std::uint32_t> index_row(std::size_t row) const;
+
+  /// Rows sorted lexicographically — the canonical form used to compare
+  /// solvers that enumerate in different orders.
+  std::vector<std::vector<std::uint32_t>> sorted_rows() const;
+
+  /// Set equality against another SolutionSet (order-insensitive).
+  bool same_solutions(const SolutionSet& other) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> columns_;
+};
+
+/// Result of a full construction.
+struct SolveResult {
+  SolutionSet solutions;
+  SolveStats stats;
+};
+
+/// A search-space construction method.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Display name used in benchmark output ("optimized", "brute-force", ...).
+  virtual std::string name() const = 0;
+
+  /// Enumerate every valid configuration.  The problem's domains are not
+  /// modified (solvers preprocess copies), but constraints may cache
+  /// prepared bounds, so a single Problem must not be solved concurrently.
+  virtual SolveResult solve(csp::Problem& problem) const = 0;
+};
+
+using SolverPtr = std::unique_ptr<Solver>;
+
+}  // namespace tunespace::solver

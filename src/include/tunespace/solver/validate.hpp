@@ -1,0 +1,33 @@
+#pragma once
+// Cross-solver validation (the paper validates every solver's result against
+// a brute-force solution of each search space).
+
+#include <string>
+#include <vector>
+
+#include "tunespace/solver/solver.hpp"
+
+namespace tunespace::solver {
+
+/// Result of validating one solver against a reference solution set.
+struct ValidationReport {
+  std::string solver_name;
+  bool matches = false;
+  std::size_t solver_count = 0;
+  std::size_t reference_count = 0;
+};
+
+/// Compare a solver's solutions against a reference (typically brute force).
+ValidationReport validate_against(const Solver& solver, csp::Problem& problem,
+                                  const SolutionSet& reference);
+
+/// Construct the registry of all construction methods the evaluation uses,
+/// in the paper's presentation order: optimized, original, brute-force,
+/// chain-of-trees ("ATF"), and optionally blocking-smt.
+///
+/// Note the ATF-vs-pyATF distinction is carried by the constraint pipeline
+/// of the Problem being solved (compiled vs interpreted), not the solver
+/// object; see tuner/pipeline.hpp.
+std::vector<SolverPtr> all_solvers(bool include_blocking = false);
+
+}  // namespace tunespace::solver

@@ -1,0 +1,52 @@
+#pragma once
+// Synthetic search-space generator (paper §5.2.1).
+//
+// Generates spaces over a grid of {dimensions 2-5} x {seven Cartesian-size
+// targets} x {1-6 constraints}.  Per the paper: the number of values per
+// dimension is kept approximately uniform at v = s^(1/d); the first d-1
+// dimensions round v to the nearest integer and the last dimension is
+// chosen to land the realized Cartesian size closest to the target.
+// Constraints are drawn from a pool of arithmetic templates over randomly
+// chosen dimension subsets, with thresholds picked from sampled quantiles so
+// spaces stay non-empty with realistic sparsity (valid count averaging about
+// one order of magnitude below the Cartesian size, Fig. 2).
+//
+// Everything is deterministic in the seed, so the 78-space suite is
+// reproducible across runs and machines.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tunespace/tuner/tuning_problem.hpp"
+
+namespace tunespace::spaces {
+
+/// One generated synthetic space plus its generation parameters.
+struct SyntheticSpace {
+  std::string name;
+  std::size_t dims = 0;
+  std::uint64_t target_cartesian = 0;
+  std::size_t num_constraints = 0;
+  tuner::TuningProblem spec;
+};
+
+/// Generation knobs.
+struct SyntheticOptions {
+  std::uint64_t seed = 2025;
+  /// Scale applied to the Cartesian-size targets; Fig. 4 uses 0.1 (the
+  /// paper reduces the spaces by one order of magnitude for the SMT run).
+  double size_scale = 1.0;
+};
+
+/// The paper's Cartesian-size targets: {1,2,5}x10^4, {1,2,5}x10^5, 1x10^6.
+std::vector<std::uint64_t> synthetic_size_targets();
+
+/// Generate the deterministic 78-space suite.
+std::vector<SyntheticSpace> synthetic_suite(const SyntheticOptions& options = {});
+
+/// Generate a single space (exposed for tests and custom experiments).
+SyntheticSpace make_synthetic(std::size_t dims, std::uint64_t target_cartesian,
+                              std::size_t num_constraints, std::uint64_t seed);
+
+}  // namespace tunespace::spaces

@@ -1,0 +1,76 @@
+#pragma once
+// Simulated GPU kernel performance models.
+//
+// The paper's §5.4 experiment tunes real CUDA kernels (Hotspot, GEMM) on an
+// A100.  Without GPU hardware we substitute deterministic analytical
+// performance surfaces that preserve what the experiment measures: a
+// multimodal landscape over the same tunable parameters, a realistic
+// per-evaluation cost (compile + benchmark time, inversely related to the
+// configuration's speed), and a global optimum reachable by search.  The
+// surfaces encode standard GPU performance folklore (occupancy sweet spots
+// around 256 threads/block, coalescing preferring wide x-dimensions,
+// register pressure penalizing excessive work per thread, shared-memory
+// staging bonuses) plus deterministic per-configuration jitter, so optimizer
+// progress curves look and behave like real tuning runs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/problem.hpp"
+
+namespace tunespace::tuner {
+
+/// A deterministic performance surface over configurations.
+class PerformanceModel {
+ public:
+  virtual ~PerformanceModel() = default;
+  virtual std::string name() const = 0;
+
+  /// Simulated throughput (GFLOP/s, higher is better) of a configuration.
+  /// `names` gives the parameter order of `config`.
+  virtual double gflops(const std::vector<std::string>& names,
+                        const csp::Config& config) const = 0;
+
+  /// Simulated wall-clock cost (seconds) of benchmarking one configuration:
+  /// a fixed compile/launch overhead plus time inversely proportional to
+  /// throughput.  Charged to the virtual clock by the tuning runner.
+  virtual double evaluation_cost(double gflops) const;
+};
+
+/// Hotspot thermal-simulation kernel surface (paper §2 / §5.3.3).
+class HotspotModel : public PerformanceModel {
+ public:
+  std::string name() const override { return "hotspot"; }
+  double gflops(const std::vector<std::string>& names,
+                const csp::Config& config) const override;
+};
+
+/// CLBlast-style GEMM surface (paper §5.3.5).
+class GemmModel : public PerformanceModel {
+ public:
+  std::string name() const override { return "gemm"; }
+  double gflops(const std::vector<std::string>& names,
+                const csp::Config& config) const override;
+};
+
+/// Generic surface for arbitrary spaces: a deterministic multimodal mix of
+/// per-parameter preferences and pairwise interactions seeded by the
+/// parameter names, used by examples and tests.
+class SyntheticModel : public PerformanceModel {
+ public:
+  explicit SyntheticModel(std::uint64_t seed = 42) : seed_(seed) {}
+  std::string name() const override { return "synthetic"; }
+  double gflops(const std::vector<std::string>& names,
+                const csp::Config& config) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Look up a parameter by name; returns `fallback` when absent or
+/// non-numeric.  Helper shared by the models.
+double param_or(const std::vector<std::string>& names, const csp::Config& config,
+                const std::string& name, double fallback);
+
+}  // namespace tunespace::tuner

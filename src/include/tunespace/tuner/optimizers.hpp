@@ -1,0 +1,107 @@
+#pragma once
+// Optimization algorithms over a resolved SearchSpace.
+//
+// All optimizers work through an EvalContext: they request evaluations by
+// row id and stop when the budget callback reports exhaustion.  Neighbour
+// selection goes through the SearchSpace's resolved indexes (§4.4), which is
+// exactly the integration the paper describes for Kernel Tuner's genetic
+// algorithm mutation step.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/util/rng.hpp"
+
+namespace tunespace::tuner {
+
+/// Evaluation services handed to an optimizer by the runner.
+struct EvalContext {
+  const searchspace::SearchSpace& space;
+  /// Evaluate a configuration; returns its performance (higher is better).
+  /// Re-evaluating a row returns the cached result at no budget cost.
+  std::function<double(std::size_t row)> evaluate;
+  /// True once the tuning budget is exhausted; optimizers must return soon.
+  std::function<bool()> exhausted;
+  util::Rng* rng;
+};
+
+/// Search strategy interface.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+  /// Run until the context reports exhaustion (or the space is fully swept).
+  virtual void run(EvalContext& ctx) = 0;
+};
+
+/// Uniform random sampling without replacement (the §5.4 baseline).
+class RandomSearch : public Optimizer {
+ public:
+  std::string name() const override { return "random-sampling"; }
+  void run(EvalContext& ctx) override;
+};
+
+/// Genetic algorithm: tournament selection, uniform crossover snapped to the
+/// nearest valid configuration, Hamming-1 mutation via resolved neighbours.
+class GeneticAlgorithm : public Optimizer {
+ public:
+  struct Params {
+    std::size_t population = 20;
+    double mutation_rate = 0.2;
+    std::size_t tournament = 3;
+  };
+  GeneticAlgorithm() = default;
+  explicit GeneticAlgorithm(Params params) : params_(params) {}
+  std::string name() const override { return "genetic-algorithm"; }
+  void run(EvalContext& ctx) override;
+
+ private:
+  Params params_;
+};
+
+/// Simulated annealing over Hamming-1 neighbourhoods.
+class SimulatedAnnealing : public Optimizer {
+ public:
+  struct Params {
+    double initial_temperature = 0.3;  ///< relative to current performance
+    double cooling = 0.97;             ///< multiplicative per step
+  };
+  SimulatedAnnealing() = default;
+  explicit SimulatedAnnealing(Params params) : params_(params) {}
+  std::string name() const override { return "simulated-annealing"; }
+  void run(EvalContext& ctx) override;
+
+ private:
+  Params params_;
+};
+
+/// Greedy hill climbing with random restarts.
+class HillClimber : public Optimizer {
+ public:
+  std::string name() const override { return "hill-climbing"; }
+  void run(EvalContext& ctx) override;
+};
+
+/// Differential evolution in parameter index space: for each member, a
+/// mutant is formed as a + F*(b - c) over per-parameter present-value
+/// positions, crossed over with the member and snapped to the nearest valid
+/// configuration (DE/rand/1/bin adapted to discrete constrained spaces).
+class DifferentialEvolution : public Optimizer {
+ public:
+  struct Params {
+    std::size_t population = 16;
+    double differential_weight = 0.7;  ///< F
+    double crossover_rate = 0.8;       ///< CR
+  };
+  DifferentialEvolution() = default;
+  explicit DifferentialEvolution(Params params) : params_(params) {}
+  std::string name() const override { return "differential-evolution"; }
+  void run(EvalContext& ctx) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace tunespace::tuner

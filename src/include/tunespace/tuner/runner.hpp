@@ -1,0 +1,65 @@
+#pragma once
+// Tuning runner: replays the paper's §5.4 end-to-end experiment.
+//
+// Timeline model: the (real, measured) search-space construction latency is
+// charged to a virtual clock first; every kernel evaluation then advances
+// the clock by the simulated benchmark cost.  The runner records the
+// best-configuration-so-far trajectory against the virtual clock, which is
+// exactly what Figs. 6 and 7 plot — including the effect that slow
+// construction methods burn minutes of the budget before the first
+// configuration is ever measured.
+
+#include <string>
+#include <vector>
+
+#include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/tuner/kernels.hpp"
+#include "tunespace/tuner/optimizers.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+
+namespace tunespace::tuner {
+
+/// One point of the best-so-far trajectory.
+struct TrajectoryPoint {
+  double time_seconds = 0;   ///< virtual time of the improvement
+  double best_gflops = 0;    ///< best performance found up to that time
+  std::size_t evaluations = 0;
+};
+
+/// Result of one tuning session.
+struct TuningRun {
+  std::string method_name;
+  double construction_seconds = 0;  ///< measured, charged to the clock
+  double budget_seconds = 0;
+  double best_gflops = 0;
+  std::size_t evaluations = 0;
+  std::vector<TrajectoryPoint> trajectory;
+
+  /// Best performance found no later than `time`; 0 before the first eval.
+  double best_at(double time) const;
+};
+
+/// Options for a tuning session.
+struct TuningOptions {
+  double budget_seconds = 120.0;
+  std::uint64_t seed = 1;
+  /// Scale applied to measured construction latency before charging it to
+  /// the virtual clock.  Figs. 6/7 replay a 30/10-minute A100 session in a
+  /// compressed budget; scaling construction keeps its *relative* share of
+  /// the budget comparable to the paper's (see EXPERIMENTS.md).
+  double construction_time_scale = 1.0;
+  /// Framework overhead charged per evaluation *request*, including cache
+  /// hits (result lookup, bookkeeping).  Keeping this nonzero both models
+  /// the real tuner loop and guarantees optimizers that revisit cached
+  /// configurations (e.g. a converged genetic population) still consume
+  /// budget and terminate.
+  double overhead_per_request = 0.005;
+};
+
+/// Run one tuning session: construct the space with `method`, then drive
+/// `optimizer` over it until the virtual budget is exhausted.
+TuningRun run_tuning(const TuningProblem& spec, const Method& method,
+                     const PerformanceModel& model, Optimizer& optimizer,
+                     const TuningOptions& options);
+
+}  // namespace tunespace::tuner

@@ -1,0 +1,76 @@
+#pragma once
+// TuningProblem: the user-facing specification of an auto-tuning search
+// space — tunable parameters with value lists plus constraint expressions in
+// the Python-subset string format (Kernel Tuner style, Listing 2 of the
+// paper).  A TuningProblem is pure data; Pipeline (pipeline.hpp) lowers it
+// into a csp::Problem under a chosen optimization strategy.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/lambda_constraint.hpp"
+#include "tunespace/csp/problem.hpp"
+
+namespace tunespace::tuner {
+
+/// One tunable parameter: a name and its ordered value list.
+struct TunableParam {
+  std::string name;
+  std::vector<csp::Value> values;
+};
+
+/// Declarative search-space specification.
+class TuningProblem {
+ public:
+  TuningProblem() = default;
+  explicit TuningProblem(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Add a tunable parameter (declaration order is preserved; constraints
+  /// may reference any parameter regardless of order).
+  TuningProblem& add_param(std::string name, std::vector<csp::Value> values);
+
+  /// Convenience: integer value list.
+  TuningProblem& add_param(std::string name, std::vector<std::int64_t> values);
+
+  /// Convenience: braced integer list, e.g. add_param("bsx", {1, 2, 4, 8}).
+  TuningProblem& add_param(std::string name, std::initializer_list<int> values);
+
+  /// Add a constraint expression, e.g.
+  ///   "32 <= block_size_x * block_size_y <= 1024".
+  TuningProblem& add_constraint(std::string expression);
+
+  /// Add a native C++ callable constraint over the named parameters
+  /// (KTT-style API, Listing 2 of the paper).  Lambda constraints are
+  /// opaque to the parsing pipeline.
+  TuningProblem& add_constraint(std::vector<std::string> scope,
+                                csp::LambdaPredicate predicate,
+                                std::string description = "lambda");
+
+  /// A registered lambda constraint.
+  struct LambdaSpec {
+    std::vector<std::string> scope;
+    csp::LambdaPredicate predicate;
+    std::string description;
+  };
+
+  const std::vector<TunableParam>& params() const { return params_; }
+  const std::vector<std::string>& constraints() const { return constraints_; }
+  const std::vector<LambdaSpec>& lambda_constraints() const {
+    return lambda_constraints_;
+  }
+  std::size_t num_params() const { return params_.size(); }
+
+  /// Size of the unconstrained Cartesian product (saturating).
+  std::uint64_t cartesian_size() const;
+
+ private:
+  std::string name_;
+  std::vector<TunableParam> params_;
+  std::vector<std::string> constraints_;
+  std::vector<LambdaSpec> lambda_constraints_;
+};
+
+}  // namespace tunespace::tuner

@@ -1,0 +1,59 @@
+#pragma once
+// Umbrella header: includes the entire tunespace public API.
+//
+// Fine-grained headers remain available under tunespace/<subsystem>/ for
+// compile-time-conscious consumers; this header is the convenient default
+// for applications.
+
+// Dynamic values, domains, constraints, problems (the CSP layer).
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/csp/constraint.hpp"
+#include "tunespace/csp/domain.hpp"
+#include "tunespace/csp/lambda_constraint.hpp"
+#include "tunespace/csp/problem.hpp"
+#include "tunespace/csp/value.hpp"
+
+// Constraint expression language (parse, evaluate, compile, optimize).
+#include "tunespace/expr/analysis.hpp"
+#include "tunespace/expr/ast.hpp"
+#include "tunespace/expr/bytecode.hpp"
+#include "tunespace/expr/compiler.hpp"
+#include "tunespace/expr/function_constraint.hpp"
+#include "tunespace/expr/interpreter.hpp"
+#include "tunespace/expr/lexer.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/expr/recognizer.hpp"
+
+// Construction methods.
+#include "tunespace/solver/blocking_enumerator.hpp"
+#include "tunespace/solver/brute_force.hpp"
+#include "tunespace/solver/chain_of_trees.hpp"
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/solver/original_backtracking.hpp"
+#include "tunespace/solver/parallel_backtracking.hpp"
+#include "tunespace/solver/solution_iterator.hpp"
+#include "tunespace/solver/solver.hpp"
+#include "tunespace/solver/validate.hpp"
+
+// Resolved search spaces: lookup, bounds, neighbours, sampling, I/O.
+#include "tunespace/searchspace/io.hpp"
+#include "tunespace/searchspace/neighbors.hpp"
+#include "tunespace/searchspace/sampling.hpp"
+#include "tunespace/searchspace/searchspace.hpp"
+
+// Auto-tuning layer: specs, pipelines, optimizers, simulated kernels.
+#include "tunespace/tuner/kernels.hpp"
+#include "tunespace/tuner/optimizers.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+#include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/tuning_problem.hpp"
+
+// Evaluation workloads (Table 2 spaces, synthetic suite).
+#include "tunespace/spaces/realworld.hpp"
+#include "tunespace/spaces/synthetic.hpp"
+
+// Utilities.
+#include "tunespace/util/rng.hpp"
+#include "tunespace/util/stats.hpp"
+#include "tunespace/util/table.hpp"
+#include "tunespace/util/timer.hpp"

@@ -1,0 +1,61 @@
+#pragma once
+// Small statistics toolkit backing the evaluation harnesses.
+//
+// The paper's figures report log-log regression slopes (scaling exponents),
+// kernel density estimates of construction-time distributions, and quantile
+// summaries; this header provides exactly those primitives.
+
+#include <cstddef>
+#include <vector>
+
+namespace tunespace::util {
+
+/// Result of an ordinary least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;       ///< coefficient of determination
+  double p_value = 1.0;  ///< two-sided p-value for slope != 0 (t-test)
+  std::size_t n = 0;
+};
+
+/// OLS fit of y against x. Requires x.size() == y.size() >= 2.
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// OLS fit of log10(y) against log10(x); inputs must be positive.
+/// The slope is the power-law scaling exponent reported in Figs. 3A/4/5.
+LinearFit loglog_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); 0 if n < 2.
+double stddev(const std::vector<double>& v);
+
+/// Linear-interpolated quantile, q in [0,1]. Requires non-empty input.
+double quantile(std::vector<double> v, double q);
+
+/// Median (quantile 0.5).
+double median(const std::vector<double>& v);
+
+/// Gaussian kernel density estimate evaluated on a regular grid.
+struct Kde {
+  std::vector<double> grid;     ///< evaluation points
+  std::vector<double> density;  ///< estimated density at each grid point
+  double bandwidth = 0.0;       ///< Silverman's rule-of-thumb bandwidth
+};
+
+/// KDE with Silverman bandwidth over [min - pad, max + pad].
+/// Used to print the Fig. 3B / Fig. 5C density summaries.
+Kde kde(const std::vector<double>& samples, std::size_t grid_points = 64);
+
+/// Five-number summary plus mean, handy for text reporting of distributions.
+struct Summary {
+  double min = 0, q25 = 0, median = 0, q75 = 0, max = 0, mean = 0;
+  std::size_t n = 0;
+};
+
+/// Compute the summary of a sample. Requires non-empty input.
+Summary summarize(const std::vector<double>& v);
+
+}  // namespace tunespace::util

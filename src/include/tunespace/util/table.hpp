@@ -1,0 +1,52 @@
+#pragma once
+// ASCII table and CSV emitters used by the benchmark harnesses to print the
+// paper's tables and figure data series in a diff-friendly format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tunespace::util {
+
+/// Column-aligned text table with an optional title; renders like:
+///
+///   | name | value |
+///   |------|-------|
+///   | foo  |   1.2 |
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to a stream with github-style pipes.
+  void print(std::ostream& os) const;
+
+  /// Render to a string.
+  std::string str() const;
+
+  /// Emit as CSV (RFC-4180 quoting) to a stream.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant digits (trailing zeros trimmed).
+std::string fmt_double(double v, int digits = 4);
+
+/// Format seconds adaptively: "123 us", "45.2 ms", "3.16 s", "1.2 h".
+std::string fmt_seconds(double s);
+
+/// Format a large count with thousands separators: 2415919104 -> "2,415,919,104".
+std::string fmt_count(unsigned long long n);
+
+/// Render a vector of non-negative values as a unicode sparkline (▁▂▃▄▅▆▇█),
+/// used for printing KDE curves and tuning trajectories as text.
+std::string sparkline(const std::vector<double>& values);
+
+}  // namespace tunespace::util

@@ -1,0 +1,49 @@
+#pragma once
+// Wall-clock and virtual timers.
+//
+// WallTimer measures real elapsed time for the construction benchmarks.
+// VirtualClock models the auto-tuning timeline of Figs. 6/7: the (measured)
+// search-space construction latency is charged to the clock first, and each
+// simulated kernel evaluation then advances it by the kernel's simulated
+// runtime, so an entire "30 minute" tuning session replays in milliseconds.
+
+#include <chrono>
+#include <cstdint>
+
+namespace tunespace::util {
+
+/// High-resolution wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  /// Restart the stopwatch.
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deterministic simulated clock used by the tuning runner.
+class VirtualClock {
+ public:
+  /// Current simulated time in seconds.
+  double now() const { return now_; }
+
+  /// Advance the clock by `seconds` (must be non-negative).
+  void advance(double seconds) { now_ += seconds; }
+
+  /// Reset to time zero.
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace tunespace::util

@@ -1,0 +1,110 @@
+#include "tunespace/searchspace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tunespace::searchspace {
+
+using csp::Value;
+
+namespace {
+
+std::string render(const Value& v) {
+  // to_string renders strings quoted ('abc'), numerics bare — both parse
+  // back unambiguously.
+  return v.to_string();
+}
+
+Value parse_cell(const std::string& cell) {
+  if (cell.empty()) throw std::runtime_error("empty CSV cell");
+  if (cell.front() == '\'') {
+    if (cell.size() < 2 || cell.back() != '\'') {
+      throw std::runtime_error("malformed string cell: " + cell);
+    }
+    return Value(cell.substr(1, cell.size() - 2));
+  }
+  if (cell == "True") return Value(true);
+  if (cell == "False") return Value(false);
+  if (cell.find_first_of(".eE") != std::string::npos &&
+      cell.find_first_not_of("0123456789+-.eE") == std::string::npos) {
+    return Value(std::stod(cell));
+  }
+  return Value(static_cast<std::int64_t>(std::stoll(cell)));
+}
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(const SearchSpace& space, std::ostream& os) {
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    if (p) os << ',';
+    os << space.param_name(p);
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < space.size(); ++r) {
+    for (std::size_t p = 0; p < space.num_params(); ++p) {
+      if (p) os << ',';
+      os << render(space.value(r, p));
+    }
+    os << '\n';
+  }
+}
+
+void write_csv(const SearchSpace& space, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(space, file);
+}
+
+std::vector<csp::Config> read_csv(const tuner::TuningProblem& spec,
+                                  std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("empty CSV");
+  const auto header = split_line(line);
+  if (header.size() != spec.num_params()) {
+    throw std::runtime_error("CSV header arity mismatch");
+  }
+  for (std::size_t p = 0; p < header.size(); ++p) {
+    if (header[p] != spec.params()[p].name) {
+      throw std::runtime_error("CSV header mismatch at column " +
+                               std::to_string(p) + ": " + header[p]);
+    }
+  }
+  std::vector<csp::Config> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    if (cells.size() != spec.num_params()) {
+      throw std::runtime_error("CSV row arity mismatch: " + line);
+    }
+    csp::Config config;
+    config.reserve(cells.size());
+    for (std::size_t p = 0; p < cells.size(); ++p) {
+      Value v = parse_cell(cells[p]);
+      // Validate against the declared domain.
+      bool found = false;
+      for (const Value& dv : spec.params()[p].values) {
+        if (dv == v) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::runtime_error("value not in domain of " +
+                                 spec.params()[p].name + ": " + cells[p]);
+      }
+      config.push_back(std::move(v));
+    }
+    rows.push_back(std::move(config));
+  }
+  return rows;
+}
+
+}  // namespace tunespace::searchspace

@@ -1,0 +1,105 @@
+#include "tunespace/searchspace/neighbors.hpp"
+
+#include <algorithm>
+
+namespace tunespace::searchspace {
+
+namespace {
+
+// Candidate alternative value indices for parameter p given current vi.
+void alternative_values(const SearchSpace& space, std::size_t p, std::uint32_t vi,
+                        NeighborMethod method, std::vector<std::uint32_t>& out) {
+  out.clear();
+  const auto& present = space.present_values(p);
+  switch (method) {
+    case NeighborMethod::Hamming1:
+      for (std::uint32_t alt : present) {
+        if (alt != vi) out.push_back(alt);
+      }
+      return;
+    case NeighborMethod::Adjacent: {
+      // Position of vi within the present-value order (values that never
+      // occur in a valid config are skipped over).
+      auto it = std::lower_bound(present.begin(), present.end(), vi);
+      const std::size_t pos = static_cast<std::size_t>(it - present.begin());
+      if (pos > 0) out.push_back(present[pos - 1]);
+      if (it != present.end() && *it == vi && pos + 1 < present.size()) {
+        out.push_back(present[pos + 1]);
+      }
+      return;
+    }
+    case NeighborMethod::StrictlyAdjacent: {
+      const std::size_t domain_size = space.problem().domain(p).size();
+      if (vi > 0) out.push_back(vi - 1);
+      if (vi + 1 < domain_size) out.push_back(vi + 1);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> neighbors_of(const SearchSpace& space, std::size_t row,
+                                      NeighborMethod method) {
+  std::vector<std::size_t> result;
+  std::vector<std::uint32_t> indices = space.indices(row);
+  std::vector<std::uint32_t> alts;
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    const std::uint32_t original = indices[p];
+    alternative_values(space, p, original, method, alts);
+    for (std::uint32_t alt : alts) {
+      indices[p] = alt;
+      if (auto r = space.find(indices)) result.push_back(*r);
+    }
+    indices[p] = original;
+  }
+  return result;
+}
+
+namespace {
+
+void hamming_recurse(const SearchSpace& space, std::vector<std::uint32_t>& indices,
+                     std::size_t start_param, std::size_t remaining,
+                     std::vector<std::size_t>& out) {
+  for (std::size_t p = start_param; p < space.num_params(); ++p) {
+    const std::uint32_t original = indices[p];
+    for (std::uint32_t alt : space.present_values(p)) {
+      if (alt == original) continue;
+      indices[p] = alt;
+      if (auto r = space.find(indices)) out.push_back(*r);
+      if (remaining > 1) {
+        hamming_recurse(space, indices, p + 1, remaining - 1, out);
+      }
+    }
+    indices[p] = original;
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> neighbors_within_hamming(const SearchSpace& space,
+                                                  std::size_t row,
+                                                  std::size_t max_distance) {
+  std::vector<std::size_t> out;
+  if (max_distance == 0) return out;
+  std::vector<std::uint32_t> indices = space.indices(row);
+  hamming_recurse(space, indices, 0, max_distance, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+NeighborIndex::NeighborIndex(const SearchSpace& space, NeighborMethod method) {
+  lists_.resize(space.size());
+  for (std::size_t r = 0; r < space.size(); ++r) {
+    lists_[r] = neighbors_of(space, r, method);
+  }
+}
+
+std::size_t NeighborIndex::total_edges() const {
+  std::size_t total = 0;
+  for (const auto& l : lists_) total += l.size();
+  return total;
+}
+
+}  // namespace tunespace::searchspace

@@ -1,0 +1,104 @@
+#include "tunespace/searchspace/sampling.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tunespace::searchspace {
+
+std::vector<std::size_t> random_sample(const SearchSpace& space, std::size_t count,
+                                       util::Rng& rng) {
+  count = std::min(count, space.size());
+  return rng.sample_indices(space.size(), count);
+}
+
+namespace {
+
+double l1_distance(const SearchSpace& space, std::size_t row,
+                   const std::vector<std::uint32_t>& target) {
+  double d = 0;
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    const double span = std::max<std::size_t>(1, space.problem().domain(p).size() - 1);
+    d += std::fabs(static_cast<double>(space.value_index(row, p)) -
+                   static_cast<double>(target[p])) /
+         static_cast<double>(span);
+  }
+  return d;
+}
+
+}  // namespace
+
+std::size_t snap_to_valid(const SearchSpace& space,
+                          const std::vector<std::uint32_t>& target) {
+  assert(!space.empty());
+  // Exact hit first.
+  if (auto r = space.find(target)) return *r;
+  // Scan the smallest posting list among the target coordinates; if the
+  // target value of some parameter never occurs, use its nearest present
+  // value instead.
+  const std::vector<std::uint32_t>* best_list = nullptr;
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    std::uint32_t vi = target[p];
+    const auto& present = space.present_values(p);
+    if (space.rows_with(p, vi).empty()) {
+      // nearest present value by index distance
+      std::uint32_t nearest = present.front();
+      for (std::uint32_t cand : present) {
+        if (std::llabs(static_cast<long long>(cand) - static_cast<long long>(vi)) <
+            std::llabs(static_cast<long long>(nearest) - static_cast<long long>(vi))) {
+          nearest = cand;
+        }
+      }
+      vi = nearest;
+    }
+    const auto& list = space.rows_with(p, vi);
+    if (!best_list || list.size() < best_list->size()) best_list = &list;
+  }
+  double best_d = std::numeric_limits<double>::infinity();
+  std::size_t best_row = 0;
+  for (std::uint32_t r : *best_list) {
+    const double d = l1_distance(space, r, target);
+    if (d < best_d) {
+      best_d = d;
+      best_row = r;
+    }
+  }
+  return best_row;
+}
+
+std::vector<std::size_t> latin_hypercube_sample(const SearchSpace& space,
+                                                std::size_t count, util::Rng& rng) {
+  if (space.empty() || count == 0) return {};
+  count = std::min(count, space.size());
+  const std::size_t d = space.num_params();
+
+  // Per-parameter stratum permutations over the present values.
+  std::vector<std::vector<std::size_t>> strata(d);
+  for (std::size_t p = 0; p < d; ++p) {
+    strata[p].resize(count);
+    for (std::size_t i = 0; i < count; ++i) strata[p][i] = i;
+    rng.shuffle(strata[p]);
+  }
+
+  std::vector<std::size_t> rows;
+  std::vector<std::uint32_t> target(d);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t p = 0; p < d; ++p) {
+      const auto& present = space.present_values(p);
+      // Map stratum -> a position within the present values (jittered).
+      const double frac =
+          (static_cast<double>(strata[p][i]) + rng.uniform()) / static_cast<double>(count);
+      const std::size_t pos = std::min<std::size_t>(
+          present.size() - 1,
+          static_cast<std::size_t>(frac * static_cast<double>(present.size())));
+      target[p] = present[pos];
+    }
+    rows.push_back(snap_to_valid(space, target));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+}  // namespace tunespace::searchspace

@@ -1,0 +1,109 @@
+#include "tunespace/searchspace/searchspace.hpp"
+
+#include <algorithm>
+
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/util/timer.hpp"
+
+namespace tunespace::searchspace {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // 64-bit mix (splitmix64 finalizer) folded over the row values.
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 27);
+}
+
+}  // namespace
+
+SearchSpace::SearchSpace(const tuner::TuningProblem& spec)
+    : SearchSpace(spec,
+                  tuner::Method{"optimized", tuner::PipelineOptions::optimized(),
+                                std::make_unique<solver::OptimizedBacktracking>()}) {}
+
+SearchSpace::SearchSpace(const tuner::TuningProblem& spec,
+                         const tuner::Method& method) {
+  util::WallTimer timer;
+  problem_ = tuner::build_problem(spec, method.pipeline);
+  solver::SolveResult result = method.solver->solve(problem_);
+  solutions_ = std::move(result.solutions);
+  stats_ = result.stats;
+  build_indexes();
+  construction_seconds_ = timer.seconds();
+}
+
+double SearchSpace::sparsity() const {
+  const double cart = static_cast<double>(cartesian_size());
+  if (cart <= 0) return 0.0;
+  return 1.0 - static_cast<double>(size()) / cart;
+}
+
+std::uint64_t SearchSpace::row_hash(const std::uint32_t* row) const {
+  std::uint64_t h = 0x51A2B3C4D5E6F708ULL;
+  for (std::size_t p = 0; p < num_params(); ++p) h = mix(h, row[p]);
+  return h;
+}
+
+void SearchSpace::build_indexes() {
+  const std::size_t n = size();
+  const std::size_t d = num_params();
+
+  hash_index_.reserve(n * 2);
+  std::vector<std::uint32_t> row(d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t p = 0; p < d; ++p) row[p] = solutions_.value_index(r, p);
+    hash_index_[row_hash(row.data())].push_back(static_cast<std::uint32_t>(r));
+  }
+
+  posting_.resize(d);
+  present_values_.resize(d);
+  for (std::size_t p = 0; p < d; ++p) {
+    posting_[p].assign(problem_.domain(p).size(), {});
+    for (std::size_t r = 0; r < n; ++r) {
+      posting_[p][solutions_.value_index(r, p)].push_back(static_cast<std::uint32_t>(r));
+    }
+    for (std::uint32_t vi = 0; vi < posting_[p].size(); ++vi) {
+      if (!posting_[p][vi].empty()) present_values_[p].push_back(vi);
+    }
+  }
+}
+
+std::optional<std::size_t> SearchSpace::find(
+    const std::vector<std::uint32_t>& index_row) const {
+  if (index_row.size() != num_params()) return std::nullopt;
+  auto it = hash_index_.find(row_hash(index_row.data()));
+  if (it == hash_index_.end()) return std::nullopt;
+  for (std::uint32_t r : it->second) {
+    bool match = true;
+    for (std::size_t p = 0; p < num_params(); ++p) {
+      if (solutions_.value_index(r, p) != index_row[p]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> SearchSpace::find_config(const csp::Config& config) const {
+  if (config.size() != num_params()) return std::nullopt;
+  std::vector<std::uint32_t> row(num_params());
+  for (std::size_t p = 0; p < num_params(); ++p) {
+    const std::size_t vi = problem_.domain(p).index_of(config[p]);
+    if (vi == csp::Domain::npos) return std::nullopt;
+    row[p] = static_cast<std::uint32_t>(vi);
+  }
+  return find(row);
+}
+
+const std::vector<std::uint32_t>& SearchSpace::rows_with(std::size_t p,
+                                                         std::uint32_t vi) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  if (p >= posting_.size() || vi >= posting_[p].size()) return kEmpty;
+  return posting_[p][vi];
+}
+
+}  // namespace tunespace::searchspace

@@ -1,0 +1,198 @@
+#include "backtracking_core.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tunespace::solver::detail {
+
+using csp::Constraint;
+using csp::Domain;
+using csp::Value;
+
+namespace {
+
+/// Run constraint preprocessing over copied domains until fixpoint (bounded
+/// by a small iteration cap; rounds only shrink domains, so the cap bounds
+/// wasted work, not correctness).  Returns false on proven unsatisfiability.
+bool preprocess_domains(csp::Problem& problem, std::vector<Domain>& domains,
+                        SolveStats& stats) {
+  constexpr int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (const auto& c : problem.constraints()) {
+      std::vector<Domain*> scope_domains;
+      scope_domains.reserve(c->indices().size());
+      std::size_t before = 0;
+      for (std::uint32_t idx : c->indices()) {
+        scope_domains.push_back(&domains[idx]);
+        before += domains[idx].size();
+      }
+      if (!c->preprocess(scope_domains)) return false;
+      std::size_t after = 0;
+      for (Domain* d : scope_domains) after += d->size();
+      if (after < before) {
+        changed = true;
+        stats.prunes += before - after;
+      }
+      for (Domain* d : scope_domains) {
+        if (d->empty()) return false;
+      }
+    }
+    if (!changed) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+SearchPlan build_plan(csp::Problem& problem, const OptimizedOptions& options,
+                      SolveStats& stats) {
+  SearchPlan plan;
+  const std::size_t n = problem.num_variables();
+
+  plan.domains = problem.domains();
+  if (options.preprocess) {
+    if (!preprocess_domains(problem, plan.domains, stats)) {
+      plan.unsatisfiable = true;
+      return plan;
+    }
+  }
+  for (const Domain& d : plan.domains) {
+    if (d.empty()) {
+      plan.unsatisfiable = true;
+      return plan;
+    }
+  }
+
+  // Map preprocessed value positions back to original domain indices so the
+  // emitted rows are canonical regardless of pruning.
+  plan.orig_index.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    plan.orig_index[v].reserve(plan.domains[v].size());
+    for (const Value& val : plan.domains[v].values()) {
+      plan.orig_index[v].push_back(
+          static_cast<std::uint32_t>(problem.domain(v).index_of(val)));
+    }
+  }
+
+  // Variable ordering: most-constrained first, sorted once (§4.3.1).
+  plan.order.resize(n);
+  std::iota(plan.order.begin(), plan.order.end(), 0);
+  if (options.sort_variables) {
+    const std::vector<std::size_t> counts = problem.constraint_counts();
+    std::stable_sort(plan.order.begin(), plan.order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (counts[a] != counts[b]) return counts[a] > counts[b];
+                       return plan.domains[a].size() < plan.domains[b].size();
+                     });
+  }
+  plan.pos_of.resize(n);
+  for (std::size_t p = 0; p < n; ++p) plan.pos_of[plan.order[p]] = p;
+
+  // Constraint dispatch tables: full check where the scope completes,
+  // partial checks at every earlier scope position (§4.3.1/§4.3.2).
+  plan.full_at.resize(n);
+  plan.partial_at.resize(n);
+  for (const auto& c : problem.constraints()) {
+    std::vector<const Domain*> scope_domains;
+    scope_domains.reserve(c->indices().size());
+    for (std::uint32_t idx : c->indices()) {
+      scope_domains.push_back(&plan.domains[idx]);
+    }
+    c->prepare(scope_domains);
+
+    if (c->indices().empty()) {
+      Value dummy;
+      if (!c->satisfied(&dummy)) plan.unsatisfiable = true;
+      continue;
+    }
+    std::size_t last = 0;
+    for (std::uint32_t idx : c->indices()) {
+      last = std::max(last, plan.pos_of[idx]);
+    }
+    plan.full_at[last].push_back(c.get());
+    if (options.partial_checks && c->prunes_partial()) {
+      for (std::uint32_t idx : c->indices()) {
+        if (plan.pos_of[idx] != last) {
+          plan.partial_at[plan.pos_of[idx]].push_back(c.get());
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+BacktrackingEngine::BacktrackingEngine(const SearchPlan& plan, std::size_t first_lo,
+                                       std::size_t first_hi)
+    : plan_(&plan), first_lo_(first_lo), first_hi_(first_hi) {
+  const std::size_t n = plan.order.size();
+  values_.resize(n);
+  assigned_.assign(n, 0);
+  value_idx_.assign(n, 0);
+  row_.resize(n);
+  if (n == 0 || plan.unsatisfiable || first_lo_ >= first_hi_) {
+    exhausted_ = true;
+  } else {
+    value_idx_[0] = first_lo_;
+  }
+}
+
+bool BacktrackingEngine::next() {
+  if (exhausted_) return false;
+  const SearchPlan& plan = *plan_;
+  const std::size_t n = plan.order.size();
+
+  while (true) {
+    const std::size_t var = plan.order[p_];
+    const Domain& dom = plan.domains[var];
+    const std::size_t limit = p_ == 0 ? first_hi_ : dom.size();
+    bool descended = false;
+    while (value_idx_[p_] < limit) {
+      const std::size_t vi = value_idx_[p_]++;
+      values_[var] = dom[vi];
+      assigned_[var] = 1;
+      ++nodes_;
+      bool ok = true;
+      for (const Constraint* c : plan.full_at[p_]) {
+        ++checks_;
+        if (!c->satisfied(values_.data())) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (const Constraint* c : plan.partial_at[p_]) {
+          ++checks_;
+          if (!c->consistent(values_.data(), assigned_.data())) {
+            ok = false;
+            ++prunes_;
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        assigned_[var] = 0;
+        continue;
+      }
+      row_[var] = plan.orig_index[var][vi];
+      if (p_ + 1 == n) {
+        assigned_[var] = 0;
+        return true;  // resume at this position on the next call
+      }
+      ++p_;
+      value_idx_[p_] = 0;
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    assigned_[var] = 0;
+    if (p_ == 0) {
+      exhausted_ = true;
+      return false;
+    }
+    --p_;
+    assigned_[plan.order[p_]] = 0;
+  }
+}
+
+}  // namespace tunespace::solver::detail

@@ -1,0 +1,69 @@
+#pragma once
+// Internal shared core of the optimized backtracking search (not installed;
+// used by OptimizedBacktracking, ParallelBacktracking and SolutionIterator).
+//
+// A SearchPlan captures everything derived from the Problem before search:
+// preprocessed domain copies, the original-domain index mapping, the
+// variable order, and the per-position constraint dispatch tables.
+// A BacktrackingEngine then enumerates solutions resumably over a plan,
+// optionally restricted to a sub-range of the first search variable's
+// values — the unit of work the parallel solver distributes across threads.
+
+#include <cstdint>
+#include <vector>
+
+#include "tunespace/csp/problem.hpp"
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/solver/solver.hpp"
+
+namespace tunespace::solver::detail {
+
+/// Precomputed search strategy for one problem.
+struct SearchPlan {
+  std::vector<csp::Domain> domains;                    ///< preprocessed copies
+  std::vector<std::vector<std::uint32_t>> orig_index;  ///< pruned -> original
+  std::vector<std::size_t> order;                      ///< position -> variable
+  std::vector<std::size_t> pos_of;                     ///< variable -> position
+  std::vector<std::vector<const csp::Constraint*>> full_at;
+  std::vector<std::vector<const csp::Constraint*>> partial_at;
+  bool unsatisfiable = false;  ///< proven empty during preprocessing
+};
+
+/// Build a plan: preprocess domains (per options), order variables, prepare
+/// constraints, and build dispatch tables.  Adds preprocessing effort to
+/// `stats`.  The plan references the problem's constraints; the problem must
+/// outlive the plan.
+SearchPlan build_plan(csp::Problem& problem, const OptimizedOptions& options,
+                      SolveStats& stats);
+
+/// Resumable depth-first enumeration over a plan.
+class BacktrackingEngine {
+ public:
+  /// Restrict the first search position's value indices to [first_lo,
+  /// first_hi) — pass 0 and the full domain size for a complete search.
+  BacktrackingEngine(const SearchPlan& plan, std::size_t first_lo,
+                     std::size_t first_hi);
+
+  /// Advance to the next solution; false when exhausted.  On success the
+  /// solution is available via row() (original-domain value indices).
+  bool next();
+
+  const std::vector<std::uint32_t>& row() const { return row_; }
+
+  std::uint64_t nodes() const { return nodes_; }
+  std::uint64_t constraint_checks() const { return checks_; }
+  std::uint64_t prunes() const { return prunes_; }
+
+ private:
+  const SearchPlan* plan_;
+  std::size_t first_lo_, first_hi_;
+  std::vector<csp::Value> values_;
+  std::vector<unsigned char> assigned_;
+  std::vector<std::size_t> value_idx_;
+  std::vector<std::uint32_t> row_;
+  std::size_t p_ = 0;
+  bool exhausted_ = false;
+  std::uint64_t nodes_ = 0, checks_ = 0, prunes_ = 0;
+};
+
+}  // namespace tunespace::solver::detail

@@ -1,0 +1,236 @@
+#include "tunespace/solver/chain_of_trees.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "tunespace/util/timer.hpp"
+
+namespace tunespace::solver {
+
+using csp::Constraint;
+using csp::Value;
+
+namespace {
+
+/// Minimal union-find over variable indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// One tree node: a chosen value index plus valid child subtrees.
+struct TreeNode {
+  std::uint32_t value_idx = 0;
+  std::vector<TreeNode> children;
+};
+
+struct GroupBuild {
+  std::vector<std::size_t> vars;                    // declaration order
+  std::vector<std::vector<const Constraint*>> check_at;  // per depth
+  std::vector<TreeNode> roots;
+  std::size_t tree_nodes = 0;
+  std::vector<std::vector<std::uint32_t>> combos;   // enumerated leaves
+};
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> ChainOfTrees::interdependence_groups(
+    const csp::Problem& problem) {
+  const std::size_t n = problem.num_variables();
+  UnionFind uf(n);
+  for (const auto& c : problem.constraints()) {
+    const auto& idx = c->indices();
+    for (std::size_t i = 1; i < idx.size(); ++i) uf.unite(idx[0], idx[i]);
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::ptrdiff_t> group_of(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t root = uf.find(v);
+    if (group_of[root] < 0) {
+      group_of[root] = static_cast<std::ptrdiff_t>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<std::size_t>(group_of[root])].push_back(v);
+  }
+  return groups;
+}
+
+SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
+  SolveResult result;
+  const std::size_t n = problem.num_variables();
+  result.solutions = SolutionSet(n);
+  util::WallTimer timer;
+  for (const auto& d : problem.domains()) {
+    if (d.empty()) return result;
+  }
+
+  // --- Group parameters by constraint interdependence ----------------------
+  auto groups_vars = interdependence_groups(problem);
+  std::vector<std::size_t> group_of(n), pos_in_group(n);
+  for (std::size_t g = 0; g < groups_vars.size(); ++g) {
+    for (std::size_t p = 0; p < groups_vars[g].size(); ++p) {
+      group_of[groups_vars[g][p]] = g;
+      pos_in_group[groups_vars[g][p]] = p;
+    }
+  }
+
+  std::vector<GroupBuild> groups(groups_vars.size());
+  for (std::size_t g = 0; g < groups_vars.size(); ++g) {
+    groups[g].vars = std::move(groups_vars[g]);
+    groups[g].check_at.resize(groups[g].vars.size());
+  }
+  // Assign each constraint to the depth where its scope completes within its
+  // group (all scope variables share one group by construction).
+  bool unsatisfiable_constant = false;
+  for (const auto& c : problem.constraints()) {
+    if (c->indices().empty()) {
+      Value dummy;
+      if (!c->satisfied(&dummy)) unsatisfiable_constant = true;
+      continue;
+    }
+    const std::size_t g = group_of[c->indices()[0]];
+    std::size_t depth = 0;
+    for (std::uint32_t idx : c->indices()) depth = std::max(depth, pos_in_group[idx]);
+    groups[g].check_at[depth].push_back(c.get());
+  }
+  result.stats.preprocess_seconds = timer.seconds();
+  if (unsatisfiable_constant) return result;
+
+  // --- Build one tree per group ---------------------------------------------
+  timer.reset();
+  std::vector<Value> values(n);
+  std::vector<unsigned char> assigned(n, 0);
+  std::uint64_t nodes = 0, checks = 0;
+
+  // pyATF-mode sink: the most recent name-keyed configuration dictionary.
+  // A *fresh* dictionary is allocated per visited node / emitted solution,
+  // matching the Python implementation's per-node dict objects.
+  std::unordered_map<std::string, Value> py_config;
+
+  // Recursive lambda building the subtree rooted at `depth`; returns the
+  // valid children for the current partial assignment.
+  auto build_children = [&](auto&& self, GroupBuild& group,
+                            std::size_t depth) -> std::vector<TreeNode> {
+    std::vector<TreeNode> out;
+    const std::size_t var = group.vars[depth];
+    const csp::Domain& dom = problem.domain(var);
+    for (std::uint32_t vi = 0; vi < dom.size(); ++vi) {
+      values[var] = dom[vi];
+      assigned[var] = 1;
+      ++nodes;
+      if (interpreter_overhead_) {
+        // Model the Python data flow: materialize the partial configuration
+        // as a fresh name->value dictionary object for this node.
+        std::unordered_map<std::string, Value> node_config;
+        for (std::size_t dd = 0; dd <= depth; ++dd) {
+          node_config[problem.name(group.vars[dd])] = values[group.vars[dd]];
+        }
+        py_config = std::move(node_config);
+      }
+      bool ok = true;
+      for (const Constraint* c : group.check_at[depth]) {
+        ++checks;
+        if (!c->satisfied(values.data())) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        assigned[var] = 0;
+        continue;
+      }
+      TreeNode node;
+      node.value_idx = vi;
+      if (depth + 1 < group.vars.size()) {
+        node.children = self(self, group, depth + 1);
+        if (node.children.empty()) {
+          // No valid completion below: the node is not part of the tree.
+          assigned[var] = 0;
+          continue;
+        }
+      }
+      group.tree_nodes++;
+      out.push_back(std::move(node));
+      assigned[var] = 0;
+    }
+    assigned[var] = 0;
+    return out;
+  };
+
+  for (GroupBuild& group : groups) {
+    group.roots = build_children(build_children, group, 0);
+    if (group.roots.empty()) {
+      // One empty group empties the whole chain.
+      result.stats.nodes = nodes;
+      result.stats.constraint_checks = checks;
+      result.stats.search_seconds = timer.seconds();
+      return result;
+    }
+  }
+
+  // --- Enumerate each tree's leaves into per-group combination lists -------
+  for (GroupBuild& group : groups) {
+    std::vector<std::uint32_t> path(group.vars.size());
+    auto walk = [&](auto&& self, const std::vector<TreeNode>& level,
+                    std::size_t depth) -> void {
+      for (const TreeNode& node : level) {
+        path[depth] = node.value_idx;
+        if (depth + 1 == group.vars.size()) {
+          group.combos.push_back(path);
+        } else {
+          self(self, node.children, depth + 1);
+        }
+      }
+    };
+    walk(walk, group.roots, 0);
+  }
+
+  // --- Link the chain: cross product of per-group combinations -------------
+  std::vector<std::size_t> pick(groups.size(), 0);
+  std::vector<std::uint32_t> row(n);
+  for (;;) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& combo = groups[g].combos[pick[g]];
+      for (std::size_t p = 0; p < groups[g].vars.size(); ++p) {
+        row[groups[g].vars[p]] = combo[p];
+      }
+    }
+    if (interpreter_overhead_) {
+      // pyATF yields each configuration as a freshly-allocated dictionary.
+      std::unordered_map<std::string, Value> solution_config;
+      for (std::size_t v = 0; v < n; ++v) {
+        solution_config[problem.name(v)] = problem.domain(v)[row[v]];
+      }
+      py_config = std::move(solution_config);
+    }
+    result.solutions.append(row.data());
+    std::size_t g = groups.size();
+    for (;;) {
+      if (g == 0) goto done;
+      --g;
+      if (++pick[g] < groups[g].combos.size()) break;
+      pick[g] = 0;
+    }
+  }
+done:
+  result.stats.nodes = nodes;
+  result.stats.constraint_checks = checks;
+  result.stats.search_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tunespace::solver

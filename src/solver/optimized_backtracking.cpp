@@ -1,0 +1,29 @@
+#include "tunespace/solver/optimized_backtracking.hpp"
+
+#include "backtracking_core.hpp"
+#include "tunespace/util/timer.hpp"
+
+namespace tunespace::solver {
+
+SolveResult OptimizedBacktracking::solve(csp::Problem& problem) const {
+  SolveResult result;
+  const std::size_t n = problem.num_variables();
+  result.solutions = SolutionSet(n);
+  util::WallTimer timer;
+  if (n == 0) return result;
+
+  detail::SearchPlan plan = detail::build_plan(problem, options_, result.stats);
+  result.stats.preprocess_seconds = timer.seconds();
+  if (plan.unsatisfiable) return result;
+
+  timer.reset();
+  detail::BacktrackingEngine engine(plan, 0, plan.domains[plan.order[0]].size());
+  while (engine.next()) result.solutions.append(engine.row().data());
+  result.stats.nodes = engine.nodes();
+  result.stats.constraint_checks = engine.constraint_checks();
+  result.stats.prunes += engine.prunes();  // += : preprocessing counted some
+  result.stats.search_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tunespace::solver

@@ -1,0 +1,68 @@
+#include "tunespace/solver/parallel_backtracking.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "backtracking_core.hpp"
+#include "tunespace/util/timer.hpp"
+
+namespace tunespace::solver {
+
+SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
+  SolveResult result;
+  const std::size_t n = problem.num_variables();
+  result.solutions = SolutionSet(n);
+  util::WallTimer timer;
+  if (n == 0) return result;
+
+  detail::SearchPlan plan = detail::build_plan(problem, options_, result.stats);
+  result.stats.preprocess_seconds = timer.seconds();
+  if (plan.unsatisfiable) return result;
+
+  timer.reset();
+  const std::size_t first_domain = plan.domains[plan.order[0]].size();
+  std::size_t workers = threads_ ? threads_ : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, first_domain);
+
+  // Dynamic scheduling: each task is one value of the first search variable
+  // (subtree sizes are highly skewed, so static chunking load-imbalances).
+  // Per-task solution sets are merged in task order afterwards, preserving
+  // the sequential enumeration order deterministically.
+  struct TaskState {
+    SolutionSet solutions;
+    std::uint64_t nodes = 0, checks = 0, prunes = 0;
+  };
+  std::vector<TaskState> tasks(first_domain);
+  for (auto& t : tasks) t.solutions = SolutionSet(n);
+  std::atomic<std::size_t> next_task{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&plan, &tasks, &next_task, first_domain] {
+      for (;;) {
+        const std::size_t task = next_task.fetch_add(1, std::memory_order_relaxed);
+        if (task >= first_domain) return;
+        detail::BacktrackingEngine engine(plan, task, task + 1);
+        TaskState& state = tasks[task];
+        while (engine.next()) state.solutions.append(engine.row().data());
+        state.nodes = engine.nodes();
+        state.checks = engine.constraint_checks();
+        state.prunes = engine.prunes();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (auto& state : tasks) {
+    result.solutions.append_all(state.solutions);
+    result.stats.nodes += state.nodes;
+    result.stats.constraint_checks += state.checks;
+    result.stats.prunes += state.prunes;
+  }
+  result.stats.search_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tunespace::solver

@@ -1,0 +1,35 @@
+#include "tunespace/solver/solver.hpp"
+
+#include <algorithm>
+
+namespace tunespace::solver {
+
+csp::Config SolutionSet::config(std::size_t row, const csp::Problem& problem) const {
+  csp::Config out;
+  out.reserve(columns_.size());
+  for (std::size_t v = 0; v < columns_.size(); ++v) {
+    out.push_back(problem.domain(v)[columns_[v][row]]);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> SolutionSet::index_row(std::size_t row) const {
+  std::vector<std::uint32_t> out(columns_.size());
+  for (std::size_t v = 0; v < columns_.size(); ++v) out[v] = columns_[v][row];
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> SolutionSet::sorted_rows() const {
+  std::vector<std::vector<std::uint32_t>> rows;
+  rows.reserve(size());
+  for (std::size_t r = 0; r < size(); ++r) rows.push_back(index_row(r));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool SolutionSet::same_solutions(const SolutionSet& other) const {
+  if (num_vars() != other.num_vars() || size() != other.size()) return false;
+  return sorted_rows() == other.sorted_rows();
+}
+
+}  // namespace tunespace::solver

@@ -1,0 +1,32 @@
+#include "tunespace/solver/validate.hpp"
+
+#include "tunespace/solver/blocking_enumerator.hpp"
+#include "tunespace/solver/brute_force.hpp"
+#include "tunespace/solver/chain_of_trees.hpp"
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/solver/original_backtracking.hpp"
+
+namespace tunespace::solver {
+
+ValidationReport validate_against(const Solver& solver, csp::Problem& problem,
+                                  const SolutionSet& reference) {
+  ValidationReport report;
+  report.solver_name = solver.name();
+  SolveResult result = solver.solve(problem);
+  report.solver_count = result.solutions.size();
+  report.reference_count = reference.size();
+  report.matches = result.solutions.same_solutions(reference);
+  return report;
+}
+
+std::vector<SolverPtr> all_solvers(bool include_blocking) {
+  std::vector<SolverPtr> out;
+  out.push_back(std::make_unique<OptimizedBacktracking>());
+  out.push_back(std::make_unique<OriginalBacktracking>());
+  out.push_back(std::make_unique<BruteForce>());
+  out.push_back(std::make_unique<ChainOfTrees>());
+  if (include_blocking) out.push_back(std::make_unique<BlockingEnumerator>());
+  return out;
+}
+
+}  // namespace tunespace::solver

@@ -1,0 +1,223 @@
+#include "tunespace/spaces/realworld.hpp"
+
+namespace tunespace::spaces {
+
+using tuner::TuningProblem;
+
+namespace {
+
+std::vector<std::int64_t> iota_values(std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> v;
+  for (std::int64_t x = lo; x <= hi; ++x) v.push_back(x);
+  return v;
+}
+
+std::vector<std::int64_t> pow2_values(std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> v;
+  for (std::int64_t x = lo; x <= hi; x *= 2) v.push_back(x);
+  return v;
+}
+
+}  // namespace
+
+RealWorldSpace dedispersion() {
+  TuningProblem spec("Dedispersion");
+  // 29 x-dim values, Listing-3 style: small powers then multiples of 32.
+  std::vector<std::int64_t> bsx = {1, 2, 4, 8, 16};
+  for (std::int64_t i = 1; i <= 24; ++i) bsx.push_back(32 * i);
+  spec.add_param("block_size_x", bsx)
+      .add_param("block_size_y", {4, 8, 16})
+      .add_param("tile_size_x", {1, 2, 4, 8})
+      .add_param("tile_size_y", {1, 2, 4, 8})
+      .add_param("loop_unroll", {1, 2, 4, 8})
+      .add_param("blocks_per_sm", {1, 2, 3, 4})
+      .add_param("precision", std::vector<csp::Value>{csp::Value("float")})
+      .add_param("use_texture_mem", {0});
+  spec.add_constraint("16 <= block_size_x * block_size_y <= 3072")
+      .add_constraint("tile_size_x * tile_size_y <= 48")
+      .add_constraint("loop_unroll <= tile_size_x * tile_size_y");
+  return {"Dedispersion", std::move(spec), {22272, 11130, 8, 3, 49.973}};
+}
+
+RealWorldSpace expdist() {
+  TuningProblem spec("ExpDist");
+  spec.add_param("block_size_x", pow2_values(1, 1024))  // 11 values
+      .add_param("block_size_y", iota_values(1, 8))
+      .add_param("tile_size_x", iota_values(1, 8))
+      .add_param("tile_size_y", iota_values(1, 8))
+      .add_param("loop_unroll_x", iota_values(1, 8))
+      .add_param("reduce_block_size", pow2_values(32, 1024))  // 6 values
+      .add_param("num_blocks", {1, 2, 4, 8, 16, 32})
+      .add_param("loop_unroll_y", iota_values(1, 6))
+      .add_param("precision", std::vector<csp::Value>{csp::Value("double")})
+      .add_param("use_shared_mem", {1});
+  spec.add_constraint("32 <= block_size_x * block_size_y <= 1024")
+      .add_constraint("tile_size_x * tile_size_y <= 12")
+      .add_constraint("tile_size_x % loop_unroll_x == 0")
+      .add_constraint(
+          "block_size_x * block_size_y * tile_size_x * tile_size_y * 8 <= 16384");
+  return {"ExpDist", std::move(spec), {9732096, 294000, 10, 4, 3.021}};
+}
+
+RealWorldSpace hotspot() {
+  TuningProblem spec("Hotspot");
+  // 37 x-dim values: every width up to 32, then powers of two to 1024.
+  std::vector<std::int64_t> bsx = iota_values(1, 32);
+  for (std::int64_t x : {64, 128, 256, 512, 1024}) bsx.push_back(x);
+  spec.add_param("block_size_x", bsx)
+      .add_param("block_size_y", {1, 2, 4, 8, 16})
+      .add_param("tile_size_x", iota_values(1, 5))
+      .add_param("tile_size_y", iota_values(1, 5))
+      .add_param("temporal_tiling_factor", iota_values(1, 5))
+      .add_param("loop_unroll_factor_t", iota_values(1, 5))
+      .add_param("blocks_per_sm", {1, 2, 3, 4, 5, 6, 7, 8})
+      .add_param("loop_unroll_factor_x", {1, 2, 4, 8})
+      .add_param("shared_padding", {0, 1, 2})
+      .add_param("sh_power", {0, 1})
+      .add_param("use_double_buffer", {0});
+  spec.add_constraint("32 <= block_size_x * block_size_y <= 1024")
+      .add_constraint("temporal_tiling_factor % loop_unroll_factor_t == 0")
+      .add_constraint(
+          "(block_size_x * tile_size_x + 2 * temporal_tiling_factor)"
+          " * (block_size_y * tile_size_y + 2 * temporal_tiling_factor)"
+          " * (2 + 2 * sh_power + use_double_buffer) * 4 <= 6144")
+      .add_constraint("tile_size_x * tile_size_y % loop_unroll_factor_x == 0")
+      .add_constraint("block_size_x * tile_size_x <= 256");
+  return {"Hotspot", std::move(spec), {22200000, 349853, 11, 5, 1.576}};
+}
+
+RealWorldSpace gemm() {
+  TuningProblem spec("GEMM");
+  spec.add_param("MWG", {16, 32, 64, 128})
+      .add_param("NWG", {16, 32, 64, 128})
+      .add_param("KWG", {16, 32, 64, 128})
+      .add_param("VWM", {1, 2, 4, 8})
+      .add_param("VWN", {1, 2, 4, 8})
+      .add_param("KREG", {1, 2, 4, 8})
+      .add_param("MDIMC", {8, 16, 32})
+      .add_param("NDIMC", {8, 16, 32})
+      .add_param("MDIMA", {8, 16, 32})
+      .add_param("NDIMB", {8, 16, 32})
+      .add_param("KWI", {2, 8})
+      .add_param("STRM", {0})
+      .add_param("STRN", {0})
+      .add_param("SA", {1})
+      .add_param("SB", {1})
+      .add_param("PRECISION", {32})
+      .add_param("GEMMK", {0});
+  spec.add_constraint("KWG % KWI == 0")
+      .add_constraint("MWG % (MDIMC * VWM) == 0")
+      .add_constraint("NWG % (NDIMC * VWN) == 0")
+      .add_constraint("MWG % (MDIMA * VWM) == 0")
+      .add_constraint("NWG % (NDIMB * VWN) == 0")
+      .add_constraint("KREG <= VWM * VWN")
+      .add_constraint("MDIMC * NDIMC <= 1024")
+      .add_constraint("(KWG * MWG + KWG * NWG) * 4 <= 98304");
+  return {"GEMM", std::move(spec), {663552, 116928, 17, 8, 17.622}};
+}
+
+RealWorldSpace microhh() {
+  TuningProblem spec("MicroHH");
+  spec.add_param("block_size_x", pow2_values(1, 512))   // 10 values
+      .add_param("block_size_y", pow2_values(1, 256))   // 9 values
+      .add_param("block_size_z", pow2_values(1, 128))   // 8 values
+      .add_param("tile_factor_x", iota_values(1, 6))
+      .add_param("tile_factor_y", iota_values(1, 6))
+      .add_param("tile_factor_z", iota_values(1, 5))
+      .add_param("loop_unroll_x", {1, 2, 4})
+      .add_param("loop_unroll_y", {1, 2, 4})
+      .add_param("use_smem", {0})
+      .add_param("swap_strides", {0})
+      .add_param("precision", std::vector<csp::Value>{csp::Value("double")})
+      .add_param("blocks_per_sm", {1})
+      .add_param("use_const_mem", {1});
+  spec.add_constraint("32 <= block_size_x * block_size_y * block_size_z")
+      .add_constraint("block_size_x * block_size_y * block_size_z <= 1024")
+      .add_constraint("tile_factor_x % loop_unroll_x == 0")
+      .add_constraint("tile_factor_y % loop_unroll_y == 0")
+      .add_constraint("block_size_x * tile_factor_x <= 2048")
+      .add_constraint("block_size_y * tile_factor_y <= 1024")
+      .add_constraint("block_size_z * tile_factor_z <= 256")
+      .add_constraint("tile_factor_x * tile_factor_y * tile_factor_z <= 144");
+  return {"MicroHH", std::move(spec), {1166400, 138600, 13, 8, 11.883}};
+}
+
+RealWorldSpace atf_prl(int input_size) {
+  TuningProblem spec("ATF PRL " + std::to_string(input_size) + "x" +
+                     std::to_string(input_size));
+  // Per-dimension (rows r / columns c) cache-blocking hierarchy; domain
+  // shapes depend on the input size as in the ATF evaluation.
+  const bool n2 = input_size == 2, n4 = input_size == 4;
+  auto sizes = [&](const char*) -> std::vector<std::int64_t> {
+    if (n2) return {1, 2};
+    if (n4) return {1, 2, 4, 8};
+    return {1, 2, 4, 8, 16, 32, 64, 128};
+  };
+  for (const std::string d : {"r", "c"}) {
+    spec.add_param("wg_" + d, sizes("wg"));   // work-groups
+    spec.add_param("wi_" + d, sizes("wi"));   // work-items
+    spec.add_param("t1_" + d, sizes("t1"));   // level-1 tile
+    spec.add_param("t2_" + d, sizes("t2"));   // level-2 tile
+  }
+  // Cache blocks: for 8x8 the column cache block is restricted to {1,2}
+  // (the asymmetric domain reported for that instance).
+  spec.add_param("cb_r", sizes("cb"));
+  spec.add_param("cb_c", input_size == 8 ? std::vector<std::int64_t>{1, 2}
+                                         : sizes("cb"));
+  spec.add_param("layout_r", {0, 1, 2});
+  spec.add_param("layout_c", {0, 1, 2});
+  // Swap flags are tunable only for the 2x2 instance (binary), fixed
+  // otherwise — this yields the twelve 2-valued parameters of that row.
+  if (n2) {
+    spec.add_param("swap_r", {0, 1});
+    spec.add_param("swap_c", {0, 1});
+  } else {
+    spec.add_param("swap_r", {0});
+    spec.add_param("swap_c", {0});
+  }
+  spec.add_param("use_local", {1})
+      .add_param("unroll_outer", {1})
+      .add_param("unroll_inner", {1})
+      .add_param("vector_width", {1})
+      .add_param("batch", {1})
+      .add_param("format", std::vector<csp::Value>{csp::Value("csv")});
+
+  const std::int64_t wg_wi_cap = n2 ? 4 : (n4 ? 16 : 64);
+  for (const std::string d : {"r", "c"}) {
+    spec.add_constraint("wg_" + d + " % wi_" + d + " == 0");
+    spec.add_constraint("wi_" + d + " % t1_" + d + " == 0");
+    spec.add_constraint("t1_" + d + " % t2_" + d + " == 0");
+    spec.add_constraint("cb_" + d + " % t1_" + d + " == 0");
+    spec.add_constraint("wg_" + d + " * wi_" + d + " <= " +
+                        std::to_string(wg_wi_cap));
+    spec.add_constraint("cb_" + d + " <= wg_" + d + " * t1_" + d);
+    spec.add_constraint("layout_" + d + " == 0 or t1_" + d + " == t2_" + d);
+  }
+
+  Table2Row paper;
+  paper.num_params = 20;
+  paper.num_constraints = 14;
+  if (n2) {
+    paper = {36864, 1200, 20, 14, 3.255};
+  } else if (n4) {
+    paper = {9437184, 10800, 20, 14, 0.114};
+  } else {
+    paper = {2415919104ULL, 48720, 20, 14, 0.002};
+  }
+  return {spec.name(), std::move(spec), paper};
+}
+
+std::vector<RealWorldSpace> all_realworld() {
+  std::vector<RealWorldSpace> out;
+  out.push_back(dedispersion());
+  out.push_back(expdist());
+  out.push_back(hotspot());
+  out.push_back(gemm());
+  out.push_back(microhh());
+  out.push_back(atf_prl(2));
+  out.push_back(atf_prl(4));
+  out.push_back(atf_prl(8));
+  return out;
+}
+
+}  // namespace tunespace::spaces

@@ -1,0 +1,211 @@
+#include "tunespace/spaces/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+#include "tunespace/util/rng.hpp"
+
+namespace tunespace::spaces {
+
+using tuner::TuningProblem;
+
+std::vector<std::uint64_t> synthetic_size_targets() {
+  return {10000, 20000, 50000, 100000, 200000, 500000, 1000000};
+}
+
+namespace {
+
+/// Threshold for "lhs <= theta"-style constraints: an empirical quantile of
+/// the template's metric over sampled assignments, so each constraint keeps
+/// a controlled fraction of the space.
+std::int64_t sampled_quantile(util::Rng& rng, double keep_fraction,
+                              const std::vector<std::int64_t>& dim_sizes,
+                              const std::vector<std::size_t>& vars,
+                              std::int64_t (*metric)(const std::vector<std::int64_t>&)) {
+  constexpr int kSamples = 512;
+  std::vector<std::int64_t> samples(kSamples);
+  std::vector<std::int64_t> point(vars.size());
+  for (int s = 0; s < kSamples; ++s) {
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      point[i] = rng.uniform_int(1, dim_sizes[vars[i]]);
+    }
+    samples[s] = metric(point);
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = std::min<std::size_t>(
+      kSamples - 1, static_cast<std::size_t>(keep_fraction * kSamples));
+  return samples[idx];
+}
+
+std::int64_t metric_product(const std::vector<std::int64_t>& p) {
+  std::int64_t r = 1;
+  for (std::int64_t x : p) r *= x;
+  return r;
+}
+
+std::int64_t metric_sum(const std::vector<std::int64_t>& p) {
+  std::int64_t r = 0;
+  for (std::int64_t x : p) r += x;
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+/// Single generation attempt; see make_synthetic for the retry wrapper.
+SyntheticSpace make_synthetic_attempt(std::size_t dims,
+                                      std::uint64_t target_cartesian,
+                                      std::size_t num_constraints,
+                                      std::uint64_t seed) {
+  SyntheticSpace space;
+  space.dims = dims;
+  space.target_cartesian = target_cartesian;
+  space.num_constraints = num_constraints;
+  space.name = "synthetic_d" + std::to_string(dims) + "_s" +
+               std::to_string(target_cartesian) + "_c" + std::to_string(num_constraints);
+
+  util::Rng rng(seed ^ (dims * 0x9E3779B97F4A7C15ULL) ^
+                (target_cartesian * 0xC2B2AE3D27D4EB4FULL) ^
+                (num_constraints * 0x165667B19E3779F9ULL));
+
+  // Approximately-uniform values per dimension: v = s^(1/d); the last
+  // dimension compensates rounding to land closest to the target size.
+  const double v = std::pow(static_cast<double>(target_cartesian),
+                            1.0 / static_cast<double>(dims));
+  std::vector<std::int64_t> dim_sizes(dims);
+  double realized = 1.0;
+  for (std::size_t i = 0; i + 1 < dims; ++i) {
+    dim_sizes[i] = std::max<std::int64_t>(2, std::llround(v));
+    realized *= static_cast<double>(dim_sizes[i]);
+  }
+  dim_sizes[dims - 1] = std::max<std::int64_t>(
+      2, std::llround(static_cast<double>(target_cartesian) / realized));
+
+  TuningProblem spec(space.name);
+  for (std::size_t i = 0; i < dims; ++i) {
+    std::vector<std::int64_t> values;
+    for (std::int64_t x = 1; x <= dim_sizes[i]; ++x) values.push_back(x);
+    spec.add_param("p" + std::to_string(i), std::move(values));
+  }
+
+  // Constraint templates over randomly chosen dimension subsets.  Thresholds
+  // keep 35-70% each so that stacking several yields the Fig. 2 sparsity
+  // profile (valid count averaging one order of magnitude below the
+  // Cartesian size, with wide variation).
+  for (std::size_t c = 0; c < num_constraints; ++c) {
+    const int tmpl = static_cast<int>(rng.index(6));
+    const double keep = rng.uniform(0.35, 0.7);
+    auto pick_vars = [&](std::size_t k) {
+      k = std::min(k, dims);
+      return rng.sample_indices(dims, k);
+    };
+    auto pname = [&](std::size_t i) { return "p" + std::to_string(i); };
+    switch (tmpl) {
+      case 0: {  // product upper bound
+        auto vars = pick_vars(2);
+        const auto theta = sampled_quantile(rng, keep, dim_sizes, vars, metric_product);
+        spec.add_constraint(pname(vars[0]) + " * " + pname(vars[1]) +
+                            " <= " + std::to_string(theta));
+        break;
+      }
+      case 1: {  // product lower bound
+        auto vars = pick_vars(2);
+        const auto theta =
+            sampled_quantile(rng, 1.0 - keep, dim_sizes, vars, metric_product);
+        spec.add_constraint(pname(vars[0]) + " * " + pname(vars[1]) +
+                            " >= " + std::to_string(theta));
+        break;
+      }
+      case 2: {  // sum upper bound
+        auto vars = pick_vars(2);
+        const auto theta = sampled_quantile(rng, keep, dim_sizes, vars, metric_sum);
+        spec.add_constraint(pname(vars[0]) + " + " + pname(vars[1]) +
+                            " <= " + std::to_string(theta));
+        break;
+      }
+      case 3: {  // ordering between two dimensions
+        auto vars = pick_vars(2);
+        spec.add_constraint(pname(vars[0]) + " <= " + pname(vars[1]));
+        break;
+      }
+      case 4: {  // chained two-sided product bound (exercises decomposition)
+        auto vars = pick_vars(2);
+        const auto lo =
+            sampled_quantile(rng, (1.0 - keep) / 2.0, dim_sizes, vars, metric_product);
+        const auto hi = sampled_quantile(rng, 0.5 + keep / 2.0, dim_sizes, vars,
+                                         metric_product);
+        spec.add_constraint(std::to_string(lo) + " <= " + pname(vars[0]) + " * " +
+                            pname(vars[1]) + " <= " + std::to_string(std::max(lo, hi)));
+        break;
+      }
+      default: {  // ternary mixed expression (generic function constraint)
+        auto vars = pick_vars(3);
+        if (vars.size() < 3) {
+          auto theta = sampled_quantile(rng, keep, dim_sizes, vars, metric_sum);
+          spec.add_constraint(pname(vars[0]) + " + " + pname(vars[1]) +
+                              " <= " + std::to_string(theta));
+        } else {
+          std::vector<std::size_t> two{vars[0], vars[1]};
+          const auto theta =
+              sampled_quantile(rng, keep, dim_sizes, two, metric_product);
+          spec.add_constraint(pname(vars[0]) + " * " + pname(vars[1]) + " + " +
+                              pname(vars[2]) + " <= " +
+                              std::to_string(theta + dim_sizes[vars[2]] / 2));
+        }
+        break;
+      }
+    }
+  }
+
+  space.spec = std::move(spec);
+  return space;
+}
+
+}  // namespace
+
+SyntheticSpace make_synthetic(std::size_t dims, std::uint64_t target_cartesian,
+                              std::size_t num_constraints, std::uint64_t seed) {
+  // Randomly stacked constraints can occasionally contradict (e.g. a product
+  // lower bound above an upper bound); the evaluation suite requires
+  // non-empty spaces, so retry with a derived seed until one solution
+  // exists.  Deterministic: the retry chain depends only on the inputs.
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    SyntheticSpace space = make_synthetic_attempt(
+        dims, target_cartesian, num_constraints,
+        seed + attempt * 0x9E3779B97F4A7C15ULL);
+    if (attempt >= 32) return space;  // give up; callers see the empty space
+    auto problem =
+        tuner::build_problem(space.spec, tuner::PipelineOptions::optimized());
+    solver::OptimizedBacktracking probe;
+    if (!probe.solve(problem).solutions.empty()) return space;
+  }
+}
+
+std::vector<SyntheticSpace> synthetic_suite(const SyntheticOptions& options) {
+  // 28 (dims, size) pairs x up to 3 constraint-count variants = 78 spaces.
+  std::vector<SyntheticSpace> out;
+  const auto targets = synthetic_size_targets();
+  std::size_t pair_index = 0;
+  for (std::size_t dims = 2; dims <= 5; ++dims) {
+    for (std::uint64_t target : targets) {
+      const std::uint64_t scaled = std::max<std::uint64_t>(
+          16, static_cast<std::uint64_t>(static_cast<double>(target) *
+                                         options.size_scale));
+      const std::size_t c1 = 1 + (pair_index * 2) % 6;
+      const std::size_t c2 = 1 + (pair_index * 2 + 3) % 6;
+      out.push_back(make_synthetic(dims, scaled, c1, options.seed));
+      out.push_back(make_synthetic(dims, scaled, c2, options.seed + 1));
+      if (pair_index < 22) {  // 28 + 28 + 22 = 78 spaces total
+        const std::size_t c3 = 1 + (pair_index + 5) % 6;
+        out.push_back(make_synthetic(dims, scaled, c3, options.seed + 2));
+      }
+      ++pair_index;
+    }
+  }
+  return out;
+}
+
+}  // namespace tunespace::spaces

@@ -1,0 +1,160 @@
+#include "tunespace/tuner/kernels.hpp"
+
+#include <cmath>
+
+namespace tunespace::tuner {
+
+namespace {
+
+/// Deterministic jitter in [1-amp, 1+amp] from a config fingerprint, giving
+/// the surface realistic measurement-like texture without randomness.
+double jitter(const std::vector<std::string>& names, const csp::Config& config,
+              double amp) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+  };
+  for (const auto& n : names) mix(std::hash<std::string>{}(n));
+  for (const auto& v : config) mix(v.hash());
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + amp * (2.0 * unit - 1.0);
+}
+
+/// Smooth bump peaking at `peak` on a log2 axis with width `width`.
+double log2_bump(double x, double peak, double width) {
+  if (x <= 0) return 0.0;
+  const double d = (std::log2(x) - peak) / width;
+  return std::exp(-0.5 * d * d);
+}
+
+}  // namespace
+
+double param_or(const std::vector<std::string>& names, const csp::Config& config,
+                const std::string& name, double fallback) {
+  for (std::size_t i = 0; i < names.size() && i < config.size(); ++i) {
+    if (names[i] == name) {
+      return config[i].is_numeric() ? config[i].as_real() : fallback;
+    }
+  }
+  return fallback;
+}
+
+double PerformanceModel::evaluation_cost(double gflops) const {
+  // Compile + launch overhead, plus benchmark repetitions whose duration is
+  // inversely proportional to throughput (slow variants take longer to
+  // measure), clamped to keep degenerate configurations bounded.
+  const double overhead = 0.35;
+  const double bench = 120.0 / std::max(gflops, 1.0);
+  return overhead + std::min(bench, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hotspot
+// ---------------------------------------------------------------------------
+
+double HotspotModel::gflops(const std::vector<std::string>& names,
+                            const csp::Config& config) const {
+  const double bsx = param_or(names, config, "block_size_x", 32);
+  const double bsy = param_or(names, config, "block_size_y", 8);
+  const double tsx = param_or(names, config, "tile_size_x", 1);
+  const double tsy = param_or(names, config, "tile_size_y", 1);
+  const double ttf = param_or(names, config, "temporal_tiling_factor", 1);
+  const double unroll = param_or(names, config, "loop_unroll_factor_t", 1);
+  const double sh_power = param_or(names, config, "sh_power", 0);
+  const double bpsm = param_or(names, config, "blocks_per_sm", 1);
+
+  const double threads = bsx * bsy;
+  // Occupancy: sweet spot near 256 threads/block.
+  double perf = 950.0 * log2_bump(threads, 8.0, 1.6);
+  // Coalescing: global loads want wide rows; saturates at 32.
+  perf *= 0.45 + 0.55 * std::min(bsx, 32.0) / 32.0;
+  // Work per thread: moderate tiling amortizes index math, large tiles
+  // spill registers.
+  const double tile = tsx * tsy;
+  perf *= 0.55 + 0.45 * log2_bump(tile, 2.0, 1.2);
+  // Temporal tiling: fewer kernel launches, but the halo grows with ttf and
+  // erodes the benefit for small blocks.
+  const double halo_ratio = (bsx * tsx) / (bsx * tsx + 2.0 * ttf);
+  perf *= (0.7 + 0.3 * std::log2(1.0 + ttf)) * halo_ratio * halo_ratio;
+  // Unrolling the time loop helps if it divides the temporal factor.
+  if (unroll > 0 && std::fmod(ttf, unroll) == 0.0) perf *= 1.06;
+  // Shared-memory staging of the power grid.
+  if (sh_power > 0) perf *= 1.17;
+  // Multiple blocks per SM hide latency up to the register budget.
+  perf *= 0.8 + 0.2 * std::min(bpsm, 2.0) / 2.0;
+  return perf * jitter(names, config, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+double GemmModel::gflops(const std::vector<std::string>& names,
+                         const csp::Config& config) const {
+  const double mwg = param_or(names, config, "MWG", 64);
+  const double nwg = param_or(names, config, "NWG", 64);
+  const double kwg = param_or(names, config, "KWG", 16);
+  const double mdimc = param_or(names, config, "MDIMC", 16);
+  const double ndimc = param_or(names, config, "NDIMC", 16);
+  const double vwm = param_or(names, config, "VWM", 2);
+  const double vwn = param_or(names, config, "VWN", 2);
+  const double kwi = param_or(names, config, "KWI", 2);
+  const double sa = param_or(names, config, "SA", 1);
+  const double sb = param_or(names, config, "SB", 1);
+
+  const double threads = mdimc * ndimc;
+  double perf = 5200.0 * log2_bump(threads, 8.0, 1.5);
+  // Register blocking: work per thread wants to be substantial but bounded.
+  const double work = (mwg / mdimc) * (nwg / ndimc);
+  perf *= 0.35 + 0.65 * log2_bump(work, 5.0, 1.4);
+  // Vector widths: wider is better until it starves the scheduler.
+  perf *= 0.75 + 0.25 * log2_bump(vwm * vwn, 3.0, 1.5);
+  // Shared-memory staging of A/B tiles.
+  perf *= 1.0 + 0.09 * sa + 0.07 * sb;
+  // K-loop blocking and unrolling.
+  perf *= 0.85 + 0.15 * log2_bump(kwg, 5.0, 1.5);
+  if (kwi >= 2) perf *= 1.04;
+  // Very large workgroup tiles overflow shared memory bandwidth.
+  const double tile_bytes = (mwg * kwg + kwg * nwg) * 4.0;
+  if (tile_bytes > 32768.0) perf *= 32768.0 / tile_bytes;
+  return perf * jitter(names, config, 0.06);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic
+// ---------------------------------------------------------------------------
+
+double SyntheticModel::gflops(const std::vector<std::string>& names,
+                              const csp::Config& config) const {
+  // Mix of per-parameter unimodal preferences (peak position derived from
+  // the seed and parameter name) plus pairwise interaction ripples.
+  auto name_hash = [this](const std::string& n) {
+    std::uint64_t h = seed_ ^ 0x9E3779B97F4A7C15ULL;
+    for (char c : n) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001B3ULL;
+    return h;
+  };
+  double score = 1.0;
+  std::size_t d = 0;
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < names.size() && i < config.size(); ++i) {
+    if (!config[i].is_numeric()) continue;
+    const double x = config[i].as_real();
+    const std::uint64_t h = name_hash(names[i]);
+    const double peak = 1.0 + static_cast<double>(h % 9);  // log2 peak 1..9
+    score *= 0.6 + 0.4 * log2_bump(std::fabs(x) + 1.0, peak, 2.0);
+    xs.push_back(x);
+    ++d;
+  }
+  // Pairwise ripples make the surface multimodal.
+  double ripple = 1.0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    ripple *= 1.0 + 0.05 * std::sin(0.7 * std::log2(1.0 + std::fabs(xs[i])) *
+                                    std::log2(1.0 + std::fabs(xs[i + 1])));
+  }
+  const double base = 100.0 * static_cast<double>(d ? d : 1);
+  return base * score * ripple * jitter(names, config, 0.04);
+}
+
+}  // namespace tunespace::tuner

@@ -1,0 +1,198 @@
+#include "tunespace/tuner/optimizers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tunespace/searchspace/neighbors.hpp"
+#include "tunespace/searchspace/sampling.hpp"
+
+namespace tunespace::tuner {
+
+using searchspace::NeighborMethod;
+using searchspace::SearchSpace;
+
+void RandomSearch::run(EvalContext& ctx) {
+  const std::size_t n = ctx.space.size();
+  if (n == 0) return;
+  // Shuffled sweep = sampling without replacement.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  ctx.rng->shuffle(order);
+  for (std::size_t row : order) {
+    if (ctx.exhausted()) return;
+    ctx.evaluate(row);
+  }
+}
+
+void GeneticAlgorithm::run(EvalContext& ctx) {
+  const SearchSpace& space = ctx.space;
+  const std::size_t n = space.size();
+  if (n == 0) return;
+  const std::size_t pop_size = std::min(params_.population, n);
+
+  struct Member {
+    std::size_t row;
+    double fitness;
+  };
+  std::vector<Member> population;
+  for (std::size_t row : searchspace::random_sample(space, pop_size, *ctx.rng)) {
+    if (ctx.exhausted()) return;
+    population.push_back({row, ctx.evaluate(row)});
+  }
+
+  auto tournament_pick = [&]() -> const Member& {
+    const Member* best = &population[ctx.rng->index(population.size())];
+    for (std::size_t t = 1; t < params_.tournament; ++t) {
+      const Member& cand = population[ctx.rng->index(population.size())];
+      if (cand.fitness > best->fitness) best = &cand;
+    }
+    return *best;
+  };
+
+  while (!ctx.exhausted()) {
+    std::vector<Member> next;
+    // Elitism: carry the best member over.
+    const auto best_it =
+        std::max_element(population.begin(), population.end(),
+                         [](const Member& a, const Member& b) {
+                           return a.fitness < b.fitness;
+                         });
+    next.push_back(*best_it);
+    while (next.size() < pop_size && !ctx.exhausted()) {
+      const Member& pa = tournament_pick();
+      const Member& pb = tournament_pick();
+      // Uniform crossover in index space, snapped to a valid configuration.
+      std::vector<std::uint32_t> child(space.num_params());
+      for (std::size_t p = 0; p < space.num_params(); ++p) {
+        child[p] = ctx.rng->chance(0.5) ? space.value_index(pa.row, p)
+                                        : space.value_index(pb.row, p);
+      }
+      std::size_t row = searchspace::snap_to_valid(space, child);
+      // Mutation: jump to a random valid Hamming-1 neighbour.
+      if (ctx.rng->chance(params_.mutation_rate)) {
+        auto neigh = searchspace::neighbors_of(space, row, NeighborMethod::Hamming1);
+        if (!neigh.empty()) row = neigh[ctx.rng->index(neigh.size())];
+      }
+      next.push_back({row, ctx.evaluate(row)});
+    }
+    population = std::move(next);
+  }
+}
+
+void SimulatedAnnealing::run(EvalContext& ctx) {
+  const SearchSpace& space = ctx.space;
+  if (space.empty()) return;
+  std::size_t current = ctx.rng->index(space.size());
+  if (ctx.exhausted()) return;
+  double current_perf = ctx.evaluate(current);
+  double temperature = params_.initial_temperature * std::max(current_perf, 1.0);
+
+  while (!ctx.exhausted()) {
+    auto neigh = searchspace::neighbors_of(space, current, NeighborMethod::Hamming1);
+    if (neigh.empty()) {
+      // Isolated configuration: restart from a random point.
+      current = ctx.rng->index(space.size());
+      current_perf = ctx.evaluate(current);
+      continue;
+    }
+    const std::size_t cand = neigh[ctx.rng->index(neigh.size())];
+    const double cand_perf = ctx.evaluate(cand);
+    const double delta = cand_perf - current_perf;
+    if (delta >= 0 ||
+        ctx.rng->uniform() < std::exp(delta / std::max(temperature, 1e-9))) {
+      current = cand;
+      current_perf = cand_perf;
+    }
+    temperature *= params_.cooling;
+    if (temperature < 1e-6) {
+      // Reheat with a random restart to keep exploring within the budget.
+      current = ctx.rng->index(space.size());
+      current_perf = ctx.evaluate(current);
+      temperature = params_.initial_temperature * std::max(current_perf, 1.0);
+    }
+  }
+}
+
+void DifferentialEvolution::run(EvalContext& ctx) {
+  const SearchSpace& space = ctx.space;
+  const std::size_t n = space.size();
+  const std::size_t d = space.num_params();
+  if (n == 0) return;
+  const std::size_t pop_size = std::min(std::max<std::size_t>(4, params_.population), n);
+
+  // Work in "present-value position" coordinates per parameter, so the
+  // difference vectors stay inside the true bounds (§4.4).
+  auto position_of = [&](std::size_t row, std::size_t p) -> double {
+    const auto& present = space.present_values(p);
+    const std::uint32_t vi = space.value_index(row, p);
+    const auto it = std::lower_bound(present.begin(), present.end(), vi);
+    return static_cast<double>(it - present.begin());
+  };
+
+  struct Member {
+    std::size_t row;
+    double fitness;
+  };
+  std::vector<Member> population;
+  for (std::size_t row : searchspace::random_sample(space, pop_size, *ctx.rng)) {
+    if (ctx.exhausted()) return;
+    population.push_back({row, ctx.evaluate(row)});
+  }
+
+  std::vector<std::uint32_t> candidate(d);
+  while (!ctx.exhausted()) {
+    for (std::size_t i = 0; i < population.size() && !ctx.exhausted(); ++i) {
+      // Pick three distinct members a, b, c different from i.
+      std::size_t a, b, c;
+      do { a = ctx.rng->index(population.size()); } while (a == i);
+      do { b = ctx.rng->index(population.size()); } while (b == i || b == a);
+      do { c = ctx.rng->index(population.size()); } while (c == i || c == a || c == b);
+
+      const std::size_t forced = ctx.rng->index(d);  // at least one crossover dim
+      for (std::size_t p = 0; p < d; ++p) {
+        const auto& present = space.present_values(p);
+        if (p == forced || ctx.rng->chance(params_.crossover_rate)) {
+          const double pos = position_of(population[a].row, p) +
+                             params_.differential_weight *
+                                 (position_of(population[b].row, p) -
+                                  position_of(population[c].row, p));
+          const auto clamped = std::clamp<long long>(
+              std::llround(pos), 0, static_cast<long long>(present.size()) - 1);
+          candidate[p] = present[static_cast<std::size_t>(clamped)];
+        } else {
+          candidate[p] = space.value_index(population[i].row, p);
+        }
+      }
+      const std::size_t row = searchspace::snap_to_valid(space, candidate);
+      const double fitness = ctx.evaluate(row);
+      if (fitness > population[i].fitness) population[i] = {row, fitness};
+    }
+  }
+}
+
+void HillClimber::run(EvalContext& ctx) {
+  const SearchSpace& space = ctx.space;
+  if (space.empty()) return;
+  while (!ctx.exhausted()) {
+    std::size_t current = ctx.rng->index(space.size());
+    double current_perf = ctx.evaluate(current);
+    bool improved = true;
+    while (improved && !ctx.exhausted()) {
+      improved = false;
+      for (std::size_t cand :
+           searchspace::neighbors_of(space, current, NeighborMethod::Adjacent)) {
+        if (ctx.exhausted()) return;
+        const double perf = ctx.evaluate(cand);
+        if (perf > current_perf) {
+          current = cand;
+          current_perf = perf;
+          improved = true;
+          break;  // first-improvement ascent
+        }
+      }
+    }
+    // Local optimum reached: random restart.
+  }
+}
+
+}  // namespace tunespace::tuner

@@ -1,0 +1,75 @@
+#include "tunespace/tuner/pipeline.hpp"
+
+#include "tunespace/expr/analysis.hpp"
+#include "tunespace/expr/compiler.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/expr/recognizer.hpp"
+#include "tunespace/solver/blocking_enumerator.hpp"
+#include "tunespace/solver/brute_force.hpp"
+#include "tunespace/solver/chain_of_trees.hpp"
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/solver/original_backtracking.hpp"
+#include "tunespace/util/timer.hpp"
+
+namespace tunespace::tuner {
+
+csp::Problem build_problem(const TuningProblem& spec, const PipelineOptions& options) {
+  csp::Problem problem;
+  for (const auto& p : spec.params()) {
+    problem.add_variable(p.name, csp::Domain(p.values));
+  }
+  for (const std::string& text : spec.constraints()) {
+    const expr::AstPtr ast = expr::parse(text);
+    if (options.decompose && options.recognize) {
+      for (auto& c : expr::optimize_constraint(ast, options.eval_mode)) {
+        problem.add_constraint(std::move(c));
+      }
+    } else if (options.decompose) {
+      for (const auto& conjunct : expr::decompose(expr::fold_constants(ast))) {
+        problem.add_constraint(
+            std::make_unique<expr::FunctionConstraint>(conjunct, options.eval_mode));
+      }
+    } else if (options.recognize) {
+      problem.add_constraint(expr::recognize(ast, options.eval_mode));
+    } else {
+      problem.add_constraint(
+          std::make_unique<expr::FunctionConstraint>(ast, options.eval_mode));
+    }
+  }
+  // Native lambda constraints bypass the parsing pipeline (KTT-style).
+  for (const auto& lc : spec.lambda_constraints()) {
+    problem.add_constraint(std::make_unique<csp::LambdaConstraint>(
+        lc.scope, lc.predicate, lc.description));
+  }
+  return problem;
+}
+
+std::vector<Method> construction_methods(bool include_blocking) {
+  std::vector<Method> methods;
+  methods.push_back(Method{"optimized", PipelineOptions::optimized(),
+                           std::make_unique<solver::OptimizedBacktracking>()});
+  methods.push_back(Method{"ATF", PipelineOptions::compiled_raw(),
+                           std::make_unique<solver::ChainOfTrees>("ATF")});
+  methods.push_back(Method{"original", PipelineOptions::original(),
+                           std::make_unique<solver::OriginalBacktracking>()});
+  methods.push_back(Method{"brute-force", PipelineOptions::compiled_raw(),
+                           std::make_unique<solver::BruteForce>()});
+  methods.push_back(Method{"pyATF", PipelineOptions::original(),
+                           std::make_unique<solver::ChainOfTrees>("pyATF")});
+  if (include_blocking) {
+    methods.push_back(Method{"blocking-smt", PipelineOptions::compiled_raw(),
+                             std::make_unique<solver::BlockingEnumerator>()});
+  }
+  return methods;
+}
+
+solver::SolveResult construct(const TuningProblem& spec, const Method& method) {
+  util::WallTimer timer;
+  csp::Problem problem = build_problem(spec, method.pipeline);
+  const double build_seconds = timer.seconds();
+  solver::SolveResult result = method.solver->solve(problem);
+  result.stats.preprocess_seconds += build_seconds;
+  return result;
+}
+
+}  // namespace tunespace::tuner

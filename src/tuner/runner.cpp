@@ -1,0 +1,71 @@
+#include "tunespace/tuner/runner.hpp"
+
+#include <unordered_map>
+
+#include "tunespace/util/timer.hpp"
+
+namespace tunespace::tuner {
+
+double TuningRun::best_at(double time) const {
+  double best = 0;
+  for (const auto& pt : trajectory) {
+    if (pt.time_seconds > time) break;
+    best = pt.best_gflops;
+  }
+  return best;
+}
+
+TuningRun run_tuning(const TuningProblem& spec, const Method& method,
+                     const PerformanceModel& model, Optimizer& optimizer,
+                     const TuningOptions& options) {
+  TuningRun run;
+  run.method_name = method.name;
+  run.budget_seconds = options.budget_seconds;
+
+  // Construction: real measured latency, charged to the virtual clock.
+  searchspace::SearchSpace space(spec, method);
+  run.construction_seconds = space.construction_seconds();
+
+  util::VirtualClock clock;
+  clock.advance(run.construction_seconds * options.construction_time_scale);
+  if (clock.now() >= options.budget_seconds || space.empty()) {
+    return run;  // budget consumed before the first configuration
+  }
+
+  std::vector<std::string> names;
+  names.reserve(space.num_params());
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    names.push_back(space.param_name(p));
+  }
+
+  util::Rng rng(options.seed);
+  std::unordered_map<std::size_t, double> cache;
+
+  EvalContext ctx{
+      space,
+      /*evaluate=*/
+      [&](std::size_t row) -> double {
+        clock.advance(options.overhead_per_request);
+        auto it = cache.find(row);
+        if (it != cache.end()) return it->second;  // cached: overhead only
+        if (clock.now() >= options.budget_seconds) return 0.0;
+        const csp::Config config = space.config(row);
+        const double perf = model.gflops(names, config);
+        clock.advance(model.evaluation_cost(perf));
+        cache.emplace(row, perf);
+        run.evaluations++;
+        if (perf > run.best_gflops) {
+          run.best_gflops = perf;
+          run.trajectory.push_back({clock.now(), perf, run.evaluations});
+        }
+        return perf;
+      },
+      /*exhausted=*/
+      [&]() { return clock.now() >= options.budget_seconds; },
+      &rng};
+
+  optimizer.run(ctx);
+  return run;
+}
+
+}  // namespace tunespace::tuner

@@ -1,0 +1,55 @@
+#include "tunespace/tuner/tuning_problem.hpp"
+
+#include <limits>
+
+namespace tunespace::tuner {
+
+TuningProblem& TuningProblem::add_param(std::string name,
+                                        std::vector<csp::Value> values) {
+  params_.push_back(TunableParam{std::move(name), std::move(values)});
+  return *this;
+}
+
+TuningProblem& TuningProblem::add_param(std::string name,
+                                        std::vector<std::int64_t> values) {
+  std::vector<csp::Value> v;
+  v.reserve(values.size());
+  for (std::int64_t x : values) v.emplace_back(x);
+  return add_param(std::move(name), std::move(v));
+}
+
+TuningProblem& TuningProblem::add_param(std::string name,
+                                        std::initializer_list<int> values) {
+  std::vector<csp::Value> v;
+  v.reserve(values.size());
+  for (int x : values) v.emplace_back(static_cast<std::int64_t>(x));
+  return add_param(std::move(name), std::move(v));
+}
+
+TuningProblem& TuningProblem::add_constraint(std::string expression) {
+  constraints_.push_back(std::move(expression));
+  return *this;
+}
+
+TuningProblem& TuningProblem::add_constraint(std::vector<std::string> scope,
+                                             csp::LambdaPredicate predicate,
+                                             std::string description) {
+  lambda_constraints_.push_back(
+      LambdaSpec{std::move(scope), std::move(predicate), std::move(description)});
+  return *this;
+}
+
+std::uint64_t TuningProblem::cartesian_size() const {
+  std::uint64_t size = 1;
+  for (const auto& p : params_) {
+    if (p.values.empty()) return 0;
+    const std::uint64_t n = p.values.size();
+    if (size > std::numeric_limits<std::uint64_t>::max() / n) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    size *= n;
+  }
+  return size;
+}
+
+}  // namespace tunespace::tuner

@@ -1,0 +1,190 @@
+#include "tunespace/util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tunespace::util {
+
+namespace {
+
+// Regularized incomplete beta function via continued fractions (Lentz),
+// sufficient for the t-distribution p-values reported alongside fits.
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double ibeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front = std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+// Two-sided p-value of a t statistic with df degrees of freedom.
+double t_pvalue(double t, double df) {
+  if (df <= 0.0) return 1.0;
+  const double x = df / (df + t * t);
+  return ibeta(df / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  fit.n = x.size();
+  if (fit.n < 2) return fit;
+  const double n = static_cast<double>(fit.n);
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = (syy > 0.0) ? 1.0 - ss_res / syy : 1.0;
+  if (fit.n > 2) {
+    const double df = n - 2.0;
+    const double se = std::sqrt((ss_res / df) / sxx);
+    fit.p_value = (se > 0.0) ? t_pvalue(fit.slope / se, df) : 0.0;
+  }
+  return fit;
+}
+
+LinearFit loglog_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log10(x[i]));
+      ly.push_back(std::log10(y[i]));
+    }
+  }
+  return linear_fit(lx, ly);
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double quantile(std::vector<double> v, double q) {
+  assert(!v.empty());
+  std::sort(v.begin(), v.end());
+  if (q <= 0.0) return v.front();
+  if (q >= 1.0) return v.back();
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double median(const std::vector<double>& v) { return quantile(v, 0.5); }
+
+Kde kde(const std::vector<double>& samples, std::size_t grid_points) {
+  Kde out;
+  if (samples.empty() || grid_points == 0) return out;
+  const double sd = stddev(samples);
+  const double n = static_cast<double>(samples.size());
+  // Silverman's rule of thumb; fall back to a small width for degenerate data.
+  double h = 1.06 * sd * std::pow(n, -0.2);
+  if (h <= 0.0) h = 1e-3;
+  out.bandwidth = h;
+  double lo = samples[0], hi = samples[0];
+  for (double s : samples) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  lo -= 3.0 * h;
+  hi += 3.0 * h;
+  out.grid.resize(grid_points);
+  out.density.resize(grid_points);
+  const double step = (grid_points > 1) ? (hi - lo) / static_cast<double>(grid_points - 1) : 0.0;
+  const double norm = 1.0 / (n * h * std::sqrt(2.0 * M_PI));
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double x = lo + step * static_cast<double>(g);
+    double d = 0;
+    for (double s : samples) {
+      const double u = (x - s) / h;
+      d += std::exp(-0.5 * u * u);
+    }
+    out.grid[g] = x;
+    out.density[g] = d * norm;
+  }
+  return out;
+}
+
+Summary summarize(const std::vector<double>& v) {
+  assert(!v.empty());
+  Summary s;
+  s.n = v.size();
+  s.min = quantile(v, 0.0);
+  s.q25 = quantile(v, 0.25);
+  s.median = quantile(v, 0.5);
+  s.q75 = quantile(v, 0.75);
+  s.max = quantile(v, 1.0);
+  s.mean = mean(v);
+  return s;
+}
+
+}  // namespace tunespace::util

@@ -1,0 +1,129 @@
+#include "tunespace/util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace tunespace::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::str() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << quote(row[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s < 0) return "-" + fmt_seconds(-s);
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3g us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g ms", s * 1e3);
+  } else if (s < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g s", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g h", s / 3600.0);
+  }
+  return buf;
+}
+
+std::string fmt_count(unsigned long long n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return {};
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo;
+  std::string out;
+  for (double v : values) {
+    int level = 0;
+    if (range > 0) {
+      level = static_cast<int>(std::floor((v - lo) / range * 7.999));
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace tunespace::util

@@ -1,0 +1,102 @@
+// Tests for scope extraction and constraint decomposition (§4.2),
+// including the logical-equivalence property of decompose().
+#include <gtest/gtest.h>
+
+#include "tunespace/expr/analysis.hpp"
+#include "tunespace/expr/interpreter.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/util/rng.hpp"
+
+using namespace tunespace::expr;
+using tunespace::csp::Value;
+
+TEST(Analysis, Variables) {
+  EXPECT_EQ(variables(*parse("a * b + a - c")),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(variables(*parse("1 + 2")).empty());
+  EXPECT_EQ(variable_count(*parse("x * x * x")), 1u);
+}
+
+TEST(Analysis, ConjunctionSplit) {
+  auto parts = decompose(parse("a <= 4 and b >= 2 and c == 1"));
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0]->to_string(), "a <= 4");
+  EXPECT_EQ(parts[2]->to_string(), "c == 1");
+}
+
+TEST(Analysis, ChainSplit) {
+  auto parts = decompose(parse("2 <= y <= 32"));
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0]->to_string(), "2 <= y");
+  EXPECT_EQ(parts[1]->to_string(), "y <= 32");
+}
+
+TEST(Analysis, PaperFigure1Example) {
+  // 2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024
+  auto parts = decompose(parse(
+      "2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024"));
+  ASSERT_EQ(parts.size(), 4u);
+  // Each conjunct involves at most 2 variables (the minimal scopes).
+  for (const auto& p : parts) EXPECT_LE(variable_count(*p), 2u);
+  EXPECT_EQ(parts[0]->to_string(), "2 <= block_size_y");
+  EXPECT_EQ(parts[3]->to_string(), "(block_size_x * block_size_y) <= 1024");
+}
+
+TEST(Analysis, NestedConjunctionsFlatten) {
+  auto parts = decompose(parse("(a <= 1 and b <= 2) and (c <= 3 and 1 <= d <= 5)"));
+  EXPECT_EQ(parts.size(), 5u);
+}
+
+TEST(Analysis, DisjunctionNotSplit) {
+  auto parts = decompose(parse("a <= 1 or b <= 2"));
+  EXPECT_EQ(parts.size(), 1u);
+}
+
+TEST(Analysis, NegationNotSplit) {
+  auto parts = decompose(parse("not (a <= 1 and b <= 2)"));
+  EXPECT_EQ(parts.size(), 1u);
+}
+
+TEST(Analysis, SharedSubtreeIsReused) {
+  // Chain splitting shares the middle operand node.
+  AstPtr chain = parse("a <= b * c <= d");
+  auto parts = decompose(chain);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0]->children[1].get(), parts[1]->children[0].get());
+}
+
+// Property: the conjunction of the decomposed parts is logically equivalent
+// to the original expression, on random assignments.
+class DecomposeEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DecomposeEquivalence, ConjunctionMatchesOriginal) {
+  const AstPtr original = parse(GetParam());
+  const auto parts = decompose(original);
+  tunespace::util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::unordered_map<std::string, Value> vars;
+    for (const auto& name : variables(*original)) {
+      vars[name] = Value(rng.uniform_int(0, 40));
+    }
+    const bool expected = eval_bool(*original, map_env(vars));
+    bool all = true;
+    for (const auto& p : parts) {
+      if (!eval_bool(*p, map_env(vars))) {
+        all = false;
+        break;
+      }
+    }
+    EXPECT_EQ(expected, all) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, DecomposeEquivalence,
+    ::testing::Values(
+        "2 <= y <= 32 <= x * y <= 1024",
+        "a <= b and b <= c and 1 <= d <= 9",
+        "a * b >= 4 and (c <= 5 or d >= 2)",
+        "x % 2 == 0 and 3 <= x + y <= 50",
+        "a < b < c < d",
+        "a + b <= 30 and not (c > 20)",
+        "min(a, b) <= 10 and max(c, d) >= 2"));

@@ -1,0 +1,175 @@
+// Tests for the bytecode compiler + VM, including the interpreter-equivalence
+// property sweep (the VM must agree with the tree interpreter on every
+// expression and assignment).
+#include <gtest/gtest.h>
+
+#include "tunespace/expr/compiler.hpp"
+#include "tunespace/expr/interpreter.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/util/rng.hpp"
+
+using namespace tunespace::expr;
+using tunespace::csp::Value;
+
+namespace {
+
+Value run_compiled(const std::string& src,
+                   const std::vector<std::pair<std::string, Value>>& vars = {}) {
+  Program prog = compile(parse(src));
+  // Map program slots to the provided variable order.
+  std::vector<Value> values;
+  std::vector<std::uint32_t> slot_map;
+  for (const auto& name : prog.var_names()) {
+    bool found = false;
+    for (const auto& [n, v] : vars) {
+      if (n == name) {
+        slot_map.push_back(static_cast<std::uint32_t>(values.size()));
+        values.push_back(v);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error("missing var " + name);
+  }
+  return prog.run(values.data(), slot_map.data());
+}
+
+}  // namespace
+
+TEST(Bytecode, ConstantExpressions) {
+  EXPECT_EQ(run_compiled("2 + 3 * 4"), Value(14));
+  EXPECT_EQ(run_compiled("2 ** 10"), Value(1024));
+  EXPECT_EQ(run_compiled("-7 // 2"), Value(-4));
+  EXPECT_EQ(run_compiled("-7 % 3"), Value(2));
+}
+
+TEST(Bytecode, Variables) {
+  EXPECT_EQ(run_compiled("x * y + 1", {{"x", Value(6)}, {"y", Value(7)}}),
+            Value(43));
+}
+
+TEST(Bytecode, ChainedComparisons) {
+  EXPECT_EQ(run_compiled("1 < x < 10", {{"x", Value(5)}}), Value(true));
+  EXPECT_EQ(run_compiled("1 < x < 10", {{"x", Value(10)}}), Value(false));
+  EXPECT_EQ(run_compiled("1 < x < 10", {{"x", Value(1)}}), Value(false));
+  EXPECT_EQ(run_compiled("2 <= y <= 32 <= x * y <= 1024",
+                         {{"x", Value(8)}, {"y", Value(8)}}),
+            Value(true));
+}
+
+TEST(Bytecode, ChainShortCircuitSkipsDivZero) {
+  EXPECT_EQ(run_compiled("3 < 2 < 1 / 0"), Value(false));
+}
+
+TEST(Bytecode, BoolOpsShortCircuit) {
+  EXPECT_EQ(run_compiled("False and 1 / 0"), Value(false));
+  EXPECT_EQ(run_compiled("True or 1 / 0"), Value(true));
+  EXPECT_EQ(run_compiled("x > 0 and x < 10", {{"x", Value(5)}}), Value(true));
+}
+
+TEST(Bytecode, Membership) {
+  EXPECT_EQ(run_compiled("x in (1, 2, 4)", {{"x", Value(4)}}), Value(true));
+  EXPECT_EQ(run_compiled("x not in (1, 2, 4)", {{"x", Value(3)}}), Value(true));
+}
+
+TEST(Bytecode, Calls) {
+  EXPECT_EQ(run_compiled("min(x, 3)", {{"x", Value(5)}}), Value(3));
+  EXPECT_EQ(run_compiled("max(x, 3, 7)", {{"x", Value(5)}}), Value(7));
+  EXPECT_EQ(run_compiled("abs(x)", {{"x", Value(-9)}}), Value(9));
+  EXPECT_EQ(run_compiled("gcd(x, 18)", {{"x", Value(12)}}), Value(6));
+}
+
+TEST(Bytecode, ConstantFolding) {
+  // The folded program for a constant expression should be tiny.
+  Program p = compile(parse("2 * 3 + 4 * (5 - 1)"));
+  EXPECT_LE(p.code().size(), 2u);  // PushConst + Return
+}
+
+TEST(Bytecode, FoldingKeepsRaisingSubtrees) {
+  // 1/0 must raise at run time, not at compile time.
+  Program p = compile(parse("1 / 0"));
+  std::vector<std::uint32_t> empty;
+  EXPECT_THROW(p.run(nullptr, empty.data()), EvalError);
+}
+
+TEST(Bytecode, NonConstTupleFailsCompilation) {
+  EXPECT_THROW(compile(parse("x in (y, 2)")), CompileError);
+}
+
+TEST(Bytecode, Disassembly) {
+  Program p = compile(parse("x * 2 <= 10"));
+  const std::string dis = p.disassemble();
+  EXPECT_NE(dis.find("LoadVar x"), std::string::npos);
+  EXPECT_NE(dis.find("Return"), std::string::npos);
+}
+
+// --- Property sweep: VM == interpreter on randomized expressions -----------
+
+namespace {
+
+/// Build a random expression string over variables a, b, c with small
+/// integer constants.  Division-free to avoid raising-vs-false asymmetries
+/// (raising parity is tested separately).
+std::string random_expr(tunespace::util::Rng& rng, int depth) {
+  if (depth <= 0) {
+    switch (rng.index(4)) {
+      case 0: return "a";
+      case 1: return "b";
+      case 2: return "c";
+      default: return std::to_string(rng.uniform_int(0, 9));
+    }
+  }
+  switch (rng.index(8)) {
+    case 0:
+      return "(" + random_expr(rng, depth - 1) + " + " + random_expr(rng, depth - 1) + ")";
+    case 1:
+      return "(" + random_expr(rng, depth - 1) + " - " + random_expr(rng, depth - 1) + ")";
+    case 2:
+      return "(" + random_expr(rng, depth - 1) + " * " + random_expr(rng, depth - 1) + ")";
+    case 3:
+      return "(" + random_expr(rng, depth - 1) + " <= " + random_expr(rng, depth - 1) + ")";
+    case 4:
+      return "(" + random_expr(rng, depth - 1) + " < " + random_expr(rng, depth - 1) +
+             " < " + random_expr(rng, depth - 1) + ")";
+    case 5:
+      return "(" + random_expr(rng, depth - 1) + " and " + random_expr(rng, depth - 1) + ")";
+    case 6:
+      return "(" + random_expr(rng, depth - 1) + " or " + random_expr(rng, depth - 1) + ")";
+    default:
+      return "min(" + random_expr(rng, depth - 1) + ", " + random_expr(rng, depth - 1) + ")";
+  }
+}
+
+}  // namespace
+
+class BytecodeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BytecodeEquivalence, MatchesInterpreterOnRandomExpressions) {
+  tunespace::util::Rng rng(1234 + static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::string src = random_expr(rng, 3);
+    const AstPtr ast = parse(src);
+    Program prog = compile(ast);
+    for (int trial = 0; trial < 8; ++trial) {
+      std::unordered_map<std::string, Value> vars{
+          {"a", Value(rng.uniform_int(-4, 12))},
+          {"b", Value(rng.uniform_int(-4, 12))},
+          {"c", Value(rng.uniform_int(-4, 12))}};
+      const Value expected = eval(*ast, map_env(vars));
+      std::vector<Value> values;
+      std::vector<std::uint32_t> slots;
+      for (const auto& name : prog.var_names()) {
+        slots.push_back(static_cast<std::uint32_t>(values.size()));
+        values.push_back(vars.at(name));
+      }
+      const Value got = prog.run(values.data(), slots.data());
+      // Compare truthiness and (when numeric on both sides) value.
+      EXPECT_EQ(expected.truthy(), got.truthy()) << src;
+      if (expected.is_numeric() && got.is_numeric()) {
+        EXPECT_DOUBLE_EQ(expected.as_real(), got.as_real()) << src;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeEquivalence, ::testing::Range(0, 8));

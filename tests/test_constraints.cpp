@@ -1,0 +1,273 @@
+// Tests for the builtin specific constraints: semantics, partial
+// consistency, and the preprocessing-soundness property (pruning never
+// removes a value that appears in a satisfying assignment).
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/util/rng.hpp"
+
+using namespace tunespace::csp;
+
+namespace {
+
+// Bind a constraint over a dense [0..n) index space and prepare it.
+void bind_and_prepare(Constraint& c, std::vector<Domain>& domains) {
+  std::vector<std::uint32_t> idx;
+  for (std::uint32_t i = 0; i < c.scope().size(); ++i) idx.push_back(i);
+  c.bind(idx);
+  std::vector<const Domain*> ptrs;
+  for (const auto& d : domains) ptrs.push_back(&d);
+  c.prepare(ptrs);
+}
+
+}  // namespace
+
+TEST(ProductConstraintTest, SatisfiedSemantics) {
+  MaxProduct c(1024, {"x", "y"});
+  std::vector<Domain> doms{Domain::powers(1, 1024), Domain::powers(1, 1024)};
+  bind_and_prepare(c, doms);
+  Value v1[] = {Value(32), Value(32)};
+  EXPECT_TRUE(c.satisfied(v1));
+  Value v2[] = {Value(64), Value(32)};
+  EXPECT_FALSE(c.satisfied(v2));
+}
+
+TEST(ProductConstraintTest, PartialPruningMaxProduct) {
+  MaxProduct c(100, {"x", "y"});
+  std::vector<Domain> doms{Domain::range(1, 50), Domain::range(2, 10)};
+  bind_and_prepare(c, doms);
+  ASSERT_TRUE(c.prunes_partial());
+  // x = 51 alone already exceeds 100 with min(y) = 2.
+  Value values[] = {Value(51), Value()};
+  unsigned char assigned[] = {1, 0};
+  EXPECT_FALSE(c.consistent(values, assigned));
+  values[0] = Value(50);
+  EXPECT_TRUE(c.consistent(values, assigned));
+}
+
+TEST(ProductConstraintTest, PartialPruningMinProduct) {
+  MinProduct c(100, {"x", "y"});
+  std::vector<Domain> doms{Domain::range(1, 50), Domain::range(1, 4)};
+  bind_and_prepare(c, doms);
+  // x = 10: even with max(y) = 4, product 40 < 100.
+  Value values[] = {Value(10), Value()};
+  unsigned char assigned[] = {1, 0};
+  EXPECT_FALSE(c.consistent(values, assigned));
+  values[0] = Value(30);
+  EXPECT_TRUE(c.consistent(values, assigned));
+}
+
+TEST(ProductConstraintTest, NonPositiveDomainsDisablePartial) {
+  MaxProduct c(10, {"x", "y"});
+  std::vector<Domain> doms{Domain::range(-5, 5), Domain::range(1, 4)};
+  bind_and_prepare(c, doms);
+  EXPECT_FALSE(c.prunes_partial());
+  // Partial check must stay conservative.
+  Value values[] = {Value(-5), Value()};
+  unsigned char assigned[] = {1, 0};
+  EXPECT_TRUE(c.consistent(values, assigned));
+}
+
+TEST(ProductConstraintTest, PreprocessPrunesDomains) {
+  MaxProduct c(64, {"x", "y"});
+  std::vector<Domain> doms{Domain::powers(1, 1024), Domain::powers(4, 64)};
+  std::vector<Domain*> ptrs{&doms[0], &doms[1]};
+  ASSERT_TRUE(c.preprocess(ptrs));
+  // With min(y) = 4, x cannot exceed 16.
+  EXPECT_EQ(doms[0].max_value(), Value(16));
+}
+
+TEST(ProductConstraintTest, PreprocessDetectsUnsat) {
+  MinProduct c(1000000, {"x", "y"});
+  std::vector<Domain> doms{Domain::range(1, 10), Domain::range(1, 10)};
+  std::vector<Domain*> ptrs{&doms[0], &doms[1]};
+  EXPECT_FALSE(c.preprocess(ptrs));
+}
+
+TEST(SumConstraintTest, WeightedSemantics) {
+  MaxSum c(20, {"x", "y"}, {2.0, 3.0});
+  std::vector<Domain> doms{Domain::range(0, 10), Domain::range(0, 10)};
+  bind_and_prepare(c, doms);
+  Value v1[] = {Value(4), Value(4)};
+  EXPECT_TRUE(c.satisfied(v1));  // 8 + 12 = 20 <= 20
+  Value v2[] = {Value(5), Value(4)};
+  EXPECT_FALSE(c.satisfied(v2));  // 22 > 20
+}
+
+TEST(SumConstraintTest, NegativeWeightsPartialBoundsAreSound) {
+  // x - y >= 3 with x in [0,5], y in [0,5].
+  MinSum c(3, {"x", "y"}, {1.0, -1.0});
+  std::vector<Domain> doms{Domain::range(0, 5), Domain::range(0, 5)};
+  bind_and_prepare(c, doms);
+  // x = 2: best case 2 - 0 = 2 < 3 -> inconsistent.
+  Value values[] = {Value(2), Value()};
+  unsigned char assigned[] = {1, 0};
+  EXPECT_FALSE(c.consistent(values, assigned));
+  values[0] = Value(3);
+  EXPECT_TRUE(c.consistent(values, assigned));
+}
+
+TEST(SumConstraintTest, PreprocessPrunes) {
+  MaxSum c(6, {"x", "y"});
+  std::vector<Domain> doms{Domain::range(1, 10), Domain::range(2, 10)};
+  std::vector<Domain*> ptrs{&doms[0], &doms[1]};
+  ASSERT_TRUE(c.preprocess(ptrs));
+  EXPECT_EQ(doms[0].max_value(), Value(4));  // 4 + min(y)=2 <= 6
+  EXPECT_EQ(doms[1].max_value(), Value(5));
+}
+
+TEST(VarComparisonTest, Semantics) {
+  VarComparison c("a", CmpOp::Lt, "b");
+  std::vector<Domain> doms{Domain::range(1, 5), Domain::range(1, 5)};
+  bind_and_prepare(c, doms);
+  Value v1[] = {Value(2), Value(3)};
+  EXPECT_TRUE(c.satisfied(v1));
+  Value v2[] = {Value(3), Value(3)};
+  EXPECT_FALSE(c.satisfied(v2));
+}
+
+TEST(VarComparisonTest, PreprocessLt) {
+  VarComparison c("a", CmpOp::Lt, "b");
+  std::vector<Domain> doms{Domain::range(1, 10), Domain::range(1, 5)};
+  std::vector<Domain*> ptrs{&doms[0], &doms[1]};
+  ASSERT_TRUE(c.preprocess(ptrs));
+  EXPECT_EQ(doms[0].max_value(), Value(4));  // a < max(b)=5
+  EXPECT_EQ(doms[1].min_value(), Value(2));  // b > min(a)=1
+}
+
+TEST(VarComparisonTest, PreprocessEqIntersects) {
+  VarComparison c("a", CmpOp::Eq, "b");
+  std::vector<Domain> doms{Domain({Value(1), Value(2), Value(3)}),
+                           Domain({Value(2), Value(3), Value(4)})};
+  std::vector<Domain*> ptrs{&doms[0], &doms[1]};
+  ASSERT_TRUE(c.preprocess(ptrs));
+  EXPECT_EQ(doms[0].size(), 2u);
+  EXPECT_EQ(doms[1].size(), 2u);
+}
+
+TEST(DivisibilityTest, VariableDivisor) {
+  Divisibility c("a", "b");
+  std::vector<Domain> doms{Domain::range(1, 16), Domain::range(1, 16)};
+  bind_and_prepare(c, doms);
+  Value v1[] = {Value(12), Value(4)};
+  EXPECT_TRUE(c.satisfied(v1));
+  Value v2[] = {Value(12), Value(5)};
+  EXPECT_FALSE(c.satisfied(v2));
+}
+
+TEST(DivisibilityTest, ConstantDivisorPreprocess) {
+  Divisibility c("a", std::int64_t{4});
+  std::vector<Domain> doms{Domain::range(1, 16)};
+  std::vector<Domain*> ptrs{&doms[0]};
+  ASSERT_TRUE(c.preprocess(ptrs));
+  EXPECT_EQ(doms[0].size(), 4u);  // 4, 8, 12, 16
+}
+
+TEST(InSetTest, PreprocessFilters) {
+  InSet c("x", {Value(2), Value(8)});
+  std::vector<Domain> doms{Domain::powers(1, 16)};
+  std::vector<Domain*> ptrs{&doms[0]};
+  ASSERT_TRUE(c.preprocess(ptrs));
+  EXPECT_EQ(doms[0].size(), 2u);
+}
+
+TEST(InSetTest, NegatedPreprocess) {
+  InSet c("x", {Value(2), Value(8)}, /*negated=*/true);
+  std::vector<Domain> doms{Domain::powers(1, 16)};
+  std::vector<Domain*> ptrs{&doms[0]};
+  ASSERT_TRUE(c.preprocess(ptrs));
+  EXPECT_EQ(doms[0].size(), 3u);  // 1, 4, 16
+}
+
+TEST(AllDifferentTest, PartialConsistency) {
+  AllDifferent c({"a", "b", "c"});
+  std::vector<Domain> doms(3, Domain::range(1, 3));
+  bind_and_prepare(c, doms);
+  Value values[] = {Value(1), Value(1), Value()};
+  unsigned char assigned[] = {1, 1, 0};
+  EXPECT_FALSE(c.consistent(values, assigned));
+  values[1] = Value(2);
+  EXPECT_TRUE(c.consistent(values, assigned));
+}
+
+TEST(AllEqualTest, Semantics) {
+  AllEqual c({"a", "b"});
+  std::vector<Domain> doms(2, Domain::range(1, 3));
+  bind_and_prepare(c, doms);
+  Value v1[] = {Value(2), Value(2)};
+  EXPECT_TRUE(c.satisfied(v1));
+  Value v2[] = {Value(2), Value(3)};
+  EXPECT_FALSE(c.satisfied(v2));
+}
+
+TEST(ConstBoolTest, Behaviour) {
+  ConstBool t(true), f(false);
+  EXPECT_TRUE(t.satisfied(nullptr));
+  EXPECT_FALSE(f.satisfied(nullptr));
+  std::vector<Domain*> none;
+  EXPECT_TRUE(t.preprocess(none));
+  EXPECT_FALSE(f.preprocess(none));
+}
+
+// --- Preprocessing soundness property ---------------------------------------
+// For random product/sum constraints over random domains, preprocessing must
+// never remove a value that participates in any satisfying assignment.
+class PreprocessSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessSoundness, NeverRemovesSupportedValues) {
+  tunespace::util::Rng rng(500 + static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 30; ++iter) {
+    const bool product = rng.chance(0.5);
+    const CmpOp op =
+        std::array{CmpOp::Le, CmpOp::Ge, CmpOp::Eq}[rng.index(3)];
+    std::vector<Domain> doms;
+    const std::size_t nvars = 2 + rng.index(2);
+    for (std::size_t i = 0; i < nvars; ++i) {
+      std::vector<Value> vals;
+      const std::size_t n = 2 + rng.index(6);
+      for (std::size_t k = 0; k < n; ++k) vals.emplace_back(rng.uniform_int(1, 12));
+      doms.emplace_back(std::move(vals));
+    }
+    const double bound = static_cast<double>(rng.uniform_int(1, 100));
+    std::vector<std::string> scope;
+    for (std::size_t i = 0; i < nvars; ++i) scope.push_back("v" + std::to_string(i));
+    std::unique_ptr<Constraint> c;
+    if (product) c = std::make_unique<ProductConstraint>(op, bound, scope);
+    else c = std::make_unique<SumConstraint>(op, bound, scope);
+    std::vector<std::uint32_t> idx;
+    for (std::uint32_t i = 0; i < nvars; ++i) idx.push_back(i);
+    c->bind(idx);
+
+    // Reference: for each variable, the set of values with support.
+    auto supported = [&](std::size_t var, const Value& v) {
+      std::vector<std::size_t> counters(nvars, 0);
+      for (;;) {
+        std::vector<Value> assignment;
+        for (std::size_t i = 0; i < nvars; ++i) assignment.push_back(doms[i][counters[i]]);
+        assignment[var] = v;
+        if (c->satisfied(assignment.data())) return true;
+        std::size_t i = 0;
+        for (; i < nvars; ++i) {
+          if (++counters[i] < doms[i].size()) break;
+          counters[i] = 0;
+        }
+        if (i == nvars) return false;
+      }
+    };
+
+    std::vector<Domain> pruned = doms;
+    std::vector<Domain*> ptrs;
+    for (auto& d : pruned) ptrs.push_back(&d);
+    c->preprocess(ptrs);
+    for (std::size_t var = 0; var < nvars; ++var) {
+      for (const Value& v : doms[var].values()) {
+        if (supported(var, v)) {
+          EXPECT_TRUE(pruned[var].contains(v))
+              << c->describe() << " wrongly pruned " << v.to_string();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessSoundness, ::testing::Range(0, 6));

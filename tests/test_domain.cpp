@@ -1,0 +1,71 @@
+// Unit tests for csp::Domain.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/domain.hpp"
+
+namespace csp = tunespace::csp;
+using csp::Domain;
+using csp::Value;
+
+TEST(Domain, RangeConstruction) {
+  Domain d = Domain::range(2, 10, 2);
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0], Value(2));
+  EXPECT_EQ(d[4], Value(10));
+}
+
+TEST(Domain, PowersConstruction) {
+  Domain d = Domain::powers(1, 1024);
+  ASSERT_EQ(d.size(), 11u);
+  EXPECT_EQ(d[0], Value(1));
+  EXPECT_EQ(d[10], Value(1024));
+}
+
+TEST(Domain, IndexOfAndContains) {
+  Domain d({Value(1), Value(4), Value(16)});
+  EXPECT_EQ(d.index_of(Value(4)), 1u);
+  EXPECT_EQ(d.index_of(Value(5)), Domain::npos);
+  EXPECT_TRUE(d.contains(Value(16)));
+  EXPECT_FALSE(d.contains(Value(2)));
+}
+
+TEST(Domain, IndexOfCrossKind) {
+  Domain d({Value(1), Value(2)});
+  EXPECT_EQ(d.index_of(Value(2.0)), 1u);  // 2 == 2.0
+}
+
+TEST(Domain, FilterRemovesAndCounts) {
+  Domain d = Domain::range(1, 10);
+  const std::size_t removed = d.filter([](const Value& v) { return v.as_int() % 2 == 0; });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0], Value(2));
+}
+
+TEST(Domain, FilterPreservesOrder) {
+  Domain d({Value(8), Value(2), Value(32)});
+  d.filter([](const Value& v) { return v.as_int() > 2; });
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], Value(8));
+  EXPECT_EQ(d[1], Value(32));
+}
+
+TEST(Domain, MinMax) {
+  Domain d({Value(8), Value(2), Value(32)});
+  EXPECT_EQ(d.min_value(), Value(2));
+  EXPECT_EQ(d.max_value(), Value(32));
+}
+
+TEST(Domain, MinMaxEmptyThrows) {
+  Domain d;
+  EXPECT_THROW(d.min_value(), std::out_of_range);
+  EXPECT_THROW(d.max_value(), std::out_of_range);
+}
+
+TEST(Domain, NumericChecks) {
+  EXPECT_TRUE(Domain({Value(1), Value(2.5)}).all_numeric());
+  EXPECT_FALSE(Domain({Value(1), Value("x")}).all_numeric());
+  EXPECT_TRUE(Domain({Value(1), Value(2)}).all_positive());
+  EXPECT_FALSE(Domain({Value(0), Value(2)}).all_positive());
+  EXPECT_FALSE(Domain({Value(-1), Value(2)}).all_positive());
+}

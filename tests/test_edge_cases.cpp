@@ -1,0 +1,193 @@
+// Edge-case and failure-injection tests across the stack: degenerate
+// domains, hostile expressions, raising constraints, and boundary shapes
+// the main suites do not exercise.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/expr/compiler.hpp"
+#include "tunespace/expr/interpreter.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/searchspace/neighbors.hpp"
+#include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/solver/brute_force.hpp"
+#include "tunespace/solver/validate.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+
+using namespace tunespace;
+using csp::Value;
+
+// --- Degenerate domains ------------------------------------------------------
+
+TEST(EdgeDomains, SingleValueParametersEverywhere) {
+  tuner::TuningProblem spec("all-fixed");
+  spec.add_param("a", {7}).add_param("b", {3}).add_param("c", {2});
+  spec.add_constraint("a > b and b > c");
+  for (const auto& method : tuner::construction_methods(true)) {
+    auto result = tuner::construct(spec, method);
+    EXPECT_EQ(result.solutions.size(), 1u) << method.name;
+  }
+}
+
+TEST(EdgeDomains, SingleValueViolatingConstraint) {
+  tuner::TuningProblem spec("fixed-invalid");
+  spec.add_param("a", {1}).add_param("b", {2});
+  spec.add_constraint("a > b");
+  for (const auto& method : tuner::construction_methods(true)) {
+    auto result = tuner::construct(spec, method);
+    EXPECT_EQ(result.solutions.size(), 0u) << method.name;
+  }
+}
+
+TEST(EdgeDomains, DuplicateValuesInDomainAreEnumerated) {
+  // Domains are value *lists*; a repeated value yields distinct index rows.
+  csp::Problem p;
+  p.add_variable("x", csp::Domain({Value(2), Value(2), Value(3)}));
+  auto result = solver::BruteForce{}.solve(p);
+  EXPECT_EQ(result.solutions.size(), 3u);
+}
+
+TEST(EdgeDomains, NegativeAndZeroValuesWithProducts) {
+  // Product constraints over non-positive domains must stay correct (the
+  // monotone fast path is disabled; generic evaluation takes over).
+  tuner::TuningProblem spec("negatives");
+  spec.add_param("a", {-4, -2, 0, 2, 4}).add_param("b", {-3, -1, 1, 3});
+  spec.add_constraint("a * b >= 4");
+  auto methods = tuner::construction_methods(false);
+  auto opt = tuner::construct(spec, methods[0]);
+  auto brute = tuner::construct(spec, methods[3]);
+  EXPECT_TRUE(opt.solutions.same_solutions(brute.solutions));
+  std::size_t expected = 0;
+  for (int a : {-4, -2, 0, 2, 4}) {
+    for (int b : {-3, -1, 1, 3}) {
+      if (a * b >= 4) ++expected;
+    }
+  }
+  EXPECT_EQ(opt.solutions.size(), expected);
+}
+
+// --- Hostile expressions ------------------------------------------------------
+
+TEST(EdgeExpressions, DivisionByZeroParameterInvalidatesConfigs) {
+  // b = 0 raises in a / b; those configurations must be invalid, not fatal.
+  tuner::TuningProblem spec("divzero");
+  spec.add_param("a", {2, 4}).add_param("b", {0, 1, 2});
+  spec.add_constraint("a / b >= 2");
+  auto methods = tuner::construction_methods(false);
+  for (const auto& m : methods) {
+    auto result = tuner::construct(spec, m);
+    // valid: (2,1), (4,1), (4,2) — b=0 rows all invalid.
+    EXPECT_EQ(result.solutions.size(), 3u) << m.name;
+  }
+}
+
+TEST(EdgeExpressions, StringNumberComparisonInvalidates) {
+  tuner::TuningProblem spec("typemix");
+  spec.add_param("layout", std::vector<Value>{Value("NHWC"), Value("NCHW")})
+      .add_param("w", {1, 2});
+  spec.add_constraint("layout < w or w == 2");  // '<' raises; 'or' saves w==2
+  auto methods = tuner::construction_methods(false);
+  auto result = tuner::construct(spec, methods[0]);
+  // Interpreted/compiled 'or' short-circuits left-to-right: the raising
+  // branch evaluates first and poisons the whole constraint, so only the
+  // raising path matters -> all rows where the lhs raises are invalid.
+  // Python would raise too; our semantics map raising to invalid.
+  EXPECT_EQ(result.solutions.size(), 0u);
+}
+
+TEST(EdgeExpressions, DeepChainAndNesting) {
+  const auto ast = expr::parse("1 < 2 < 3 < 4 < 5 < 6 < 7 < 8");
+  EXPECT_TRUE(expr::eval_bool(*ast, expr::map_env({})));
+  const expr::Program prog = expr::compile(ast);
+  EXPECT_TRUE(prog.run_bool(nullptr, nullptr));
+
+  std::string deep = "x";
+  for (int i = 0; i < 60; ++i) deep = "(" + deep + " + 1)";
+  std::unordered_map<std::string, Value> vars{{"x", Value(0)}};
+  EXPECT_EQ(expr::eval(*expr::parse(deep), expr::map_env(vars)), Value(60));
+}
+
+TEST(EdgeExpressions, HugeExponentPromotesNotCrashes) {
+  std::unordered_map<std::string, Value> vars;
+  const Value v = expr::eval(*expr::parse("10 ** 100"), expr::map_env(vars));
+  EXPECT_TRUE(v.is_real());
+  EXPECT_GT(v.as_real(), 1e99);
+}
+
+TEST(EdgeExpressions, WhitespaceAndFormattingRobust) {
+  const auto a = expr::parse("  32<=block_size_x*block_size_y  ");
+  const auto b = expr::parse("32 <= block_size_x * block_size_y");
+  EXPECT_TRUE(a->equals(*b));
+}
+
+// --- Constraint layering -------------------------------------------------------
+
+TEST(EdgeConstraints, SameVariableInManyConstraints) {
+  tuner::TuningProblem spec("layered");
+  spec.add_param("x", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  spec.add_constraint("x % 2 == 0");
+  spec.add_constraint("x % 3 == 0");
+  spec.add_constraint("x >= 6");
+  spec.add_constraint("x <= 12");
+  auto methods = tuner::construction_methods(false);
+  for (const auto& m : methods) {
+    auto result = tuner::construct(spec, m);
+    EXPECT_EQ(result.solutions.size(), 2u) << m.name;  // 6 and 12
+  }
+}
+
+TEST(EdgeConstraints, RedundantDuplicateConstraints) {
+  tuner::TuningProblem spec("dupes");
+  spec.add_param("a", {1, 2, 3, 4}).add_param("b", {1, 2, 3, 4});
+  for (int i = 0; i < 5; ++i) spec.add_constraint("a * b <= 6");
+  auto methods = tuner::construction_methods(false);
+  auto opt = tuner::construct(spec, methods[0]);
+  auto brute = tuner::construct(spec, methods[3]);
+  EXPECT_TRUE(opt.solutions.same_solutions(brute.solutions));
+}
+
+TEST(EdgeConstraints, ContradictoryConstraintsAcrossGroups) {
+  tuner::TuningProblem spec("contradiction");
+  spec.add_param("a", {1, 2}).add_param("b", {1, 2}).add_param("c", {1, 2});
+  spec.add_constraint("a < b");
+  spec.add_constraint("b < a");  // contradiction within the {a,b} group
+  for (const auto& m : tuner::construction_methods(true)) {
+    EXPECT_EQ(tuner::construct(spec, m).solutions.size(), 0u) << m.name;
+  }
+}
+
+// --- SearchSpace corners --------------------------------------------------------
+
+TEST(EdgeSearchSpace, SingletonSpaceNeighbors) {
+  tuner::TuningProblem spec("singleton");
+  spec.add_param("a", {1, 2}).add_param("b", {1, 2});
+  spec.add_constraint("a == 2 and b == 2");
+  searchspace::SearchSpace space(spec);
+  ASSERT_EQ(space.size(), 1u);
+  EXPECT_TRUE(searchspace::neighbors_of(space, 0).empty());
+  EXPECT_EQ(space.present_values(0).size(), 1u);
+}
+
+TEST(EdgeSearchSpace, FullyDenseSpace) {
+  tuner::TuningProblem spec("dense");
+  spec.add_param("a", {1, 2, 3}).add_param("b", {1, 2, 3});
+  searchspace::SearchSpace space(spec);
+  EXPECT_EQ(space.size(), 9u);
+  EXPECT_DOUBLE_EQ(space.sparsity(), 0.0);
+  // Every config has 4 Hamming-1 neighbours (2 per dimension).
+  for (std::size_t r = 0; r < space.size(); ++r) {
+    EXPECT_EQ(searchspace::neighbors_of(space, r).size(), 4u);
+  }
+}
+
+// --- Stats sanity on a known search --------------------------------------------
+
+TEST(EdgeStats, NodeCountsAreConsistentAcrossSolvers) {
+  tuner::TuningProblem spec("counts");
+  spec.add_param("a", {1, 2, 3, 4}).add_param("b", {1, 2, 3, 4});
+  spec.add_constraint("a * b <= 8");
+  auto problem = tuner::build_problem(spec, tuner::PipelineOptions::compiled_raw());
+  auto brute = solver::BruteForce{}.solve(problem);
+  // Brute force visits exactly the Cartesian product.
+  EXPECT_EQ(brute.stats.nodes, 16u);
+  EXPECT_GE(brute.stats.constraint_checks, 16u);
+}

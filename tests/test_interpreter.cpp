@@ -1,0 +1,127 @@
+// Unit tests for the tree-walking interpreter: Python semantics.
+#include <gtest/gtest.h>
+
+#include "tunespace/expr/interpreter.hpp"
+#include "tunespace/expr/parser.hpp"
+
+using namespace tunespace::expr;
+using tunespace::csp::Value;
+
+namespace {
+Value ev(const std::string& src,
+         const std::unordered_map<std::string, Value>& vars = {}) {
+  return eval(*parse(src), map_env(vars));
+}
+}  // namespace
+
+TEST(Interpreter, IntArithmetic) {
+  EXPECT_EQ(ev("2 + 3 * 4"), Value(14));
+  EXPECT_EQ(ev("10 - 3"), Value(7));
+  EXPECT_EQ(ev("2 ** 10"), Value(1024));
+  EXPECT_TRUE(ev("2 ** 10").is_int());
+}
+
+TEST(Interpreter, TrueDivisionAlwaysReal) {
+  EXPECT_EQ(ev("7 / 2"), Value(3.5));
+  EXPECT_TRUE(ev("4 / 2").is_real());
+  EXPECT_EQ(ev("4 / 2"), Value(2.0));
+}
+
+TEST(Interpreter, FloorDivisionPythonSemantics) {
+  EXPECT_EQ(ev("7 // 2"), Value(3));
+  EXPECT_EQ(ev("-7 // 2"), Value(-4));  // floors toward -inf
+  EXPECT_EQ(ev("7 // -2"), Value(-4));
+  EXPECT_EQ(ev("7.5 // 2"), Value(3.0));
+}
+
+TEST(Interpreter, ModuloPythonSemantics) {
+  EXPECT_EQ(ev("7 % 3"), Value(1));
+  EXPECT_EQ(ev("-7 % 3"), Value(2));   // sign of divisor
+  EXPECT_EQ(ev("7 % -3"), Value(-2));
+  EXPECT_EQ(ev("-7 % -3"), Value(-1));
+}
+
+TEST(Interpreter, DivisionByZeroRaises) {
+  EXPECT_THROW(ev("1 / 0"), EvalError);
+  EXPECT_THROW(ev("1 // 0"), EvalError);
+  EXPECT_THROW(ev("1 % 0"), EvalError);
+}
+
+TEST(Interpreter, IntOverflowPromotesToReal) {
+  const Value v = ev("2 ** 63");
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.as_real(), 9223372036854775808.0);
+}
+
+TEST(Interpreter, NegativeExponentGoesReal) {
+  EXPECT_EQ(ev("2 ** -1"), Value(0.5));
+}
+
+TEST(Interpreter, ChainedComparison) {
+  EXPECT_EQ(ev("1 < 2 < 3"), Value(true));
+  EXPECT_EQ(ev("1 < 3 < 2"), Value(false));
+  EXPECT_EQ(ev("2 <= 2 <= 2"), Value(true));
+}
+
+TEST(Interpreter, ChainShortCircuits) {
+  // If the first comparison fails, the rest must not be evaluated:
+  // 1/0 would raise.
+  EXPECT_EQ(ev("3 < 2 < 1 / 0"), Value(false));
+}
+
+TEST(Interpreter, BoolOps) {
+  EXPECT_EQ(ev("True and False"), Value(false));
+  EXPECT_EQ(ev("True or False"), Value(true));
+  EXPECT_EQ(ev("not 0"), Value(true));
+  // Short circuit: rhs division by zero never runs.
+  EXPECT_EQ(ev("False and 1 / 0"), Value(false));
+  EXPECT_EQ(ev("True or 1 / 0"), Value(true));
+}
+
+TEST(Interpreter, Membership) {
+  EXPECT_EQ(ev("2 in (1, 2, 3)"), Value(true));
+  EXPECT_EQ(ev("5 in (1, 2, 3)"), Value(false));
+  EXPECT_EQ(ev("5 not in (1, 2, 3)"), Value(true));
+  EXPECT_EQ(ev("'a' in ('a', 'b')"), Value(true));
+}
+
+TEST(Interpreter, Variables) {
+  std::unordered_map<std::string, Value> vars{{"x", Value(8)}, {"y", Value(4)}};
+  EXPECT_EQ(eval(*parse("x * y"), map_env(vars)), Value(32));
+  EXPECT_THROW(eval(*parse("z"), map_env(vars)), EvalError);
+}
+
+TEST(Interpreter, Builtins) {
+  EXPECT_EQ(ev("min(3, 1, 2)"), Value(1));
+  EXPECT_EQ(ev("max(3, 1, 2)"), Value(3));
+  EXPECT_EQ(ev("abs(-5)"), Value(5));
+  EXPECT_EQ(ev("abs(-5.5)"), Value(5.5));
+  EXPECT_EQ(ev("pow(2, 8)"), Value(256));
+  EXPECT_EQ(ev("gcd(12, 18)"), Value(6));
+  EXPECT_EQ(ev("int(3.7)"), Value(3));
+  EXPECT_EQ(ev("float(3)"), Value(3.0));
+  EXPECT_THROW(ev("frobnicate(1)"), EvalError);
+}
+
+TEST(Interpreter, StringOps) {
+  EXPECT_EQ(ev("'a' + 'b'"), Value("ab"));
+  EXPECT_EQ(ev("'a' == 'a'"), Value(true));
+  EXPECT_EQ(ev("'a' < 'b'"), Value(true));
+  EXPECT_THROW(ev("'a' * 'b'"), EvalError);
+  EXPECT_THROW(ev("'a' < 1"), EvalError);
+}
+
+TEST(Interpreter, MixedIntRealComparisons) {
+  EXPECT_EQ(ev("1 == 1.0"), Value(true));
+  EXPECT_EQ(ev("3 > 2.5"), Value(true));
+}
+
+TEST(Interpreter, PaperExampleConstraint) {
+  std::unordered_map<std::string, Value> vars{{"block_size_x", Value(64)},
+                                              {"block_size_y", Value(8)}};
+  EXPECT_TRUE(eval_bool(*parse("32 <= block_size_x * block_size_y <= 1024"),
+                        map_env(vars)));
+  vars["block_size_y"] = Value(32);
+  EXPECT_FALSE(eval_bool(*parse("32 <= block_size_x * block_size_y <= 1024"),
+                         map_env(vars)));
+}

@@ -1,0 +1,86 @@
+// Unit tests for the expression lexer.
+#include <gtest/gtest.h>
+
+#include "tunespace/expr/lexer.hpp"
+
+using namespace tunespace::expr;
+using tunespace::csp::Value;
+
+namespace {
+std::vector<TokKind> kinds(const std::string& src) {
+  std::vector<TokKind> out;
+  for (const auto& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+}  // namespace
+
+TEST(Lexer, Numbers) {
+  auto toks = tokenize("42 3.5 1e3 2.5e-2");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].value, Value(42));
+  EXPECT_TRUE(toks[0].value.is_int());
+  EXPECT_EQ(toks[1].value, Value(3.5));
+  EXPECT_TRUE(toks[1].value.is_real());
+  EXPECT_EQ(toks[2].value, Value(1000.0));
+  EXPECT_EQ(toks[3].value, Value(0.025));
+}
+
+TEST(Lexer, Strings) {
+  auto toks = tokenize("'abc' \"def\" 'a\\'b'");
+  EXPECT_EQ(toks[0].value.as_str(), "abc");
+  EXPECT_EQ(toks[1].value.as_str(), "def");
+  EXPECT_EQ(toks[2].value.as_str(), "a'b");
+}
+
+TEST(Lexer, OperatorsAndCompounds) {
+  EXPECT_EQ(kinds("+ - * ** / // %"),
+            (std::vector<TokKind>{TokKind::Plus, TokKind::Minus, TokKind::Star,
+                                  TokKind::DoubleStar, TokKind::Slash,
+                                  TokKind::DoubleSlash, TokKind::Percent,
+                                  TokKind::End}));
+  EXPECT_EQ(kinds("< <= > >= == !="),
+            (std::vector<TokKind>{TokKind::Lt, TokKind::Le, TokKind::Gt,
+                                  TokKind::Ge, TokKind::EqEq, TokKind::NotEq,
+                                  TokKind::End}));
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto toks = tokenize("and or not in True False android");
+  EXPECT_EQ(toks[0].kind, TokKind::KwAnd);
+  EXPECT_EQ(toks[1].kind, TokKind::KwOr);
+  EXPECT_EQ(toks[2].kind, TokKind::KwNot);
+  EXPECT_EQ(toks[3].kind, TokKind::KwIn);
+  EXPECT_EQ(toks[4].kind, TokKind::KwTrue);
+  EXPECT_EQ(toks[5].kind, TokKind::KwFalse);
+  EXPECT_EQ(toks[6].kind, TokKind::Ident);
+  EXPECT_EQ(toks[6].text, "android");
+}
+
+TEST(Lexer, BracketsAndCommas) {
+  EXPECT_EQ(kinds("( ) [ ] ,"),
+            (std::vector<TokKind>{TokKind::LParen, TokKind::RParen,
+                                  TokKind::LBracket, TokKind::RBracket,
+                                  TokKind::Comma, TokKind::End}));
+}
+
+TEST(Lexer, OffsetsTracked) {
+  auto toks = tokenize("a + bb");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 2u);
+  EXPECT_EQ(toks[2].offset, 4u);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(tokenize("a = b"), SyntaxError);
+  EXPECT_THROW(tokenize("a ! b"), SyntaxError);
+  EXPECT_THROW(tokenize("'unterminated"), SyntaxError);
+  EXPECT_THROW(tokenize("a ? b"), SyntaxError);
+}
+
+TEST(Lexer, RealWorldConstraint) {
+  auto toks = tokenize("32 <= block_size_x*block_size_y <= 1024");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_EQ(toks[0].value, Value(32));
+  EXPECT_EQ(toks[1].kind, TokKind::Le);
+  EXPECT_EQ(toks[2].text, "block_size_x");
+}

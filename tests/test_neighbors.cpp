@@ -1,0 +1,116 @@
+// Tests for neighbour queries, validated against naive reference
+// implementations over the materialized space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tunespace/searchspace/neighbors.hpp"
+
+using namespace tunespace;
+using namespace tunespace::searchspace;
+
+namespace {
+
+tuner::TuningProblem spec3d() {
+  tuner::TuningProblem spec("3d");
+  spec.add_param("a", {1, 2, 4, 8})
+      .add_param("b", {1, 2, 3, 4, 5})
+      .add_param("c", {1, 2});
+  spec.add_constraint("a * b <= 16");
+  spec.add_constraint("b + c >= 2");
+  return spec;
+}
+
+// Reference: rows differing from `row` in exactly `dist` parameters.
+std::vector<std::size_t> naive_hamming(const SearchSpace& s, std::size_t row,
+                                       std::size_t max_dist) {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    if (r == row) continue;
+    std::size_t diff = 0;
+    for (std::size_t p = 0; p < s.num_params(); ++p) {
+      if (s.value_index(r, p) != s.value_index(row, p)) ++diff;
+    }
+    if (diff >= 1 && diff <= max_dist) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Neighbors, Hamming1MatchesNaive) {
+  SearchSpace space(spec3d());
+  ASSERT_GT(space.size(), 0u);
+  for (std::size_t row = 0; row < space.size(); ++row) {
+    auto fast = neighbors_of(space, row, NeighborMethod::Hamming1);
+    auto ref = naive_hamming(space, row, 1);
+    std::sort(fast.begin(), fast.end());
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(fast, ref) << "row " << row;
+  }
+}
+
+TEST(Neighbors, WithinHamming2MatchesNaive) {
+  SearchSpace space(spec3d());
+  for (std::size_t row = 0; row < space.size(); row += 3) {
+    auto fast = neighbors_within_hamming(space, row, 2);
+    auto ref = naive_hamming(space, row, 2);
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(fast, ref) << "row " << row;
+  }
+}
+
+TEST(Neighbors, FullHammingReachesEverything) {
+  SearchSpace space(spec3d());
+  auto all = neighbors_within_hamming(space, 0, space.num_params());
+  EXPECT_EQ(all.size(), space.size() - 1);
+}
+
+TEST(Neighbors, AdjacentIsSubsetOfHamming1) {
+  SearchSpace space(spec3d());
+  for (std::size_t row = 0; row < space.size(); ++row) {
+    auto adj = neighbors_of(space, row, NeighborMethod::Adjacent);
+    auto ham = neighbors_of(space, row, NeighborMethod::Hamming1);
+    std::sort(ham.begin(), ham.end());
+    for (std::size_t n : adj) {
+      EXPECT_TRUE(std::binary_search(ham.begin(), ham.end(), n));
+      // Adjacent differs in exactly one param by one present-value step.
+      std::size_t diffs = 0;
+      for (std::size_t p = 0; p < space.num_params(); ++p) {
+        if (space.value_index(row, p) != space.value_index(n, p)) ++diffs;
+      }
+      EXPECT_EQ(diffs, 1u);
+    }
+  }
+}
+
+TEST(Neighbors, StrictlyAdjacentUsesDeclaredOrder) {
+  SearchSpace space(spec3d());
+  for (std::size_t row = 0; row < space.size(); ++row) {
+    for (std::size_t n : neighbors_of(space, row, NeighborMethod::StrictlyAdjacent)) {
+      std::size_t diffs = 0;
+      for (std::size_t p = 0; p < space.num_params(); ++p) {
+        const auto a = space.value_index(row, p), b = space.value_index(n, p);
+        if (a != b) {
+          ++diffs;
+          EXPECT_EQ(std::max(a, b) - std::min(a, b), 1u);
+        }
+      }
+      EXPECT_EQ(diffs, 1u);
+    }
+  }
+}
+
+TEST(Neighbors, IndexPrecomputesAllLists) {
+  SearchSpace space(spec3d());
+  NeighborIndex index(space, NeighborMethod::Hamming1);
+  std::size_t edges = 0;
+  for (std::size_t row = 0; row < space.size(); ++row) {
+    auto direct = neighbors_of(space, row, NeighborMethod::Hamming1);
+    EXPECT_EQ(index.neighbors(row), direct);
+    edges += direct.size();
+  }
+  EXPECT_EQ(index.total_edges(), edges);
+  // Hamming-1 adjacency is symmetric, so the edge count is even.
+  EXPECT_EQ(edges % 2, 0u);
+}

@@ -1,0 +1,127 @@
+// Unit tests for the expression parser: precedence, chaining, round-trips.
+#include <gtest/gtest.h>
+
+#include "tunespace/expr/parser.hpp"
+
+using namespace tunespace::expr;
+
+namespace {
+// Round-trip helper: parse(to_string(parse(src))) must be structurally equal.
+void expect_roundtrip(const std::string& src) {
+  const AstPtr a = parse(src);
+  const AstPtr b = parse(a->to_string());
+  EXPECT_TRUE(a->equals(*b)) << src << " -> " << a->to_string();
+}
+}  // namespace
+
+TEST(Parser, Precedence) {
+  // a + b * c parses as a + (b * c)
+  AstPtr e = parse("a + b * c");
+  ASSERT_EQ(e->kind, AstKind::Binary);
+  EXPECT_EQ(e->bin_op, BinOp::Add);
+  EXPECT_EQ(e->children[1]->bin_op, BinOp::Mul);
+}
+
+TEST(Parser, PowerRightAssociative) {
+  AstPtr e = parse("2 ** 3 ** 2");
+  ASSERT_EQ(e->kind, AstKind::Binary);
+  EXPECT_EQ(e->bin_op, BinOp::Pow);
+  EXPECT_EQ(e->children[1]->bin_op, BinOp::Pow);
+}
+
+TEST(Parser, UnaryBindsTighterThanMul) {
+  AstPtr e = parse("-a * b");
+  EXPECT_EQ(e->kind, AstKind::Binary);
+  EXPECT_EQ(e->bin_op, BinOp::Mul);
+  EXPECT_EQ(e->children[0]->kind, AstKind::Unary);
+}
+
+TEST(Parser, ComparisonChain) {
+  AstPtr e = parse("2 <= y <= 32 <= x * y <= 1024");
+  ASSERT_EQ(e->kind, AstKind::Compare);
+  EXPECT_EQ(e->cmp_ops.size(), 4u);
+  EXPECT_EQ(e->children.size(), 5u);
+}
+
+TEST(Parser, BooleanPrecedence) {
+  // not binds tighter than and, and tighter than or.
+  AstPtr e = parse("a or not b and c");
+  ASSERT_EQ(e->kind, AstKind::BoolOp);
+  EXPECT_FALSE(e->is_and);
+  const AstPtr& rhs = e->children[1];
+  ASSERT_EQ(rhs->kind, AstKind::BoolOp);
+  EXPECT_TRUE(rhs->is_and);
+  EXPECT_EQ(rhs->children[0]->kind, AstKind::Unary);
+}
+
+TEST(Parser, MembershipTuple) {
+  AstPtr e = parse("x in (1, 2, 4)");
+  ASSERT_EQ(e->kind, AstKind::Compare);
+  EXPECT_EQ(e->cmp_ops[0], CompareOp::In);
+  EXPECT_EQ(e->children[1]->kind, AstKind::Tuple);
+  EXPECT_EQ(e->children[1]->children.size(), 3u);
+}
+
+TEST(Parser, NotIn) {
+  AstPtr e = parse("x not in (1, 2)");
+  ASSERT_EQ(e->kind, AstKind::Compare);
+  EXPECT_EQ(e->cmp_ops[0], CompareOp::NotIn);
+}
+
+TEST(Parser, ListLiteral) {
+  AstPtr e = parse("x in [1, 2, 4]");
+  EXPECT_EQ(e->children[1]->kind, AstKind::Tuple);
+}
+
+TEST(Parser, SubscriptStyle) {
+  // Kernel Tuner lambda style: p["name"] is the parameter named "name".
+  AstPtr e = parse("32 <= p[\"block_size_x\"] * p[\"block_size_y\"]");
+  ASSERT_EQ(e->kind, AstKind::Compare);
+  const AstPtr& prod = e->children[1];
+  EXPECT_EQ(prod->children[0]->name, "block_size_x");
+  EXPECT_EQ(prod->children[1]->name, "block_size_y");
+}
+
+TEST(Parser, Calls) {
+  AstPtr e = parse("min(a, b) + max(1, 2, 3)");
+  EXPECT_EQ(e->children[0]->kind, AstKind::Call);
+  EXPECT_EQ(e->children[0]->name, "min");
+  EXPECT_EQ(e->children[1]->children.size(), 3u);
+}
+
+TEST(Parser, ParenGroupIsNotTuple) {
+  AstPtr e = parse("(a + b) * c");
+  EXPECT_EQ(e->kind, AstKind::Binary);
+  EXPECT_EQ(e->bin_op, BinOp::Mul);
+}
+
+TEST(Parser, SingletonTupleWithTrailingComma) {
+  AstPtr e = parse("x in (4,)");
+  EXPECT_EQ(e->children[1]->kind, AstKind::Tuple);
+  EXPECT_EQ(e->children[1]->children.size(), 1u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse(""), SyntaxError);
+  EXPECT_THROW(parse("a +"), SyntaxError);
+  EXPECT_THROW(parse("a b"), SyntaxError);
+  EXPECT_THROW(parse("(a"), SyntaxError);
+  EXPECT_THROW(parse("f(a,"), SyntaxError);
+  EXPECT_THROW(parse("p[3]"), SyntaxError);  // subscript must be a string
+}
+
+TEST(Parser, RoundTrips) {
+  for (const char* src : {
+           "a + b * c - d / e",
+           "a // b % c ** d",
+           "2 <= y <= 32 <= x * y <= 1024",
+           "not (a and b) or c",
+           "x in (1, 2, 4) and y not in (3,)",
+           "min(a, max(b, c)) >= abs(d)",
+           "-x ** 2",
+           "(a + b) * (c - d)",
+           "True and False or x == 'NHWC'",
+       }) {
+    expect_roundtrip(src);
+  }
+}

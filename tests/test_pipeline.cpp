@@ -1,0 +1,107 @@
+// Tests for TuningProblem and the constraint-lowering pipeline.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/expr/function_constraint.hpp"
+#include "tunespace/expr/lexer.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+
+using namespace tunespace;
+using csp::Value;
+
+namespace {
+tuner::TuningProblem paper_spec() {
+  tuner::TuningProblem spec("paper");
+  spec.add_param("block_size_x", {16, 32, 64, 128})
+      .add_param("block_size_y", {1, 2, 4, 8, 16, 32});
+  spec.add_constraint("32 <= block_size_x * block_size_y <= 1024");
+  return spec;
+}
+}  // namespace
+
+TEST(TuningProblemTest, Builders) {
+  auto spec = paper_spec();
+  EXPECT_EQ(spec.num_params(), 2u);
+  EXPECT_EQ(spec.cartesian_size(), 24u);
+  EXPECT_EQ(spec.constraints().size(), 1u);
+}
+
+TEST(TuningProblemTest, CartesianSaturates) {
+  tuner::TuningProblem spec("big");
+  std::vector<std::int64_t> values;
+  for (std::int64_t i = 0; i < 100000; ++i) values.push_back(i);
+  for (int p = 0; p < 6; ++p) spec.add_param("p" + std::to_string(p), values);
+  EXPECT_EQ(spec.cartesian_size(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(PipelineTest, OptimizedDecomposesAndRecognizes) {
+  auto problem = tuner::build_problem(paper_spec(), tuner::PipelineOptions::optimized());
+  // The chained constraint splits into two product constraints.
+  ASSERT_EQ(problem.constraints().size(), 2u);
+  EXPECT_NE(dynamic_cast<csp::ProductConstraint*>(problem.constraints()[0].get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<csp::ProductConstraint*>(problem.constraints()[1].get()),
+            nullptr);
+}
+
+TEST(PipelineTest, OriginalKeepsMonolithicInterpretedConstraint) {
+  auto problem = tuner::build_problem(paper_spec(), tuner::PipelineOptions::original());
+  ASSERT_EQ(problem.constraints().size(), 1u);
+  auto* fc = dynamic_cast<expr::FunctionConstraint*>(problem.constraints()[0].get());
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->mode(), expr::EvalMode::Interpreted);
+}
+
+TEST(PipelineTest, CompiledRawUsesCompiledFunctions) {
+  auto problem =
+      tuner::build_problem(paper_spec(), tuner::PipelineOptions::compiled_raw());
+  ASSERT_EQ(problem.constraints().size(), 1u);
+  auto* fc = dynamic_cast<expr::FunctionConstraint*>(problem.constraints()[0].get());
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->mode(), expr::EvalMode::Compiled);
+}
+
+TEST(PipelineTest, MalformedConstraintThrows) {
+  tuner::TuningProblem spec("bad");
+  spec.add_param("x", {1, 2});
+  spec.add_constraint("x <=");
+  EXPECT_THROW(tuner::build_problem(spec, tuner::PipelineOptions::optimized()),
+               expr::SyntaxError);
+}
+
+TEST(PipelineTest, UnknownParameterInConstraintThrows) {
+  tuner::TuningProblem spec("bad");
+  spec.add_param("x", {1, 2});
+  spec.add_constraint("x * nope <= 4");
+  EXPECT_THROW(tuner::build_problem(spec, tuner::PipelineOptions::optimized()),
+               std::out_of_range);
+}
+
+TEST(PipelineTest, ConstructTimesIncludeBuild) {
+  auto methods = tuner::construction_methods(false);
+  auto result = tuner::construct(paper_spec(), methods[0]);
+  EXPECT_GT(result.stats.total_seconds(), 0.0);
+  // By hand: x=16 -> y in {2..32} (5), x=32 -> all 6, x=64 -> y<=16 (5),
+  // x=128 -> y<=8 (4); total 20 valid pairs.
+  EXPECT_EQ(result.solutions.size(), 20u);
+}
+
+TEST(PipelineTest, MethodRegistry) {
+  auto methods = tuner::construction_methods(true);
+  ASSERT_EQ(methods.size(), 6u);
+  EXPECT_EQ(methods[0].name, "optimized");
+  EXPECT_EQ(methods[1].name, "ATF");
+  EXPECT_EQ(methods[2].name, "original");
+  EXPECT_EQ(methods[3].name, "brute-force");
+  EXPECT_EQ(methods[4].name, "pyATF");
+  EXPECT_EQ(methods[5].name, "blocking-smt");
+}
+
+TEST(PipelineTest, LambdaStyleConstraintWorks) {
+  tuner::TuningProblem spec("lambda-style");
+  spec.add_param("block_size_x", {16, 32, 64})
+      .add_param("block_size_y", {1, 2, 4});
+  spec.add_constraint("32 <= p[\"block_size_x\"] * p[\"block_size_y\"] <= 128");
+  auto problem = tuner::build_problem(spec, tuner::PipelineOptions::optimized());
+  EXPECT_EQ(problem.constraints().size(), 2u);
+}

@@ -1,0 +1,89 @@
+// Tests for csp::Problem bookkeeping.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/csp/problem.hpp"
+
+using namespace tunespace::csp;
+
+namespace {
+Problem two_var_problem() {
+  Problem p;
+  p.add_variable("x", Domain::range(1, 4));
+  p.add_variable("y", Domain::range(1, 4));
+  p.add_constraint(std::make_unique<MaxProduct>(8, std::vector<std::string>{"x", "y"}));
+  return p;
+}
+}  // namespace
+
+TEST(Problem, VariableRegistration) {
+  Problem p = two_var_problem();
+  EXPECT_EQ(p.num_variables(), 2u);
+  EXPECT_EQ(p.index_of("x"), 0u);
+  EXPECT_EQ(p.index_of("y"), 1u);
+  EXPECT_TRUE(p.has_variable("x"));
+  EXPECT_FALSE(p.has_variable("z"));
+  EXPECT_THROW(p.index_of("z"), std::out_of_range);
+}
+
+TEST(Problem, DuplicateVariableRejected) {
+  Problem p;
+  p.add_variable("x", Domain::range(1, 2));
+  EXPECT_THROW(p.add_variable("x", Domain::range(1, 2)), std::invalid_argument);
+}
+
+TEST(Problem, ConstraintBinding) {
+  Problem p = two_var_problem();
+  ASSERT_EQ(p.constraints().size(), 1u);
+  EXPECT_EQ(p.constraints()[0]->indices(),
+            (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Problem, UnknownScopeVariableRejected) {
+  Problem p;
+  p.add_variable("x", Domain::range(1, 2));
+  EXPECT_THROW(p.add_constraint(std::make_unique<MaxProduct>(
+                   8, std::vector<std::string>{"x", "nope"})),
+               std::out_of_range);
+}
+
+TEST(Problem, ConstraintCounts) {
+  Problem p = two_var_problem();
+  p.add_variable("z", Domain::range(1, 3));
+  p.add_constraint(std::make_unique<MaxSum>(5, std::vector<std::string>{"x", "z"}));
+  const auto counts = p.constraint_counts();
+  EXPECT_EQ(counts[0], 2u);  // x in both
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(Problem, CartesianSize) {
+  Problem p = two_var_problem();
+  EXPECT_EQ(p.cartesian_size(), 16u);
+}
+
+TEST(Problem, CartesianSizeSaturates) {
+  Problem p;
+  for (int i = 0; i < 10; ++i) {
+    p.add_variable("v" + std::to_string(i), Domain::range(1, 100000));
+  }
+  EXPECT_EQ(p.cartesian_size(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Problem, EmptyDomainGivesZeroCartesian) {
+  Problem p;
+  p.add_variable("x", Domain{});
+  EXPECT_EQ(p.cartesian_size(), 0u);
+}
+
+TEST(Problem, ConfigValid) {
+  Problem p = two_var_problem();
+  EXPECT_TRUE(p.config_valid({Value(2), Value(4)}));
+  EXPECT_FALSE(p.config_valid({Value(4), Value(4)}));
+  EXPECT_FALSE(p.config_valid({Value(2)}));  // wrong arity
+}
+
+TEST(Problem, ConfigToString) {
+  Problem p = two_var_problem();
+  EXPECT_EQ(p.config_to_string({Value(2), Value(3)}), "x=2, y=3");
+}

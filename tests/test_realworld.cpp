@@ -1,0 +1,112 @@
+// Tests for the eight real-world space definitions (Table 2): exact
+// Cartesian sizes and parameter counts, calibrated valid fractions, and
+// cross-solver validation on the tractable instances.
+#include <gtest/gtest.h>
+
+#include "tunespace/solver/validate.hpp"
+#include "tunespace/spaces/realworld.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+
+using namespace tunespace;
+
+namespace {
+
+solver::SolveResult solve_optimized(const spaces::RealWorldSpace& rw) {
+  auto methods = tuner::construction_methods(false);
+  return tuner::construct(rw.spec, methods[0]);
+}
+
+}  // namespace
+
+class RealWorldSpaces : public ::testing::TestWithParam<int> {
+ protected:
+  spaces::RealWorldSpace space() const { return spaces::all_realworld()[GetParam()]; }
+};
+
+TEST_P(RealWorldSpaces, CartesianSizeMatchesPaperExactly) {
+  const auto rw = space();
+  EXPECT_EQ(rw.spec.cartesian_size(), rw.paper.cartesian_size) << rw.name;
+}
+
+TEST_P(RealWorldSpaces, ParameterAndConstraintCountsMatchPaper) {
+  const auto rw = space();
+  EXPECT_EQ(rw.spec.num_params(), rw.paper.num_params) << rw.name;
+  EXPECT_EQ(rw.spec.constraints().size(), rw.paper.num_constraints) << rw.name;
+}
+
+TEST_P(RealWorldSpaces, ValidFractionNearPaper) {
+  const auto rw = space();
+  if (rw.paper.cartesian_size > 100000000ULL) {
+    GTEST_SKIP() << "large space exercised by benches, not unit tests";
+  }
+  auto result = solve_optimized(rw);
+  ASSERT_GT(result.solutions.size(), 0u) << rw.name;
+  const double pct = 100.0 * static_cast<double>(result.solutions.size()) /
+                     static_cast<double>(rw.paper.cartesian_size);
+  // Calibration tolerance: within a factor 1.5 of the paper's fraction.
+  EXPECT_GT(pct, rw.paper.percent_valid / 1.5) << rw.name;
+  EXPECT_LT(pct, rw.paper.percent_valid * 1.5) << rw.name;
+}
+
+TEST_P(RealWorldSpaces, EverySolutionSatisfiesEveryConstraint) {
+  const auto rw = space();
+  if (rw.paper.cartesian_size > 100000000ULL) GTEST_SKIP();
+  auto problem = tuner::build_problem(rw.spec, tuner::PipelineOptions::optimized());
+  auto result = solve_optimized(rw);
+  // Validate a sample of solutions against a reference problem built with
+  // the *unoptimized* pipeline (monolithic interpreted constraints).
+  auto reference =
+      tuner::build_problem(rw.spec, tuner::PipelineOptions::original());
+  const std::size_t stride = std::max<std::size_t>(1, result.solutions.size() / 500);
+  for (std::size_t r = 0; r < result.solutions.size(); r += stride) {
+    EXPECT_TRUE(reference.config_valid(result.solutions.config(r, problem)))
+        << rw.name << " row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEight, RealWorldSpaces, ::testing::Range(0, 8));
+
+TEST(RealWorldValidation, SolversAgreeOnDedispersion) {
+  auto rw = spaces::dedispersion();
+  auto methods = tuner::construction_methods(false);
+  auto reference = tuner::construct(rw.spec, methods[0]);
+  for (std::size_t m = 1; m < methods.size(); ++m) {
+    auto result = tuner::construct(rw.spec, methods[m]);
+    EXPECT_TRUE(result.solutions.same_solutions(reference.solutions))
+        << methods[m].name;
+  }
+}
+
+TEST(RealWorldValidation, SolversAgreeOnPrl2x2) {
+  auto rw = spaces::atf_prl(2);
+  auto methods = tuner::construction_methods(true);
+  auto reference = tuner::construct(rw.spec, methods[0]);
+  for (std::size_t m = 1; m < methods.size(); ++m) {
+    auto result = tuner::construct(rw.spec, methods[m]);
+    EXPECT_TRUE(result.solutions.same_solutions(reference.solutions))
+        << methods[m].name;
+  }
+}
+
+TEST(RealWorldValidation, FastSolversAgreeOnPrl8x8) {
+  // The 2.4e9-Cartesian space is out of reach for brute force in a unit
+  // test, but the sparse solvers handle it quickly and must agree.
+  auto rw = spaces::atf_prl(8);
+  auto methods = tuner::construction_methods(false);
+  auto optimized = tuner::construct(rw.spec, methods[0]);  // optimized
+  auto atf = tuner::construct(rw.spec, methods[1]);        // chain-of-trees
+  EXPECT_GT(optimized.solutions.size(), 0u);
+  EXPECT_TRUE(optimized.solutions.same_solutions(atf.solutions));
+}
+
+TEST(RealWorldMeta, AllEightPresentInTableOrder) {
+  auto all = spaces::all_realworld();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "Dedispersion");
+  EXPECT_EQ(all[1].name, "ExpDist");
+  EXPECT_EQ(all[2].name, "Hotspot");
+  EXPECT_EQ(all[3].name, "GEMM");
+  EXPECT_EQ(all[4].name, "MicroHH");
+  EXPECT_EQ(all[5].name, "ATF PRL 2x2");
+  EXPECT_EQ(all[7].name, "ATF PRL 8x8");
+}

@@ -1,0 +1,162 @@
+// Tests for the specific-constraint recognizer (§4.2 Step 3 / §4.3.2):
+// the mapped constraint class, and semantic equivalence with direct
+// expression evaluation.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/expr/analysis.hpp"
+#include "tunespace/expr/interpreter.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/expr/recognizer.hpp"
+#include "tunespace/util/rng.hpp"
+
+using namespace tunespace;
+using namespace tunespace::expr;
+using csp::Value;
+
+namespace {
+
+csp::ConstraintPtr rec(const std::string& src) { return recognize(parse(src)); }
+
+template <typename T>
+void expect_kind(const std::string& src) {
+  auto c = rec(src);
+  EXPECT_NE(dynamic_cast<T*>(c.get()), nullptr)
+      << src << " recognized as " << c->describe();
+}
+
+}  // namespace
+
+TEST(Recognizer, Products) {
+  expect_kind<csp::ProductConstraint>("a * b <= 1024");
+  expect_kind<csp::ProductConstraint>("a * b >= 32");
+  expect_kind<csp::ProductConstraint>("a * b * c == 64");
+  expect_kind<csp::ProductConstraint>("2 * a * b <= 100");  // positive coeff
+  expect_kind<csp::ProductConstraint>("1024 >= a * b");     // const on left
+}
+
+TEST(Recognizer, RecognizedProductOps) {
+  auto c = rec("a * b <= 1024");
+  auto* p = dynamic_cast<csp::ProductConstraint*>(c.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->op(), csp::CmpOp::Le);
+  EXPECT_DOUBLE_EQ(p->bound(), 1024.0);
+}
+
+TEST(Recognizer, Sums) {
+  expect_kind<csp::SumConstraint>("a + b <= 10");
+  expect_kind<csp::SumConstraint>("a + 2 * b >= 4");
+  expect_kind<csp::SumConstraint>("a - b <= 0 + 5");
+  expect_kind<csp::SumConstraint>("x <= 5");       // single-var as weighted sum
+  expect_kind<csp::SumConstraint>("3 * x >= 12");  // scaled single var
+}
+
+TEST(Recognizer, SumConstantTermFoldsIntoBound) {
+  auto c = rec("a + b + 3 <= 10");
+  auto* s = dynamic_cast<csp::SumConstraint*>(c.get());
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->bound(), 7.0);
+}
+
+TEST(Recognizer, VarComparison) {
+  expect_kind<csp::VarComparison>("a <= b");
+  expect_kind<csp::VarComparison>("a == b");
+  expect_kind<csp::VarComparison>("a != b");
+}
+
+TEST(Recognizer, Divisibility) {
+  expect_kind<csp::Divisibility>("a % b == 0");
+  expect_kind<csp::Divisibility>("a % 4 == 0");
+}
+
+TEST(Recognizer, Membership) {
+  expect_kind<csp::InSet>("x in (1, 2, 4)");
+  expect_kind<csp::InSet>("x not in (3, 5)");
+  expect_kind<csp::InSet>("layout == 'NHWC'");
+  expect_kind<csp::InSet>("layout != 'NCHW'");
+}
+
+TEST(Recognizer, ConstantsFold) {
+  auto t = rec("2 + 2 == 4");
+  auto* cb = dynamic_cast<csp::ConstBool*>(t.get());
+  ASSERT_NE(cb, nullptr);
+  EXPECT_TRUE(cb->value());
+  auto f = rec("1 > 2");
+  auto* cf = dynamic_cast<csp::ConstBool*>(f.get());
+  ASSERT_NE(cf, nullptr);
+  EXPECT_FALSE(cf->value());
+}
+
+TEST(Recognizer, FallbackToFunction) {
+  expect_kind<FunctionConstraint>("a * a <= 16");       // repeated variable
+  expect_kind<FunctionConstraint>("a // b == 2");       // floor division
+  expect_kind<FunctionConstraint>("a <= 1 or b >= 5");  // disjunction
+  expect_kind<FunctionConstraint>("min(a, b) <= 4");    // call
+  expect_kind<FunctionConstraint>("-a * b <= 4");       // negative coefficient
+}
+
+TEST(Recognizer, OptimizeConstraintPipeline) {
+  // The Fig. 1 example: decompose + recognize.
+  auto cs = optimize_constraint(
+      parse("2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024"));
+  ASSERT_EQ(cs.size(), 4u);
+  EXPECT_NE(dynamic_cast<csp::SumConstraint*>(cs[0].get()), nullptr);      // 2 <= y
+  EXPECT_NE(dynamic_cast<csp::SumConstraint*>(cs[1].get()), nullptr);      // y <= 32
+  EXPECT_NE(dynamic_cast<csp::ProductConstraint*>(cs[2].get()), nullptr);  // x*y >= 32
+  EXPECT_NE(dynamic_cast<csp::ProductConstraint*>(cs[3].get()), nullptr);  // x*y <= 1024
+}
+
+TEST(Recognizer, OptimizeDropsTautologies) {
+  auto cs = optimize_constraint(parse("1 <= 2 and a <= 5"));
+  ASSERT_EQ(cs.size(), 1u);
+}
+
+// Property: recognized constraints agree with direct evaluation of the
+// source expression on random full assignments.
+class RecognizerEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RecognizerEquivalence, AgreesWithEvaluation) {
+  const std::string src = GetParam();
+  const AstPtr ast = parse(src);
+  const auto names = variables(*ast);
+  csp::ConstraintPtr c = recognize(ast);
+  // Bind scope names to the order in `names`.
+  std::vector<std::uint32_t> indices;
+  for (const auto& v : c->scope()) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == v) indices.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  c->bind(indices);
+  tunespace::util::Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Value> values;
+    std::unordered_map<std::string, Value> vars;
+    for (const auto& n : names) {
+      const Value v(rng.uniform_int(1, 40));
+      values.push_back(v);
+      vars[n] = v;
+    }
+    bool expected;
+    try {
+      expected = eval_bool(*ast, map_env(vars));
+    } catch (const EvalError&) {
+      expected = false;
+    }
+    EXPECT_EQ(expected, c->satisfied(values.data())) << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Expressions, RecognizerEquivalence,
+                         ::testing::Values("a * b <= 300",
+                                           "a * b * c >= 64",
+                                           "2 * a * b == 40",
+                                           "a + b - 2 * c <= 12",
+                                           "a <= b",
+                                           "a != b",
+                                           "a % b == 0",
+                                           "a % 4 == 0",
+                                           "a in (1, 2, 4, 8)",
+                                           "a not in (3, 9, 27)",
+                                           "x <= 17",
+                                           "5 >= x"));

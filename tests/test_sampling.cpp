@@ -1,0 +1,105 @@
+// Tests for uniform and Latin Hypercube sampling over resolved spaces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tunespace/searchspace/sampling.hpp"
+
+using namespace tunespace;
+using namespace tunespace::searchspace;
+
+namespace {
+
+tuner::TuningProblem sample_spec() {
+  tuner::TuningProblem spec("sample");
+  spec.add_param("x", {1, 2, 3, 4, 5, 6, 7, 8})
+      .add_param("y", {1, 2, 3, 4, 5, 6, 7, 8})
+      .add_param("z", {1, 2, 3, 4});
+  spec.add_constraint("x + y <= 12");
+  return spec;
+}
+
+}  // namespace
+
+TEST(Sampling, RandomSampleDistinctAndInRange) {
+  SearchSpace space(sample_spec());
+  util::Rng rng(5);
+  auto rows = random_sample(space, 50, rng);
+  EXPECT_EQ(rows.size(), 50u);
+  std::set<std::size_t> unique(rows.begin(), rows.end());
+  EXPECT_EQ(unique.size(), rows.size());
+  for (std::size_t r : rows) EXPECT_LT(r, space.size());
+}
+
+TEST(Sampling, RandomSampleClampsToSize) {
+  SearchSpace space(sample_spec());
+  util::Rng rng(5);
+  auto rows = random_sample(space, space.size() * 10, rng);
+  EXPECT_EQ(rows.size(), space.size());
+}
+
+TEST(Sampling, RandomSampleDeterministicInSeed) {
+  SearchSpace space(sample_spec());
+  util::Rng a(42), b(42), c(43);
+  EXPECT_EQ(random_sample(space, 20, a), random_sample(space, 20, b));
+  util::Rng a2(42);
+  EXPECT_NE(random_sample(space, 20, a2), random_sample(space, 20, c));
+}
+
+TEST(Sampling, SnapToValidReturnsExactHit) {
+  SearchSpace space(sample_spec());
+  for (std::size_t r = 0; r < space.size(); r += 7) {
+    EXPECT_EQ(snap_to_valid(space, space.indices(r)), r);
+  }
+}
+
+TEST(Sampling, SnapToValidFindsNearbyConfig) {
+  SearchSpace space(sample_spec());
+  // (8, 8, 0) violates x + y <= 12; the snap must return a valid row.
+  const std::size_t row = snap_to_valid(space, {7, 7, 0});
+  const csp::Config config = space.config(row);
+  EXPECT_LE(config[0].as_int() + config[1].as_int(), 12);
+  // And it should stay reasonably close to the corner.
+  EXPECT_GE(config[0].as_int() + config[1].as_int(), 10);
+}
+
+TEST(Sampling, LatinHypercubeCoverageAndValidity) {
+  SearchSpace space(sample_spec());
+  util::Rng rng(9);
+  auto rows = latin_hypercube_sample(space, 16, rng);
+  EXPECT_GT(rows.size(), 8u);  // dedup may shrink slightly
+  std::set<std::size_t> unique(rows.begin(), rows.end());
+  EXPECT_EQ(unique.size(), rows.size());
+  // Marginal coverage: samples should spread over each parameter's values,
+  // hitting clearly more than one stratum.
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    std::set<std::uint32_t> seen;
+    for (std::size_t r : rows) seen.insert(space.value_index(r, p));
+    EXPECT_GE(seen.size(), std::min<std::size_t>(3, space.present_values(p).size()))
+        << "param " << p;
+  }
+}
+
+TEST(Sampling, LatinHypercubeOnTightSpace) {
+  tuner::TuningProblem spec("tight");
+  spec.add_param("a", {1, 2, 3, 4}).add_param("b", {1, 2, 3, 4});
+  spec.add_constraint("a == b");
+  SearchSpace space(spec);
+  ASSERT_EQ(space.size(), 4u);
+  util::Rng rng(1);
+  auto rows = latin_hypercube_sample(space, 4, rng);
+  for (std::size_t r : rows) {
+    EXPECT_EQ(space.value(r, 0), space.value(r, 1));
+  }
+}
+
+TEST(Sampling, EmptySpaceYieldsNothing) {
+  tuner::TuningProblem spec("empty");
+  spec.add_param("a", {1, 2});
+  spec.add_constraint("a >= 10");
+  SearchSpace space(spec);
+  util::Rng rng(1);
+  EXPECT_TRUE(latin_hypercube_sample(space, 4, rng).empty());
+  EXPECT_TRUE(random_sample(space, 4, rng).empty());
+}

@@ -1,0 +1,143 @@
+// Cross-solver property tests: on randomized problems built through the
+// full user-level pipeline (constraint strings), all construction methods
+// must produce the identical solution set (the paper validates every solver
+// against brute force, §5).
+#include <gtest/gtest.h>
+
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/solver/validate.hpp"
+#include "tunespace/spaces/synthetic.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+#include "tunespace/util/rng.hpp"
+
+using namespace tunespace;
+
+namespace {
+
+/// Random small TuningProblem with string constraints covering the
+/// recognizer's full surface (products, sums, divisibility, chains,
+/// disjunctions, membership).
+tuner::TuningProblem random_spec(util::Rng& rng) {
+  tuner::TuningProblem spec("random");
+  const std::size_t nvars = 2 + rng.index(3);
+  std::vector<std::string> names;
+  std::vector<std::int64_t> maxes;
+  for (std::size_t i = 0; i < nvars; ++i) {
+    const std::string name = "v" + std::to_string(i);
+    std::vector<std::int64_t> values;
+    const std::int64_t n = 2 + static_cast<std::int64_t>(rng.index(6));
+    for (std::int64_t x = 1; x <= n; ++x) values.push_back(x);
+    spec.add_param(name, values);
+    names.push_back(name);
+    maxes.push_back(n);
+  }
+  const std::size_t nconstraints = 1 + rng.index(3);
+  for (std::size_t c = 0; c < nconstraints; ++c) {
+    const std::string a = names[rng.index(names.size())];
+    const std::string b = names[rng.index(names.size())];
+    switch (rng.index(7)) {
+      case 0:
+        spec.add_constraint(a + " * " + b + " <= " +
+                            std::to_string(rng.uniform_int(2, 20)));
+        break;
+      case 1:
+        spec.add_constraint(a + " + " + b + " >= " +
+                            std::to_string(rng.uniform_int(2, 8)));
+        break;
+      case 2:
+        spec.add_constraint(a + " % " + b + " == 0");
+        break;
+      case 3:
+        spec.add_constraint("2 <= " + a + " * " + b + " <= " +
+                            std::to_string(rng.uniform_int(4, 24)));
+        break;
+      case 4:
+        spec.add_constraint(a + " <= " + b);
+        break;
+      case 5:
+        spec.add_constraint(a + " in (1, 2, 4)");
+        break;
+      default:
+        spec.add_constraint(a + " == 1 or " + b + " >= 2");
+        break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+class SolverAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreement, AllMethodsProduceIdenticalSolutionSets) {
+  util::Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 10; ++iter) {
+    const tuner::TuningProblem spec = random_spec(rng);
+    auto methods = tuner::construction_methods(/*include_blocking=*/true);
+    solver::SolveResult reference = tuner::construct(spec, methods.back());
+    for (std::size_t m = 0; m + 1 < methods.size(); ++m) {
+      auto result = tuner::construct(spec, methods[m]);
+      EXPECT_TRUE(result.solutions.same_solutions(reference.solutions))
+          << methods[m].name << " disagrees on a random spec: "
+          << result.solutions.size() << " vs " << reference.solutions.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement, ::testing::Range(0, 10));
+
+// The same agreement property on a slice of the synthetic evaluation suite
+// (small targets to keep test time bounded).
+class SyntheticAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticAgreement, MethodsAgreeOnGeneratedSpaces) {
+  const auto space = spaces::make_synthetic(
+      /*dims=*/2 + static_cast<std::size_t>(GetParam()) % 4,
+      /*target_cartesian=*/2000,
+      /*num_constraints=*/1 + static_cast<std::size_t>(GetParam()) % 6,
+      /*seed=*/77 + static_cast<std::uint64_t>(GetParam()));
+  auto methods = tuner::construction_methods(false);
+  solver::SolveResult reference;
+  bool first = true;
+  for (const auto& method : methods) {
+    auto result = tuner::construct(space.spec, method);
+    if (first) {
+      reference = std::move(result);
+      first = false;
+      continue;
+    }
+    EXPECT_TRUE(result.solutions.same_solutions(reference.solutions))
+        << method.name << " on " << space.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SyntheticAgreement, ::testing::Range(0, 12));
+
+// Pipeline-variant property: for a fixed spec, every PipelineOptions
+// combination must produce the same solution set under the same solver
+// (decomposition/recognition are semantics-preserving).
+TEST(PipelineVariants, AllOptionCombinationsAgree) {
+  util::Rng rng(31337);
+  for (int iter = 0; iter < 12; ++iter) {
+    const tuner::TuningProblem spec = random_spec(rng);
+    solver::SolveResult reference;
+    bool first = true;
+    for (bool decompose : {false, true}) {
+      for (bool recognize : {false, true}) {
+        for (auto mode : {expr::EvalMode::Compiled, expr::EvalMode::Interpreted}) {
+          tuner::Method method{"probe",
+                               tuner::PipelineOptions{decompose, recognize, mode},
+                               std::make_unique<solver::OptimizedBacktracking>()};
+          auto result = tuner::construct(spec, method);
+          if (first) {
+            reference = std::move(result);
+            first = false;
+            continue;
+          }
+          EXPECT_TRUE(result.solutions.same_solutions(reference.solutions))
+              << "decompose=" << decompose << " recognize=" << recognize;
+        }
+      }
+    }
+  }
+}

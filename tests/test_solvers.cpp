@@ -1,0 +1,231 @@
+// Solver unit tests: each of the five construction methods on hand-crafted
+// problems with known solution sets, plus edge cases.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/expr/function_constraint.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/solver/blocking_enumerator.hpp"
+#include "tunespace/solver/brute_force.hpp"
+#include "tunespace/solver/chain_of_trees.hpp"
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/solver/original_backtracking.hpp"
+#include "tunespace/solver/validate.hpp"
+
+using namespace tunespace;
+using namespace tunespace::csp;
+using namespace tunespace::solver;
+
+namespace {
+
+// x in 1..4, y in 1..4, x*y <= 4: 8 solutions.
+Problem small_product_problem() {
+  Problem p;
+  p.add_variable("x", Domain::range(1, 4));
+  p.add_variable("y", Domain::range(1, 4));
+  p.add_constraint(std::make_unique<MaxProduct>(4, std::vector<std::string>{"x", "y"}));
+  return p;
+}
+
+}  // namespace
+
+class EverySolver : public ::testing::TestWithParam<int> {
+ protected:
+  SolverPtr make() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<OptimizedBacktracking>();
+      case 1: return std::make_unique<OriginalBacktracking>();
+      case 2: return std::make_unique<BruteForce>();
+      case 3: return std::make_unique<ChainOfTrees>();
+      case 4: return std::make_unique<ChainOfTrees>("pyATF");
+      default: return std::make_unique<BlockingEnumerator>();
+    }
+  }
+};
+
+TEST_P(EverySolver, SmallProductProblem) {
+  Problem p = small_product_problem();
+  auto result = make()->solve(p);
+  EXPECT_EQ(result.solutions.size(), 8u);
+  // Every reported solution must satisfy the problem.
+  for (std::size_t r = 0; r < result.solutions.size(); ++r) {
+    EXPECT_TRUE(p.config_valid(result.solutions.config(r, p)));
+  }
+}
+
+TEST_P(EverySolver, NoConstraintsYieldsCartesian) {
+  Problem p;
+  p.add_variable("a", Domain::range(1, 3));
+  p.add_variable("b", Domain::range(1, 5));
+  auto result = make()->solve(p);
+  EXPECT_EQ(result.solutions.size(), 15u);
+}
+
+TEST_P(EverySolver, UnsatisfiableGivesEmpty) {
+  Problem p;
+  p.add_variable("a", Domain::range(1, 3));
+  p.add_variable("b", Domain::range(1, 3));
+  p.add_constraint(std::make_unique<MinProduct>(100, std::vector<std::string>{"a", "b"}));
+  auto result = make()->solve(p);
+  EXPECT_EQ(result.solutions.size(), 0u);
+}
+
+TEST_P(EverySolver, EmptyDomainGivesEmpty) {
+  Problem p;
+  p.add_variable("a", Domain{});
+  p.add_variable("b", Domain::range(1, 3));
+  auto result = make()->solve(p);
+  EXPECT_EQ(result.solutions.size(), 0u);
+}
+
+TEST_P(EverySolver, SingleVariable) {
+  Problem p;
+  p.add_variable("a", Domain::range(1, 10));
+  p.add_constraint(std::make_unique<MaxSum>(5, std::vector<std::string>{"a"}));
+  auto result = make()->solve(p);
+  EXPECT_EQ(result.solutions.size(), 5u);
+}
+
+TEST_P(EverySolver, ConstantFalseConstraint) {
+  Problem p;
+  p.add_variable("a", Domain::range(1, 3));
+  p.add_constraint(std::make_unique<ConstBool>(false));
+  auto result = make()->solve(p);
+  EXPECT_EQ(result.solutions.size(), 0u);
+}
+
+TEST_P(EverySolver, StringDomains) {
+  Problem p;
+  p.add_variable("layout", Domain({Value("NHWC"), Value("NCHW")}));
+  p.add_variable("vec", Domain::range(1, 4));
+  p.add_constraint(std::make_unique<expr::FunctionConstraint>(
+      expr::parse("layout == 'NHWC' or vec <= 2")));
+  auto result = make()->solve(p);
+  EXPECT_EQ(result.solutions.size(), 6u);  // 4 NHWC + 2 NCHW
+}
+
+TEST_P(EverySolver, MatchesBruteForceOnMediumProblem) {
+  auto build = [] {
+    Problem p;
+    p.add_variable("a", Domain::range(1, 8));
+    p.add_variable("b", Domain::powers(1, 64));
+    p.add_variable("c", Domain::range(1, 6));
+    p.add_variable("d", Domain::range(1, 5));
+    p.add_constraint(std::make_unique<MaxProduct>(64, std::vector<std::string>{"a", "b"}));
+    p.add_constraint(std::make_unique<MinSum>(4, std::vector<std::string>{"c", "d"}));
+    p.add_constraint(std::make_unique<Divisibility>("a", "c"));
+    return p;
+  };
+  Problem ref_p = build();
+  auto reference = BruteForce{}.solve(ref_p);
+  Problem p = build();
+  auto report = validate_against(*make(), p, reference.solutions);
+  EXPECT_TRUE(report.matches) << report.solver_name << ": " << report.solver_count
+                              << " vs " << report.reference_count;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, EverySolver, ::testing::Range(0, 6));
+
+// --- Method-specific behaviour ----------------------------------------------
+
+TEST(OptimizedBacktracking, PreprocessingPrunesDomainsBeforeSearch) {
+  // x in 1..8, y in 2..4, x*y <= 8: preprocessing removes x > 4 outright.
+  auto build = [] {
+    Problem p;
+    p.add_variable("x", Domain::range(1, 8));
+    p.add_variable("y", Domain::range(2, 4));
+    p.add_constraint(std::make_unique<MaxProduct>(8, std::vector<std::string>{"x", "y"}));
+    return p;
+  };
+  Problem p1 = build(), p2 = build();
+  auto with = OptimizedBacktracking(OptimizedOptions{true, true, true}).solve(p1);
+  auto without = OptimizedBacktracking(OptimizedOptions{false, true, true}).solve(p2);
+  EXPECT_EQ(with.solutions.size(), without.solutions.size());
+  EXPECT_GT(with.stats.prunes, 0u);             // values removed up front
+  EXPECT_LT(with.stats.nodes, without.stats.nodes);
+}
+
+TEST(OptimizedBacktracking, AblationOptionsStillCorrect) {
+  for (bool pre : {false, true}) {
+    for (bool sort : {false, true}) {
+      for (bool partial : {false, true}) {
+        Problem p = small_product_problem();
+        OptimizedBacktracking solver(OptimizedOptions{pre, sort, partial});
+        EXPECT_EQ(solver.solve(p).solutions.size(), 8u);
+      }
+    }
+  }
+}
+
+TEST(OptimizedBacktracking, PartialChecksReduceNodes) {
+  auto build = [] {
+    Problem p;
+    for (int i = 0; i < 4; ++i) {
+      p.add_variable("v" + std::to_string(i), Domain::range(1, 10));
+    }
+    p.add_constraint(std::make_unique<MaxProduct>(
+        20, std::vector<std::string>{"v0", "v1", "v2", "v3"}));
+    return p;
+  };
+  Problem p1 = build(), p2 = build();
+  auto with = OptimizedBacktracking(OptimizedOptions{false, false, true}).solve(p1);
+  auto without = OptimizedBacktracking(OptimizedOptions{false, false, false}).solve(p2);
+  EXPECT_EQ(with.solutions.size(), without.solutions.size());
+  EXPECT_LT(with.stats.nodes, without.stats.nodes);
+}
+
+TEST(ChainOfTreesTest, InterdependenceGroups) {
+  Problem p;
+  p.add_variable("a", Domain::range(1, 2));
+  p.add_variable("b", Domain::range(1, 2));
+  p.add_variable("c", Domain::range(1, 2));
+  p.add_variable("d", Domain::range(1, 2));
+  p.add_constraint(std::make_unique<MaxProduct>(4, std::vector<std::string>{"a", "b"}));
+  p.add_constraint(std::make_unique<MaxSum>(4, std::vector<std::string>{"b", "c"}));
+  auto groups = ChainOfTrees::interdependence_groups(p);
+  // {a,b,c} are transitively interdependent; d is independent.
+  ASSERT_EQ(groups.size(), 2u);
+  const auto& g0 = groups[0].size() == 3 ? groups[0] : groups[1];
+  const auto& g1 = groups[0].size() == 3 ? groups[1] : groups[0];
+  EXPECT_EQ(g0.size(), 3u);
+  EXPECT_EQ(g1, (std::vector<std::size_t>{3}));
+}
+
+TEST(ChainOfTreesTest, AllIndependentVariables) {
+  Problem p;
+  p.add_variable("a", Domain::range(1, 3));
+  p.add_variable("b", Domain::range(1, 4));
+  EXPECT_EQ(ChainOfTrees::interdependence_groups(p).size(), 2u);
+  auto result = ChainOfTrees{}.solve(p);
+  EXPECT_EQ(result.solutions.size(), 12u);
+}
+
+TEST(BlockingEnumeratorTest, ClauseChecksGrowQuadratically) {
+  Problem p;
+  p.add_variable("a", Domain::range(1, 20));
+  p.add_variable("b", Domain::range(1, 20));
+  auto result = BlockingEnumerator{}.solve(p);
+  EXPECT_EQ(result.solutions.size(), 400u);
+  // n*(n-1)/2 clause checks on top of regular constraint checks.
+  EXPECT_GE(result.stats.constraint_checks, 400u * 399u / 2u);
+}
+
+TEST(SolutionSetTest, SameSolutionsIsOrderInsensitive) {
+  SolutionSet a(2), b(2);
+  std::uint32_t r1[] = {0, 1}, r2[] = {1, 0};
+  a.append(r1);
+  a.append(r2);
+  b.append(r2);
+  b.append(r1);
+  EXPECT_TRUE(a.same_solutions(b));
+  std::uint32_t r3[] = {1, 1};
+  b.append(r3);
+  EXPECT_FALSE(a.same_solutions(b));
+}
+
+TEST(AllSolversRegistry, NamesAndCount) {
+  auto solvers = all_solvers(true);
+  ASSERT_EQ(solvers.size(), 5u);
+  EXPECT_EQ(solvers[0]->name(), "optimized");
+  EXPECT_EQ(solvers[4]->name(), "blocking-smt");
+}

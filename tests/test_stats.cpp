@@ -1,0 +1,125 @@
+// Tests for the statistics toolkit (regression slopes, KDE, quantiles).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tunespace/util/rng.hpp"
+#include "tunespace/util/stats.hpp"
+
+using namespace tunespace::util;
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 7.0);
+  }
+  auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_LT(fit.p_value, 1e-6);
+}
+
+TEST(Stats, LinearFitNoisy) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + rng.normal() * 2.0);
+  }
+  auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.05);
+  EXPECT_LT(fit.p_value, 1e-6);
+}
+
+TEST(Stats, LinearFitFlatHasHighPValue) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i);
+    y.push_back(rng.normal());
+  }
+  auto fit = linear_fit(x, y);
+  EXPECT_GT(fit.p_value, 0.01);
+}
+
+TEST(Stats, LogLogFitRecoversPowerLaw) {
+  // y = 2 * x^0.86, like the paper's optimized-method scaling (Fig. 3A).
+  std::vector<double> x, y;
+  for (int i = 1; i <= 60; ++i) {
+    const double xv = i * 100.0;
+    x.push_back(xv);
+    y.push_back(2.0 * std::pow(xv, 0.86));
+  }
+  auto fit = loglog_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.86, 1e-6);
+}
+
+TEST(Stats, LogLogFitIgnoresNonPositive) {
+  auto fit = loglog_fit({-1.0, 10.0, 100.0, 1000.0}, {0.0, 1.0, 10.0, 100.0});
+  EXPECT_EQ(fit.n, 3u);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+}
+
+TEST(Stats, MeanStdDev) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 0.001);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, SummaryFiveNumbers) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_EQ(s.n, 100u);
+}
+
+TEST(Stats, KdeIntegratesToOne) {
+  Rng rng(8);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.normal());
+  auto k = kde(samples, 128);
+  ASSERT_EQ(k.grid.size(), 128u);
+  double integral = 0;
+  for (std::size_t i = 1; i < k.grid.size(); ++i) {
+    integral += 0.5 * (k.density[i] + k.density[i - 1]) * (k.grid[i] - k.grid[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.05);
+}
+
+TEST(Stats, KdePeaksNearMode) {
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(5.0 + rng.normal() * 0.5);
+  auto k = kde(samples, 200);
+  double best_x = 0, best_d = -1;
+  for (std::size_t i = 0; i < k.grid.size(); ++i) {
+    if (k.density[i] > best_d) {
+      best_d = k.density[i];
+      best_x = k.grid[i];
+    }
+  }
+  EXPECT_NEAR(best_x, 5.0, 0.3);
+}
+
+TEST(Stats, KdeDegenerateInput) {
+  auto k = kde({3.0, 3.0, 3.0}, 16);
+  EXPECT_EQ(k.grid.size(), 16u);
+  EXPECT_GT(k.bandwidth, 0.0);
+}

@@ -1,0 +1,93 @@
+// Tests for the synthetic search-space generator (§5.2.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tunespace/spaces/synthetic.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+
+using namespace tunespace;
+
+TEST(SyntheticGenerator, SuiteHas78Spaces) {
+  auto suite = spaces::synthetic_suite();
+  EXPECT_EQ(suite.size(), 78u);
+}
+
+TEST(SyntheticGenerator, Deterministic) {
+  auto a = spaces::synthetic_suite();
+  auto b = spaces::synthetic_suite();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].spec.cartesian_size(), b[i].spec.cartesian_size());
+    EXPECT_EQ(a[i].spec.constraints(), b[i].spec.constraints());
+  }
+}
+
+TEST(SyntheticGenerator, DimensionAndConstraintRanges) {
+  for (const auto& s : spaces::synthetic_suite()) {
+    EXPECT_GE(s.dims, 2u);
+    EXPECT_LE(s.dims, 5u);
+    EXPECT_GE(s.num_constraints, 1u);
+    EXPECT_LE(s.num_constraints, 6u);
+    EXPECT_EQ(s.spec.num_params(), s.dims);
+    EXPECT_EQ(s.spec.constraints().size(), s.num_constraints);
+  }
+}
+
+TEST(SyntheticGenerator, CartesianSizesNearTargets) {
+  for (const auto& s : spaces::synthetic_suite()) {
+    const double realized = static_cast<double>(s.spec.cartesian_size());
+    const double target = static_cast<double>(s.target_cartesian);
+    // Rounding the per-dimension counts keeps the realized size within ~25%.
+    EXPECT_GT(realized, target * 0.75) << s.name;
+    EXPECT_LT(realized, target * 1.35) << s.name;
+  }
+}
+
+TEST(SyntheticGenerator, ValuesPerDimensionApproximatelyUniform) {
+  for (const auto& s : spaces::synthetic_suite()) {
+    const double expected =
+        std::pow(static_cast<double>(s.target_cartesian),
+                 1.0 / static_cast<double>(s.dims));
+    for (const auto& p : s.spec.params()) {
+      EXPECT_GT(static_cast<double>(p.values.size()), expected * 0.5) << s.name;
+      EXPECT_LT(static_cast<double>(p.values.size()), expected * 1.5) << s.name;
+    }
+  }
+}
+
+TEST(SyntheticGenerator, SizeScaleReducesTargets) {
+  auto reduced = spaces::synthetic_suite({2025, 0.1});
+  auto normal = spaces::synthetic_suite({2025, 1.0});
+  ASSERT_EQ(reduced.size(), normal.size());
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    EXPECT_LE(reduced[i].spec.cartesian_size(), normal[i].spec.cartesian_size());
+  }
+  // Overall about one order of magnitude smaller.
+  double ratio_sum = 0;
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    ratio_sum += static_cast<double>(reduced[i].spec.cartesian_size()) /
+                 static_cast<double>(normal[i].spec.cartesian_size());
+  }
+  EXPECT_LT(ratio_sum / static_cast<double>(reduced.size()), 0.2);
+}
+
+TEST(SyntheticGenerator, SpacesAreNonEmptyAndConstrained) {
+  // Solve a subset (every 7th space) and check the Fig. 2 profile: valid
+  // count below Cartesian size but not zero.
+  auto suite = spaces::synthetic_suite();
+  auto methods = tuner::construction_methods(false);
+  for (std::size_t i = 0; i < suite.size(); i += 7) {
+    auto result = tuner::construct(suite[i].spec, methods[0]);
+    EXPECT_GT(result.solutions.size(), 0u) << suite[i].name;
+    EXPECT_LT(result.solutions.size(), suite[i].spec.cartesian_size())
+        << suite[i].name;
+  }
+}
+
+TEST(SyntheticGenerator, SeedChangesConstraints) {
+  auto a = spaces::make_synthetic(3, 10000, 3, 1);
+  auto b = spaces::make_synthetic(3, 10000, 3, 2);
+  EXPECT_NE(a.spec.constraints(), b.spec.constraints());
+}

@@ -1,0 +1,176 @@
+// Tests for the tuning layer: performance models, optimizers, runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tunespace/spaces/realworld.hpp"
+#include "tunespace/tuner/runner.hpp"
+
+using namespace tunespace;
+using tuner::EvalContext;
+
+namespace {
+
+tuner::TuningProblem small_spec() {
+  tuner::TuningProblem spec("small");
+  spec.add_param("block_size_x", {8, 16, 32, 64, 128})
+      .add_param("block_size_y", {1, 2, 4, 8})
+      .add_param("sh_power", {0, 1});
+  spec.add_constraint("32 <= block_size_x * block_size_y <= 512");
+  return spec;
+}
+
+tuner::Method optimized_method() {
+  auto methods = tuner::construction_methods(false);
+  return std::move(methods[0]);
+}
+
+}  // namespace
+
+TEST(PerformanceModels, DeterministicAndPositive) {
+  tuner::HotspotModel hotspot;
+  std::vector<std::string> names{"block_size_x", "block_size_y", "sh_power"};
+  csp::Config config{csp::Value(32), csp::Value(8), csp::Value(1)};
+  const double a = hotspot.gflops(names, config);
+  const double b = hotspot.gflops(names, config);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(PerformanceModels, OccupancySweetSpot) {
+  tuner::HotspotModel hotspot;
+  std::vector<std::string> names{"block_size_x", "block_size_y"};
+  const double tiny = hotspot.gflops(names, {csp::Value(1), csp::Value(1)});
+  const double good = hotspot.gflops(names, {csp::Value(32), csp::Value(8)});
+  EXPECT_GT(good, tiny * 2);
+}
+
+TEST(PerformanceModels, SharedMemoryStagingHelpsGemm) {
+  tuner::GemmModel gemm;
+  std::vector<std::string> names{"MDIMC", "NDIMC", "SA", "SB"};
+  const double without = gemm.gflops(names, {csp::Value(16), csp::Value(16),
+                                             csp::Value(0), csp::Value(0)});
+  const double with = gemm.gflops(names, {csp::Value(16), csp::Value(16),
+                                          csp::Value(1), csp::Value(1)});
+  EXPECT_GT(with, without);
+}
+
+TEST(PerformanceModels, EvaluationCostDecreasesWithSpeed) {
+  tuner::HotspotModel model;
+  EXPECT_GT(model.evaluation_cost(10.0), model.evaluation_cost(1000.0));
+  EXPECT_GT(model.evaluation_cost(1000.0), 0.0);
+}
+
+TEST(PerformanceModels, SyntheticHandlesArbitraryParams) {
+  tuner::SyntheticModel model(7);
+  std::vector<std::string> names{"alpha", "beta"};
+  EXPECT_GT(model.gflops(names, {csp::Value(4), csp::Value(9)}), 0.0);
+}
+
+class EveryOptimizer : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<tuner::Optimizer> make() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<tuner::RandomSearch>();
+      case 1: return std::make_unique<tuner::GeneticAlgorithm>();
+      case 2: return std::make_unique<tuner::SimulatedAnnealing>();
+      default: return std::make_unique<tuner::HillClimber>();
+    }
+  }
+};
+
+TEST_P(EveryOptimizer, FindsGoodConfigurationsWithinBudget) {
+  auto optimizer = make();
+  tuner::HotspotModel model;
+  tuner::TuningOptions options;
+  options.budget_seconds = 200.0;
+  options.seed = 11;
+  auto method = optimized_method();
+  auto run = tuner::run_tuning(small_spec(), method, model, *optimizer, options);
+  EXPECT_GT(run.evaluations, 5u);
+  EXPECT_GT(run.best_gflops, 0.0);
+  // The trajectory must be monotonically improving over time.
+  for (std::size_t i = 1; i < run.trajectory.size(); ++i) {
+    EXPECT_GE(run.trajectory[i].best_gflops, run.trajectory[i - 1].best_gflops);
+    EXPECT_GE(run.trajectory[i].time_seconds, run.trajectory[i - 1].time_seconds);
+  }
+}
+
+TEST_P(EveryOptimizer, RespectsBudget) {
+  auto optimizer = make();
+  tuner::HotspotModel model;
+  tuner::TuningOptions options;
+  options.budget_seconds = 20.0;  // just a handful of evaluations
+  auto method = optimized_method();
+  auto run = tuner::run_tuning(small_spec(), method, model, *optimizer, options);
+  EXPECT_LE(run.evaluations, 60u);
+  for (const auto& pt : run.trajectory) {
+    EXPECT_LE(pt.time_seconds, options.budget_seconds + 6.0);  // last eval may straddle
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Optimizers, EveryOptimizer, ::testing::Range(0, 4));
+
+TEST(Runner, DeterministicForFixedSeed) {
+  tuner::RandomSearch rs1, rs2;
+  tuner::HotspotModel model;
+  tuner::TuningOptions options;
+  options.budget_seconds = 100.0;
+  options.seed = 21;
+  auto m1 = optimized_method();
+  auto m2 = optimized_method();
+  auto a = tuner::run_tuning(small_spec(), m1, model, rs1, options);
+  auto b = tuner::run_tuning(small_spec(), m2, model, rs2, options);
+  EXPECT_EQ(a.best_gflops, b.best_gflops);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Runner, ConstructionLatencyDelaysFirstEvaluation) {
+  tuner::RandomSearch rs;
+  tuner::HotspotModel model;
+  tuner::TuningOptions options;
+  options.budget_seconds = 100.0;
+  // Inflate construction latency so it eats most of the budget.
+  options.construction_time_scale = 1e6;
+  auto method = optimized_method();
+  auto run = tuner::run_tuning(small_spec(), method, model, rs, options);
+  if (!run.trajectory.empty()) {
+    EXPECT_GT(run.trajectory.front().time_seconds,
+              run.construction_seconds * options.construction_time_scale * 0.99);
+  }
+}
+
+TEST(Runner, ExhaustedBudgetBeforeConstructionYieldsNoEvals) {
+  tuner::RandomSearch rs;
+  tuner::HotspotModel model;
+  tuner::TuningOptions options;
+  options.budget_seconds = 1e-9;
+  auto method = optimized_method();
+  auto run = tuner::run_tuning(small_spec(), method, model, rs, options);
+  EXPECT_EQ(run.evaluations, 0u);
+  EXPECT_TRUE(run.trajectory.empty());
+  EXPECT_EQ(run.best_at(1.0), 0.0);
+}
+
+TEST(Runner, BestAtInterpolatesTrajectory) {
+  tuner::TuningRun run;
+  run.trajectory = {{10.0, 100.0, 1}, {20.0, 150.0, 2}};
+  EXPECT_EQ(run.best_at(5.0), 0.0);
+  EXPECT_EQ(run.best_at(15.0), 100.0);
+  EXPECT_EQ(run.best_at(25.0), 150.0);
+}
+
+TEST(Runner, RandomSamplingOnHotspotSubset) {
+  // End-to-end smoke of the Fig. 6 pipeline on the real Hotspot space
+  // (restricted budget; full replication lives in bench_fig6).
+  auto rw = spaces::hotspot();
+  tuner::RandomSearch rs;
+  tuner::HotspotModel model;
+  tuner::TuningOptions options;
+  options.budget_seconds = 60.0;
+  options.seed = 3;
+  auto method = optimized_method();
+  auto run = tuner::run_tuning(rw.spec, method, model, rs, options);
+  EXPECT_GT(run.evaluations, 0u);
+  EXPECT_GT(run.best_gflops, 0.0);
+}

@@ -1,0 +1,27 @@
+// Compile-and-smoke test for the umbrella header: every public subsystem is
+// reachable through <tunespace/tunespace.hpp> and interoperates.
+#include <gtest/gtest.h>
+
+#include "tunespace/tunespace.hpp"
+
+using namespace tunespace;
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  tuner::TuningProblem spec("umbrella");
+  spec.add_param("x", {1, 2, 4, 8}).add_param("y", {1, 2, 4});
+  spec.add_constraint("2 <= x * y <= 16");
+  searchspace::SearchSpace space(spec);
+  EXPECT_GT(space.size(), 0u);
+
+  util::Rng rng(1);
+  auto sample = searchspace::random_sample(space, 3, rng);
+  EXPECT_EQ(sample.size(), 3u);
+
+  tuner::SyntheticModel model(5);
+  tuner::RandomSearch optimizer;
+  tuner::TuningOptions options;
+  options.budget_seconds = 10.0;
+  auto methods = tuner::construction_methods(false);
+  auto run = tuner::run_tuning(spec, methods[0], model, optimizer, options);
+  EXPECT_GT(run.best_gflops, 0.0);
+}

@@ -1,0 +1,76 @@
+// Unit tests for csp::Value: Python-compatible scalar semantics.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/value.hpp"
+
+namespace csp = tunespace::csp;
+using csp::Value;
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(1.5).is_real());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value("abc").is_str());
+  EXPECT_EQ(Value(5).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value(5).as_real(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).as_real(), 1.5);
+  EXPECT_EQ(Value("abc").as_str(), "abc");
+}
+
+TEST(Value, BoolBehavesAsNumber) {
+  EXPECT_EQ(Value(true).as_int(), 1);
+  EXPECT_EQ(Value(false).as_int(), 0);
+  EXPECT_DOUBLE_EQ(Value(true).as_real(), 1.0);
+  EXPECT_TRUE(Value(true).is_numeric());
+}
+
+TEST(Value, IntegralRealReadsAsInt) {
+  EXPECT_EQ(Value(4.0).as_int(), 4);
+  EXPECT_THROW(Value(4.5).as_int(), csp::ValueError);
+}
+
+TEST(Value, StringAccessErrors) {
+  EXPECT_THROW(Value("x").as_int(), csp::ValueError);
+  EXPECT_THROW(Value("x").as_real(), csp::ValueError);
+  EXPECT_THROW(Value(3).as_str(), csp::ValueError);
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value(0).truthy());
+  EXPECT_TRUE(Value(-1).truthy());
+  EXPECT_FALSE(Value(0.0).truthy());
+  EXPECT_TRUE(Value(0.1).truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_FALSE(Value("").truthy());
+  EXPECT_TRUE(Value("x").truthy());
+}
+
+TEST(Value, CrossKindEquality) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_EQ(Value(1), Value(true));
+  EXPECT_EQ(Value(0), Value(false));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(Value, Compare) {
+  EXPECT_LT(Value(1).compare(Value(2)), 0);
+  EXPECT_GT(Value(2.5).compare(Value(2)), 0);
+  EXPECT_EQ(Value(2).compare(Value(2.0)), 0);
+  EXPECT_LT(Value("a").compare(Value("b")), 0);
+  EXPECT_THROW(Value("a").compare(Value(1)), csp::ValueError);
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(1).hash(), Value(1.0).hash());
+  EXPECT_EQ(Value(1).hash(), Value(true).hash());
+  EXPECT_EQ(Value("xyz").hash(), Value("xyz").hash());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value(true).to_string(), "True");
+  EXPECT_EQ(Value(false).to_string(), "False");
+  EXPECT_EQ(Value("hi").to_string(), "'hi'");
+}
