@@ -55,10 +55,11 @@ int main() {
       std::cerr << "[ablation] " << name << " done\n";
     };
     table.add_row({"full (all optimizations)", util::fmt_seconds(full), "1x"});
-    report("no domain preprocessing", {false, true, true});
-    report("no variable ordering", {true, false, true});
-    report("no partial checks", {true, true, false});
-    report("none (plain backtracking)", {false, false, false});
+    report("no domain preprocessing", {false, true, true, true});
+    report("no variable ordering", {true, false, true, true});
+    report("no partial checks", {true, true, false, true});
+    report("no int64 fast path", {true, true, true, false});
+    report("none (plain backtracking)", {false, false, false, false});
     table.print(std::cout);
   }
 

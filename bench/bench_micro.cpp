@@ -1,11 +1,25 @@
 // Microbenchmarks (google-benchmark): the per-evaluation costs that drive
-// the macro results — compiled vs interpreted constraint evaluation, specific
-// vs generic constraints, and SearchSpace lookup/neighbour operations.
+// the macro results — compiled vs interpreted constraint evaluation, the
+// boxed vs int64 evaluator tiers, specific vs generic constraints, and
+// SearchSpace lookup/neighbour operations.
+//
+// The custom main() additionally runs a self-timed boxed-vs-int64 comparison
+// over an integer-only expression mix and writes machine-readable results to
+// BENCH_eval.json (checks/sec and ns/check per tier), so the evaluation-cost
+// trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "tunespace/csp/builtin_constraints.hpp"
 #include "tunespace/expr/compiler.hpp"
 #include "tunespace/expr/function_constraint.hpp"
+#include "tunespace/expr/int_program.hpp"
 #include "tunespace/expr/interpreter.hpp"
 #include "tunespace/expr/parser.hpp"
 #include "tunespace/expr/recognizer.hpp"
@@ -47,6 +61,26 @@ static void BM_EvalCompiled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvalCompiled);
+
+static void BM_EvalInt64(benchmark::State& state) {
+  const expr::Program prog = expr::compile(expr::parse(kConstraint));
+  const auto fast = expr::IntProgram::lower(prog);
+  if (!fast) {
+    state.SkipWithError("kConstraint is not int-closed");
+    return;
+  }
+  std::vector<std::int64_t> values{64, 8};
+  std::vector<std::uint32_t> slots;
+  for (std::size_t i = 0; i < prog.var_names().size(); ++i) {
+    slots.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (auto _ : state) {
+    bool r = false;
+    fast->run_bool(values.data(), slots.data(), &r);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EvalInt64);
 
 static void BM_EvalSpecificConstraint(benchmark::State& state) {
   csp::MaxProduct c(1024, {"block_size_x", "block_size_y"});
@@ -118,3 +152,125 @@ static void BM_LatinHypercube64(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LatinHypercube64)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Boxed vs int64 evaluator comparison, emitted as BENCH_eval.json
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Integer-only expression mix modelled on real tuning constraints.
+const char* kEvalMix[] = {
+    "32 <= block_size_x * block_size_y <= 1024",
+    "block_size_x % block_size_y == 0",
+    "block_size_x * block_size_y % 32 == 0",
+    "block_size_x in (1, 2, 4, 8, 16, 32, 64, 128)",
+    "min(block_size_x, block_size_y) >= 2 and block_size_x ** 2 <= 16384",
+};
+
+struct EvalTierResult {
+  double ns_per_check = 0;
+  double checks_per_sec = 0;
+};
+
+/// Time `iters` evaluations of fn (called with the check index).
+template <typename Fn>
+EvalTierResult time_tier(std::size_t iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EvalTierResult r;
+  r.ns_per_check = elapsed.count() * 1e9 / static_cast<double>(iters);
+  r.checks_per_sec = static_cast<double>(iters) / elapsed.count();
+  return r;
+}
+
+/// Run the boxed-vs-int64 comparison and write BENCH_eval.json.
+void run_eval_comparison(const char* json_path) {
+  struct Compiled {
+    expr::Program boxed;
+    expr::IntProgram fast;
+  };
+  std::vector<Compiled> programs;
+  for (const char* src : kEvalMix) {
+    expr::Program p = expr::compile(expr::parse(src));
+    auto lowered = expr::IntProgram::lower(p);
+    if (!lowered) {
+      std::fprintf(stderr, "expression unexpectedly not int-closed: %s\n", src);
+      continue;
+    }
+    programs.push_back({std::move(p), std::move(*lowered)});
+  }
+  if (programs.empty()) {
+    std::fprintf(stderr, "no int-closed expressions in the mix; skipping\n");
+    return;
+  }
+
+  // Assignment pool cycling through plausible block sizes.
+  const std::int64_t xs[] = {1, 2, 4, 8, 16, 32, 64, 128};
+  const std::int64_t ys[] = {2, 4, 8, 16, 32};
+  std::vector<std::array<std::int64_t, 2>> int_pool;
+  std::vector<std::array<Value, 2>> boxed_pool;
+  for (std::int64_t x : xs) {
+    for (std::int64_t y : ys) {
+      int_pool.push_back({x, y});
+      boxed_pool.push_back({Value(x), Value(y)});
+    }
+  }
+  const std::uint32_t slots[] = {0, 1};  // both programs use x, y in order
+
+  const std::size_t iters = bench::fast_mode() ? 2000000 : 20000000;
+  std::uint64_t sink = 0;
+  const EvalTierResult boxed = time_tier(iters, [&](std::size_t i) {
+    const auto& prog = programs[i % programs.size()].boxed;
+    const auto& vals = boxed_pool[i % boxed_pool.size()];
+    sink += prog.run_bool(vals.data(), slots);
+  });
+  const EvalTierResult fast = time_tier(iters, [&](std::size_t i) {
+    const auto& prog = programs[i % programs.size()].fast;
+    const auto& vals = int_pool[i % int_pool.size()];
+    bool r = false;
+    prog.run_bool(vals.data(), slots, &r);
+    sink += r;
+  });
+
+  const double speedup = boxed.ns_per_check / fast.ns_per_check;
+  std::printf("\n== boxed vs int64 evaluation (%zu checks, sink=%llu) ==\n",
+              iters, static_cast<unsigned long long>(sink));
+  std::printf("boxed : %8.2f ns/check  %12.0f checks/sec\n", boxed.ns_per_check,
+              boxed.checks_per_sec);
+  std::printf("int64 : %8.2f ns/check  %12.0f checks/sec\n", fast.ns_per_check,
+              fast.checks_per_sec);
+  std::printf("speedup: %.2fx\n", speedup);
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"eval_boxed_vs_int64\",\n"
+                 "  \"expression_mix\": %zu,\n"
+                 "  \"checks\": %zu,\n"
+                 "  \"boxed\": {\"ns_per_check\": %.4f, \"checks_per_sec\": %.0f},\n"
+                 "  \"int64\": {\"ns_per_check\": %.4f, \"checks_per_sec\": %.0f},\n"
+                 "  \"speedup\": %.4f\n"
+                 "}\n",
+                 programs.size(), iters, boxed.ns_per_check,
+                 boxed.checks_per_sec, fast.ns_per_check, fast.checks_per_sec,
+                 speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_eval_comparison("BENCH_eval.json");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "tunespace/csp/builtin_constraints.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <sstream>
@@ -33,6 +34,76 @@ bool cmp_holds(CmpOp op, int three_way) {
 namespace {
 
 int three_way(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+/// Can any total in [lo, hi] satisfy `total <op> bound`?  The partial-check
+/// rule shared by the product/sum constraints in both evaluation tiers.
+bool range_cmp_holds(CmpOp op, double lo, double hi, double bound) {
+  switch (op) {
+    case CmpOp::Le: return lo <= bound;
+    case CmpOp::Lt: return lo < bound;
+    case CmpOp::Ge: return hi >= bound;
+    case CmpOp::Gt: return hi > bound;
+    case CmpOp::Eq: return lo <= bound && hi >= bound;
+    case CmpOp::Ne: return !(lo == bound && hi == bound);
+  }
+  return true;
+}
+
+/// Bound the achievable product range given a partial assignment: assigned
+/// variables contribute their value (via `get`, the only difference between
+/// the boxed and int64 tiers), unassigned ones their domain extremes.
+/// Positivity makes both bounds monotone products.
+template <typename GetValue>
+bool product_range_ok(CmpOp op, double bound, double coeff,
+                      const std::vector<std::uint32_t>& indices,
+                      const unsigned char* assigned,
+                      const std::vector<double>& min_v,
+                      const std::vector<double>& max_v, GetValue get) {
+  double lo = coeff, hi = coeff;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::uint32_t idx = indices[k];
+    if (assigned[idx]) {
+      const double v = get(idx);
+      lo *= v;
+      hi *= v;
+    } else {
+      lo *= min_v[k];
+      hi *= max_v[k];
+    }
+  }
+  return range_cmp_holds(op, lo, hi, bound);
+}
+
+/// Weighted-sum analogue of product_range_ok.
+template <typename GetValue>
+bool sum_range_ok(CmpOp op, double bound, const std::vector<double>& weights,
+                  const std::vector<std::uint32_t>& indices,
+                  const unsigned char* assigned,
+                  const std::vector<double>& min_c,
+                  const std::vector<double>& max_c, GetValue get) {
+  double lo = 0, hi = 0;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::uint32_t idx = indices[k];
+    if (assigned[idx]) {
+      const double c = weights[k] * get(idx);
+      lo += c;
+      hi += c;
+    } else {
+      lo += min_c[k];
+      hi += max_c[k];
+    }
+  }
+  return range_cmp_holds(op, lo, hi, bound);
+}
+
+/// Does b divide a, treating b == 0 as "never" (Python raises on x % 0; the
+/// configuration is invalid) and b == -1 as "always" (also avoids the
+/// INT64_MIN % -1 hardware trap)?  Shared by every Divisibility check site.
+bool int_divides(std::int64_t a, std::int64_t b) {
+  if (b == 0) return false;
+  if (b == -1) return true;
+  return a % b == 0;
+}
 
 std::string join_scope(const std::vector<std::string>& scope, const char* sep) {
   std::string out;
@@ -87,30 +158,32 @@ bool ProductConstraint::consistent(const Value* values,
     if (!all_assigned(assigned)) return true;
     return satisfied(values);
   }
-  // Bound the achievable product range given the current partial assignment:
-  // assigned variables contribute their value, unassigned ones their domain
-  // extremes.  Positivity makes both bounds monotone products.
-  double lo = coeff_, hi = coeff_;
-  for (std::size_t k = 0; k < indices_.size(); ++k) {
-    const std::uint32_t idx = indices_[k];
-    if (assigned[idx]) {
-      const double v = values[idx].as_real();
-      lo *= v;
-      hi *= v;
-    } else {
-      lo *= min_v_[k];
-      hi *= max_v_[k];
-    }
+  return product_range_ok(op_, bound_, coeff_, indices_, assigned, min_v_,
+                          max_v_,
+                          [&](std::uint32_t idx) { return values[idx].as_real(); });
+}
+
+bool ProductConstraint::try_specialize(const std::vector<const Domain*>& domains) {
+  return domains_all_int(domains);
+}
+
+bool ProductConstraint::satisfied_fast(const std::int64_t* values) const {
+  // Same double accumulation as the boxed path (as_real of an int64 is the
+  // identical conversion), so both paths agree bit-for-bit.
+  double p = coeff_;
+  for (std::uint32_t idx : indices_) p *= static_cast<double>(values[idx]);
+  return cmp_holds(op_, three_way(p, bound_));
+}
+
+bool ProductConstraint::consistent_fast(const std::int64_t* values,
+                                        const unsigned char* assigned) const {
+  if (!monotone_) {
+    if (!all_assigned(assigned)) return true;
+    return satisfied_fast(values);
   }
-  switch (op_) {
-    case CmpOp::Le: return lo <= bound_;
-    case CmpOp::Lt: return lo < bound_;
-    case CmpOp::Ge: return hi >= bound_;
-    case CmpOp::Gt: return hi > bound_;
-    case CmpOp::Eq: return lo <= bound_ && hi >= bound_;
-    case CmpOp::Ne: return !(lo == bound_ && hi == bound_);
-  }
-  return true;
+  return product_range_ok(
+      op_, bound_, coeff_, indices_, assigned, min_v_, max_v_,
+      [&](std::uint32_t idx) { return static_cast<double>(values[idx]); });
 }
 
 bool ProductConstraint::preprocess(const std::vector<Domain*>& domains) {
@@ -208,27 +281,31 @@ bool SumConstraint::consistent(const Value* values,
     if (!all_assigned(assigned)) return true;
     return satisfied(values);
   }
-  double lo = 0, hi = 0;
+  return sum_range_ok(op_, bound_, weights_, indices_, assigned, min_c_, max_c_,
+                      [&](std::uint32_t idx) { return values[idx].as_real(); });
+}
+
+bool SumConstraint::try_specialize(const std::vector<const Domain*>& domains) {
+  return domains_all_int(domains);
+}
+
+bool SumConstraint::satisfied_fast(const std::int64_t* values) const {
+  double s = 0;
   for (std::size_t k = 0; k < indices_.size(); ++k) {
-    const std::uint32_t idx = indices_[k];
-    if (assigned[idx]) {
-      const double c = weights_[k] * values[idx].as_real();
-      lo += c;
-      hi += c;
-    } else {
-      lo += min_c_[k];
-      hi += max_c_[k];
-    }
+    s += weights_[k] * static_cast<double>(values[indices_[k]]);
   }
-  switch (op_) {
-    case CmpOp::Le: return lo <= bound_;
-    case CmpOp::Lt: return lo < bound_;
-    case CmpOp::Ge: return hi >= bound_;
-    case CmpOp::Gt: return hi > bound_;
-    case CmpOp::Eq: return lo <= bound_ && hi >= bound_;
-    case CmpOp::Ne: return !(lo == bound_ && hi == bound_);
+  return cmp_holds(op_, three_way(s, bound_));
+}
+
+bool SumConstraint::consistent_fast(const std::int64_t* values,
+                                    const unsigned char* assigned) const {
+  if (!prepared_) {
+    if (!all_assigned(assigned)) return true;
+    return satisfied_fast(values);
   }
-  return true;
+  return sum_range_ok(
+      op_, bound_, weights_, indices_, assigned, min_c_, max_c_,
+      [&](std::uint32_t idx) { return static_cast<double>(values[idx]); });
 }
 
 bool SumConstraint::preprocess(const std::vector<Domain*>& domains) {
@@ -345,6 +422,15 @@ bool VarComparison::preprocess(const std::vector<Domain*>& domains) {
   return !da->empty() && !db->empty();
 }
 
+bool VarComparison::try_specialize(const std::vector<const Domain*>& domains) {
+  return domains_all_int(domains);
+}
+
+bool VarComparison::satisfied_fast(const std::int64_t* values) const {
+  const std::int64_t a = values[indices_[0]], b = values[indices_[1]];
+  return cmp_holds(op_, a < b ? -1 : (a > b ? 1 : 0));
+}
+
 std::string VarComparison::describe() const {
   return scope_[0] + " " + cmp_op_name(op_) + " " + scope_[1];
 }
@@ -364,14 +450,13 @@ Divisibility::Divisibility(std::string a, std::int64_t divisor)
 bool Divisibility::satisfied(const Value* values) const {
   const std::int64_t a = values[indices_[0]].as_int();
   const std::int64_t b = const_divisor_ ? *const_divisor_ : values[indices_[1]].as_int();
-  if (b == 0) return false;  // matches Python raising on x % 0; treat as invalid
-  return a % b == 0;
+  return int_divides(a, b);
 }
 
 bool Divisibility::preprocess(const std::vector<Domain*>& domains) {
   if (const_divisor_) {
     domains[0]->filter([&](const Value& v) {
-      return v.is_numeric() && v.as_int() % *const_divisor_ == 0;
+      return v.is_numeric() && int_divides(v.as_int(), *const_divisor_);
     });
     return !domains[0]->empty();
   }
@@ -383,8 +468,7 @@ bool Divisibility::preprocess(const std::vector<Domain*>& domains) {
   da->filter([&](const Value& av) {
     const std::int64_t a = av.as_int();
     for (const Value& bv : db->values()) {
-      const std::int64_t b = bv.as_int();
-      if (b != 0 && a % b == 0) return true;
+      if (int_divides(a, bv.as_int())) return true;
     }
     return false;
   });
@@ -392,11 +476,21 @@ bool Divisibility::preprocess(const std::vector<Domain*>& domains) {
     const std::int64_t b = bv.as_int();
     if (b == 0) return false;
     for (const Value& av : da->values()) {
-      if (av.as_int() % b == 0) return true;
+      if (int_divides(av.as_int(), b)) return true;
     }
     return false;
   });
   return !da->empty() && !db->empty();
+}
+
+bool Divisibility::try_specialize(const std::vector<const Domain*>& domains) {
+  return domains_all_int(domains);
+}
+
+bool Divisibility::satisfied_fast(const std::int64_t* values) const {
+  const std::int64_t a = values[indices_[0]];
+  const std::int64_t b = const_divisor_ ? *const_divisor_ : values[indices_[1]];
+  return int_divides(a, b);
 }
 
 std::string Divisibility::describe() const {
@@ -425,6 +519,19 @@ bool InSet::satisfied(const Value* values) const {
 bool InSet::preprocess(const std::vector<Domain*>& domains) {
   domains[0]->filter([&](const Value& v) { return member(v) != negated_; });
   return !domains[0]->empty();
+}
+
+bool InSet::try_specialize(const std::vector<const Domain*>& domains) {
+  if (!domains_all_int(domains)) return false;
+  if (!int_set_built_) {  // set_ is immutable; lower once
+    int_set_built_ = true;
+    int_set_ok_ = int_set_.lower(set_);
+  }
+  return int_set_ok_;
+}
+
+bool InSet::satisfied_fast(const std::int64_t* values) const {
+  return int_set_.contains(values[indices_[0]]) != negated_;
 }
 
 std::string InSet::describe() const {
@@ -466,6 +573,31 @@ bool AllDifferent::consistent(const Value* values,
   return true;
 }
 
+bool AllDifferent::try_specialize(const std::vector<const Domain*>& domains) {
+  return domains_all_int(domains);
+}
+
+bool AllDifferent::satisfied_fast(const std::int64_t* values) const {
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    for (std::size_t j = i + 1; j < indices_.size(); ++j) {
+      if (values[indices_[i]] == values[indices_[j]]) return false;
+    }
+  }
+  return true;
+}
+
+bool AllDifferent::consistent_fast(const std::int64_t* values,
+                                   const unsigned char* assigned) const {
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    if (!assigned[indices_[i]]) continue;
+    for (std::size_t j = i + 1; j < indices_.size(); ++j) {
+      if (!assigned[indices_[j]]) continue;
+      if (values[indices_[i]] == values[indices_[j]]) return false;
+    }
+  }
+  return true;
+}
+
 std::string AllDifferent::describe() const {
   return "all_different(" + join_scope(scope_, ", ") + ")";
 }
@@ -488,6 +620,31 @@ bool AllEqual::consistent(const Value* values, const unsigned char* assigned) co
       continue;
     }
     if (!(values[indices_[first]] == values[indices_[i]])) return false;
+  }
+  return true;
+}
+
+bool AllEqual::try_specialize(const std::vector<const Domain*>& domains) {
+  return domains_all_int(domains);
+}
+
+bool AllEqual::satisfied_fast(const std::int64_t* values) const {
+  for (std::size_t i = 1; i < indices_.size(); ++i) {
+    if (values[indices_[0]] != values[indices_[i]]) return false;
+  }
+  return true;
+}
+
+bool AllEqual::consistent_fast(const std::int64_t* values,
+                               const unsigned char* assigned) const {
+  std::size_t first = indices_.size();
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    if (!assigned[indices_[i]]) continue;
+    if (first == indices_.size()) {
+      first = i;
+      continue;
+    }
+    if (values[indices_[first]] != values[indices_[i]]) return false;
   }
   return true;
 }

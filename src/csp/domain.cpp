@@ -58,4 +58,17 @@ bool Domain::all_positive() const {
   return true;
 }
 
+bool Domain::int_mirror(std::vector<std::int64_t>& out) const {
+  out.clear();
+  for (const auto& v : values_) {
+    if (v.is_real() || v.is_str()) {
+      out.clear();
+      return false;
+    }
+  }
+  out.reserve(values_.size());
+  for (const auto& v : values_) out.push_back(v.as_int());
+  return true;
+}
+
 }  // namespace tunespace::csp

@@ -1,0 +1,63 @@
+#include "tunespace/csp/int_set.hpp"
+
+#include <algorithm>
+
+namespace tunespace::csp {
+
+namespace {
+
+/// Maximum value span for which a set is lowered to a bitset instead of a
+/// sorted array (64 words = 4096 possible values).
+constexpr std::int64_t kBitsetSpanLimit = 4096;
+
+}  // namespace
+
+bool IntValueSet::lower(const std::vector<Value>& values) {
+  sorted.clear();
+  bits.clear();
+  base = 0;
+  sorted.reserve(values.size());
+  for (const Value& v : values) {
+    switch (v.kind()) {
+      case ValueKind::Int:
+      case ValueKind::Bool:
+        sorted.push_back(v.as_int());
+        break;
+      case ValueKind::Str:
+        break;  // str == int is exactly false; element is unreachable
+      case ValueKind::Real:
+        sorted.clear();
+        return false;
+    }
+  }
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (!sorted.empty()) {
+    const std::int64_t lo = sorted.front(), hi = sorted.back();
+    // hi - lo can overflow for extreme elements; guard via unsigned math.
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    if (span < static_cast<std::uint64_t>(kBitsetSpanLimit)) {
+      base = lo;
+      bits.assign((span / 64) + 1, 0);
+      for (std::int64_t v : sorted) {
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(v) - static_cast<std::uint64_t>(lo);
+        bits[off / 64] |= std::uint64_t{1} << (off % 64);
+      }
+    }
+  }
+  return true;
+}
+
+bool IntValueSet::contains(std::int64_t v) const {
+  if (!bits.empty()) {
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(v) - static_cast<std::uint64_t>(base);
+    if (off >= static_cast<std::uint64_t>(bits.size()) * 64) return false;
+    return (bits[off / 64] >> (off % 64)) & 1;
+  }
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+}  // namespace tunespace::csp

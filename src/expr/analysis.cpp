@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "tunespace/expr/int_program.hpp"
+
 namespace tunespace::expr {
 
 namespace {
@@ -51,6 +53,13 @@ std::vector<AstPtr> decompose(const AstPtr& node) {
   std::vector<AstPtr> out;
   decompose_into(node, out);
   return out;
+}
+
+bool int_closed(const Program& program) {
+  // The lowering is the single source of truth for the rejection rules
+  // (TrueDiv / CallFloat, real or string constants, real tuple elements);
+  // re-stating them here would be a second copy that could silently drift.
+  return IntProgram::lower(program).has_value();
 }
 
 }  // namespace tunespace::expr

@@ -1,6 +1,7 @@
 #include "tunespace/expr/bytecode.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -17,7 +18,12 @@ Program::Program(std::vector<Instr> code, std::vector<Value> consts,
       consts_(std::move(consts)),
       tuple_consts_(std::move(tuple_consts)),
       var_names_(std::move(var_names)),
-      max_stack_(max_stack) {}
+      identity_slots_(var_names_.size()),
+      max_stack_(max_stack) {
+  for (std::size_t i = 0; i < identity_slots_.size(); ++i) {
+    identity_slots_[i] = static_cast<std::uint32_t>(i);
+  }
+}
 
 Value Program::run(const Value* values, const std::uint32_t* slot_map) const {
   // Stack storage sized to the compiler-computed maximum depth: a tiny
@@ -186,7 +192,11 @@ Value Program::run_on(Value* stack, const Value* values,
         if (!v.is_numeric()) throw EvalError("abs() of non-number");
         if (!v.is_real()) {
           const std::int64_t i = v.as_int();
-          v = Value(i < 0 ? -i : i);
+          if (i == std::numeric_limits<std::int64_t>::min()) {
+            v = Value(-static_cast<double>(i));  // 2^63: promote like overflow
+          } else {
+            v = Value(i < 0 ? -i : i);
+          }
         } else {
           v = Value(std::fabs(v.as_real()));
         }
@@ -197,7 +207,7 @@ Value Program::run_on(Value* stack, const Value* values,
         --sp;
         break;
       case Op::CallGcd:
-        stack[sp - 2] = Value(std::gcd(stack[sp - 2].as_int(), stack[sp - 1].as_int()));
+        stack[sp - 2] = value_gcd(stack[sp - 2], stack[sp - 1]);
         --sp;
         break;
       case Op::CallInt: {
@@ -222,9 +232,7 @@ bool Program::run_bool(const Value* values, const std::uint32_t* slot_map) const
 }
 
 Value Program::run_dense(const std::vector<Value>& values) const {
-  std::vector<std::uint32_t> identity(var_names_.size());
-  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = static_cast<std::uint32_t>(i);
-  return run(values.data(), identity.data());
+  return run(values.data(), identity_slots_.data());
 }
 
 std::string Program::disassemble() const {

@@ -50,6 +50,42 @@ bool FunctionConstraint::satisfied(const Value* values) const {
   }
 }
 
+bool FunctionConstraint::try_specialize(const std::vector<const csp::Domain*>& domains) {
+  if (mode_ != EvalMode::Compiled) return false;
+  if (!csp::domains_all_int(domains)) return false;
+  if (!int_program_) {
+    // The lowering itself is the type-inference gate (expr::int_closed).
+    auto lowered = IntProgram::lower(program_);
+    if (!lowered) return false;
+    int_program_ = std::move(*lowered);
+  }
+  return true;
+}
+
+bool FunctionConstraint::satisfied_fast(const std::int64_t* values) const {
+  bool result;
+  if (int_program_->run_bool(values, program_slot_to_global_.data(), &result)) {
+    return result;
+  }
+  // Poisoned: replay through the boxed evaluator, which implements the exact
+  // escape semantics (EvalError -> configuration invalid, overflow -> real).
+  // Poisoning need not be rare (e.g. overflow-heavy Pow domains), so box the
+  // scope on the stack for the common small constraint.
+  constexpr std::size_t kInlineScope = 8;
+  if (scope_.size() <= kInlineScope) {
+    Value scope_values[kInlineScope];
+    for (std::size_t k = 0; k < scope_.size(); ++k) {
+      scope_values[k] = Value(values[indices_[k]]);
+    }
+    return eval_scope_positional(scope_values);
+  }
+  std::vector<Value> scope_values(scope_.size());
+  for (std::size_t k = 0; k < scope_.size(); ++k) {
+    scope_values[k] = Value(values[indices_[k]]);
+  }
+  return eval_scope_positional(scope_values.data());
+}
+
 bool FunctionConstraint::eval_scope_positional(const Value* scope_values) const {
   try {
     if (mode_ == EvalMode::Compiled) {

@@ -1,0 +1,333 @@
+#include "tunespace/expr/int_program.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace tunespace::expr {
+
+using csp::Value;
+using csp::ValueKind;
+
+namespace {
+
+constexpr std::int64_t kIntMin = std::numeric_limits<std::int64_t>::min();
+
+}  // namespace
+
+std::optional<IntProgram> IntProgram::lower(const Program& program) {
+  IntProgram out;
+  out.var_names_ = program.var_names();
+  out.max_stack_ = program.max_stack();
+  out.code_.reserve(program.code().size());
+
+  // 1:1 instruction mapping, so jump targets carry over unchanged.
+  for (const Instr& ins : program.code()) {
+    IntInstr lowered{IntOp::Nop, ins.arg};
+    switch (ins.op) {
+      case Op::PushConst: {
+        const Value& c = program.consts()[static_cast<std::size_t>(ins.arg)];
+        if (c.is_real() || c.is_str()) return std::nullopt;
+        lowered.op = IntOp::PushConst;
+        lowered.arg = static_cast<std::int32_t>(out.consts_.size());
+        out.consts_.push_back(c.as_int());
+        break;
+      }
+      case Op::LoadVar: lowered.op = IntOp::LoadVar; break;
+      case Op::Add: lowered.op = IntOp::Add; break;
+      case Op::Sub: lowered.op = IntOp::Sub; break;
+      case Op::Mul: lowered.op = IntOp::Mul; break;
+      case Op::TrueDiv: return std::nullopt;  // always produces a real
+      case Op::FloorDiv: lowered.op = IntOp::FloorDiv; break;
+      case Op::Mod: lowered.op = IntOp::Mod; break;
+      case Op::Pow: lowered.op = IntOp::Pow; break;
+      case Op::Neg: lowered.op = IntOp::Neg; break;
+      case Op::Not: lowered.op = IntOp::Not; break;
+      case Op::ToBool: lowered.op = IntOp::ToBool; break;
+      case Op::CmpLt: lowered.op = IntOp::CmpLt; break;
+      case Op::CmpLe: lowered.op = IntOp::CmpLe; break;
+      case Op::CmpGt: lowered.op = IntOp::CmpGt; break;
+      case Op::CmpGe: lowered.op = IntOp::CmpGe; break;
+      case Op::CmpEq: lowered.op = IntOp::CmpEq; break;
+      case Op::CmpNe: lowered.op = IntOp::CmpNe; break;
+      case Op::InConst:
+      case Op::NotInConst: {
+        IntSet set;
+        const auto& tuple =
+            program.tuple_consts()[static_cast<std::size_t>(ins.arg)];
+        if (!set.lower(tuple)) return std::nullopt;
+        const bool bitset = set.dense();
+        lowered.op = ins.op == Op::InConst
+                         ? (bitset ? IntOp::InBitset : IntOp::InSorted)
+                         : (bitset ? IntOp::NotInBitset : IntOp::NotInSorted);
+        lowered.arg = static_cast<std::int32_t>(out.sets_.size());
+        out.sets_.push_back(std::move(set));
+        break;
+      }
+      case Op::Dup: lowered.op = IntOp::Dup; break;
+      case Op::Rot2: lowered.op = IntOp::Rot2; break;
+      case Op::Rot3: lowered.op = IntOp::Rot3; break;
+      case Op::Pop: lowered.op = IntOp::Pop; break;
+      case Op::Jump: lowered.op = IntOp::Jump; break;
+      case Op::JumpIfFalseOrPop: lowered.op = IntOp::JumpIfFalseOrPop; break;
+      case Op::JumpIfTrueOrPop: lowered.op = IntOp::JumpIfTrueOrPop; break;
+      case Op::PopJumpIfFalse: lowered.op = IntOp::PopJumpIfFalse; break;
+      case Op::CallMin: lowered.op = IntOp::CallMin; break;
+      case Op::CallMax: lowered.op = IntOp::CallMax; break;
+      case Op::CallAbs: lowered.op = IntOp::CallAbs; break;
+      case Op::CallPow: lowered.op = IntOp::Pow; break;
+      case Op::CallGcd: lowered.op = IntOp::CallGcd; break;
+      case Op::CallInt: lowered.op = IntOp::Nop; break;  // identity on ints
+      case Op::CallFloat: return std::nullopt;  // always produces a real
+      case Op::Return: lowered.op = IntOp::Return; break;
+    }
+    out.code_.push_back(lowered);
+  }
+  return out;
+}
+
+bool IntProgram::run(const std::int64_t* values, const std::uint32_t* slot_map,
+                     std::int64_t* result) const {
+  if (max_stack_ <= 24) {
+    std::int64_t stack[24];
+    return run_on(stack, values, slot_map, result);
+  }
+  std::vector<std::int64_t> heap_stack(max_stack_);
+  return run_on(heap_stack.data(), values, slot_map, result);
+}
+
+bool IntProgram::run_on(std::int64_t* stack, const std::int64_t* values,
+                        const std::uint32_t* slot_map,
+                        std::int64_t* result) const {
+  std::size_t sp = 0;  // next free slot
+
+  const IntInstr* code = code_.data();
+  const std::size_t n = code_.size();
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const IntInstr ins = code[pc];
+    switch (ins.op) {
+      case IntOp::PushConst:
+        stack[sp++] = consts_[static_cast<std::size_t>(ins.arg)];
+        break;
+      case IntOp::LoadVar:
+        stack[sp++] = values[slot_map[static_cast<std::size_t>(ins.arg)]];
+        break;
+      case IntOp::Add:
+        if (__builtin_add_overflow(stack[sp - 2], stack[sp - 1], &stack[sp - 2]))
+          return false;  // boxed path promotes to real
+        --sp;
+        break;
+      case IntOp::Sub:
+        if (__builtin_sub_overflow(stack[sp - 2], stack[sp - 1], &stack[sp - 2]))
+          return false;
+        --sp;
+        break;
+      case IntOp::Mul:
+        if (__builtin_mul_overflow(stack[sp - 2], stack[sp - 1], &stack[sp - 2]))
+          return false;
+        --sp;
+        break;
+      case IntOp::FloorDiv: {
+        const std::int64_t x = stack[sp - 2], y = stack[sp - 1];
+        if (y == 0 || (x == kIntMin && y == -1)) return false;
+        std::int64_t q = x / y;  // Python floors toward negative infinity
+        if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
+        stack[sp - 2] = q;
+        --sp;
+        break;
+      }
+      case IntOp::Mod: {
+        const std::int64_t x = stack[sp - 2], y = stack[sp - 1];
+        if (y == 0 || (x == kIntMin && y == -1)) return false;
+        std::int64_t r = x % y;  // Python: result has the divisor's sign
+        if (r != 0 && ((r < 0) != (y < 0))) r += y;
+        stack[sp - 2] = r;
+        --sp;
+        break;
+      }
+      case IntOp::Pow: {
+        std::int64_t base = stack[sp - 2], exp = stack[sp - 1];
+        if (exp < 0) return false;  // boxed path produces a real
+        std::int64_t acc = 1;
+        while (exp > 0) {
+          if (exp & 1) {
+            if (__builtin_mul_overflow(acc, base, &acc)) return false;
+          }
+          exp >>= 1;
+          if (exp > 0 && __builtin_mul_overflow(base, base, &base)) return false;
+        }
+        stack[sp - 2] = acc;
+        --sp;
+        break;
+      }
+      case IntOp::Neg:
+        if (stack[sp - 1] == kIntMin) return false;
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case IntOp::Not:
+        stack[sp - 1] = stack[sp - 1] == 0;
+        break;
+      case IntOp::ToBool:
+        stack[sp - 1] = stack[sp - 1] != 0;
+        break;
+      case IntOp::CmpLt:
+        stack[sp - 2] = stack[sp - 2] < stack[sp - 1];
+        --sp;
+        break;
+      case IntOp::CmpLe:
+        stack[sp - 2] = stack[sp - 2] <= stack[sp - 1];
+        --sp;
+        break;
+      case IntOp::CmpGt:
+        stack[sp - 2] = stack[sp - 2] > stack[sp - 1];
+        --sp;
+        break;
+      case IntOp::CmpGe:
+        stack[sp - 2] = stack[sp - 2] >= stack[sp - 1];
+        --sp;
+        break;
+      case IntOp::CmpEq:
+        stack[sp - 2] = stack[sp - 2] == stack[sp - 1];
+        --sp;
+        break;
+      case IntOp::CmpNe:
+        stack[sp - 2] = stack[sp - 2] != stack[sp - 1];
+        --sp;
+        break;
+      case IntOp::InSorted:
+      case IntOp::NotInSorted: {
+        const IntSet& set = sets_[static_cast<std::size_t>(ins.arg)];
+        const bool found = std::binary_search(set.sorted.begin(),
+                                              set.sorted.end(), stack[sp - 1]);
+        stack[sp - 1] = (ins.op == IntOp::InSorted) == found;
+        break;
+      }
+      case IntOp::InBitset:
+      case IntOp::NotInBitset: {
+        const bool found =
+            sets_[static_cast<std::size_t>(ins.arg)].contains(stack[sp - 1]);
+        stack[sp - 1] = (ins.op == IntOp::InBitset) == found;
+        break;
+      }
+      case IntOp::Dup:
+        stack[sp] = stack[sp - 1];
+        ++sp;
+        break;
+      case IntOp::Rot2:
+        std::swap(stack[sp - 1], stack[sp - 2]);
+        break;
+      case IntOp::Rot3: {
+        const std::int64_t top = stack[sp - 1];
+        stack[sp - 1] = stack[sp - 2];
+        stack[sp - 2] = stack[sp - 3];
+        stack[sp - 3] = top;
+        break;
+      }
+      case IntOp::Pop:
+        --sp;
+        break;
+      case IntOp::Jump:
+        pc = static_cast<std::size_t>(ins.arg) - 1;  // -1: loop increments
+        break;
+      case IntOp::JumpIfFalseOrPop:
+        if (stack[sp - 1] == 0) {
+          pc = static_cast<std::size_t>(ins.arg) - 1;
+        } else {
+          --sp;
+        }
+        break;
+      case IntOp::JumpIfTrueOrPop:
+        if (stack[sp - 1] != 0) {
+          pc = static_cast<std::size_t>(ins.arg) - 1;
+        } else {
+          --sp;
+        }
+        break;
+      case IntOp::PopJumpIfFalse:
+        --sp;
+        if (stack[sp] == 0) pc = static_cast<std::size_t>(ins.arg) - 1;
+        break;
+      case IntOp::CallMin:
+      case IntOp::CallMax: {
+        const std::size_t argc = static_cast<std::size_t>(ins.arg);
+        std::int64_t best = stack[sp - argc];
+        for (std::size_t i = 1; i < argc; ++i) {
+          const std::int64_t v = stack[sp - argc + i];
+          if (ins.op == IntOp::CallMin ? v < best : v > best) best = v;
+        }
+        sp -= argc;
+        stack[sp++] = best;
+        break;
+      }
+      case IntOp::CallAbs:
+        if (stack[sp - 1] == kIntMin) return false;
+        if (stack[sp - 1] < 0) stack[sp - 1] = -stack[sp - 1];
+        break;
+      case IntOp::CallGcd:
+        // std::gcd is undefined when |operand| is unrepresentable; poison.
+        if (stack[sp - 2] == kIntMin || stack[sp - 1] == kIntMin) return false;
+        stack[sp - 2] = std::gcd(stack[sp - 2], stack[sp - 1]);
+        --sp;
+        break;
+      case IntOp::Nop:
+        break;
+      case IntOp::Return:
+        *result = stack[sp - 1];
+        return true;
+    }
+  }
+  return false;  // fell off the end: treat as poisoned, boxed path reports
+}
+
+std::string IntProgram::disassemble() const {
+  static const char* kNames[] = {
+      "PushConst", "LoadVar", "Add", "Sub", "Mul", "FloorDiv", "Mod", "Pow",
+      "Neg", "Not", "ToBool", "CmpLt", "CmpLe", "CmpGt", "CmpGe", "CmpEq",
+      "CmpNe", "InSorted", "NotInSorted", "InBitset", "NotInBitset", "Dup",
+      "Rot2", "Rot3", "Pop", "Jump", "JumpIfFalseOrPop", "JumpIfTrueOrPop",
+      "PopJumpIfFalse", "CallMin", "CallMax", "CallAbs", "CallGcd", "Nop",
+      "Return"};
+  std::ostringstream ss;
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    const IntInstr& ins = code_[pc];
+    ss << pc << ": " << kNames[static_cast<std::size_t>(ins.op)];
+    switch (ins.op) {
+      case IntOp::PushConst:
+        ss << " " << consts_[static_cast<std::size_t>(ins.arg)];
+        break;
+      case IntOp::LoadVar:
+        ss << " " << var_names_[static_cast<std::size_t>(ins.arg)];
+        break;
+      case IntOp::Jump:
+      case IntOp::JumpIfFalseOrPop:
+      case IntOp::JumpIfTrueOrPop:
+      case IntOp::PopJumpIfFalse:
+        ss << " -> " << ins.arg;
+        break;
+      case IntOp::CallMin:
+      case IntOp::CallMax:
+        ss << " argc=" << ins.arg;
+        break;
+      case IntOp::InSorted:
+      case IntOp::NotInSorted:
+      case IntOp::InBitset:
+      case IntOp::NotInBitset: {
+        const IntSet& set = sets_[static_cast<std::size_t>(ins.arg)];
+        ss << (set.bits.empty() ? " sorted(" : " bitset(");
+        for (std::size_t i = 0; i < set.sorted.size(); ++i) {
+          if (i) ss << ", ";
+          ss << set.sorted[i];
+        }
+        ss << ")";
+        break;
+      }
+      default:
+        break;
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace tunespace::expr

@@ -1,6 +1,7 @@
 #include "tunespace/expr/interpreter.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace tunespace::expr {
@@ -62,6 +63,11 @@ Value value_floordiv(const Value& a, const Value& b) {
   if (both_int(a, b)) {
     const std::int64_t x = a.as_int(), y = b.as_int();
     if (y == 0) throw EvalError("integer division by zero");
+    if (x == std::numeric_limits<std::int64_t>::min() && y == -1) {
+      // Quotient 2^63 is unrepresentable (and x / y traps); promote to real
+      // like the other integer overflows.
+      return Value(-static_cast<double>(x));
+    }
     // Python floors toward negative infinity.
     std::int64_t q = x / y;
     if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
@@ -77,6 +83,7 @@ Value value_mod(const Value& a, const Value& b) {
   if (both_int(a, b)) {
     const std::int64_t x = a.as_int(), y = b.as_int();
     if (y == 0) throw EvalError("integer modulo by zero");
+    if (y == -1) return Value(std::int64_t{0});  // avoids the INT64_MIN % -1 trap
     std::int64_t r = x % y;
     // Python: result has the sign of the divisor.
     if (r != 0 && ((r < 0) != (y < 0))) r += y;
@@ -108,8 +115,32 @@ Value value_pow(const Value& a, const Value& b) {
 
 Value value_neg(const Value& a) {
   if (!a.is_numeric()) throw EvalError("cannot negate " + a.to_string());
-  if (!a.is_real()) return Value(-a.as_int());
+  if (!a.is_real()) {
+    const std::int64_t i = a.as_int();
+    if (i == std::numeric_limits<std::int64_t>::min()) {
+      return Value(-static_cast<double>(i));  // 2^63: promote like overflow
+    }
+    return Value(-i);
+  }
   return Value(-a.as_real());
+}
+
+Value value_gcd(const Value& a, const Value& b) {
+  if (a.is_real() || a.is_str() || b.is_real() || b.is_str()) {
+    throw EvalError("gcd() requires integer arguments");
+  }
+  const std::int64_t x = a.as_int(), y = b.as_int();
+  // Compute on unsigned magnitudes: std::gcd is undefined when |operand| is
+  // unrepresentable (INT64_MIN), but |INT64_MIN| fits in uint64.
+  const std::uint64_t ux =
+      x < 0 ? 0 - static_cast<std::uint64_t>(x) : static_cast<std::uint64_t>(x);
+  const std::uint64_t uy =
+      y < 0 ? 0 - static_cast<std::uint64_t>(y) : static_cast<std::uint64_t>(y);
+  const std::uint64_t g = std::gcd(ux, uy);
+  if (g > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    throw EvalError("gcd() result out of range");  // gcd = 2^63
+  }
+  return Value(static_cast<std::int64_t>(g));
 }
 
 bool value_compare(CompareOp op, const Value& a, const Value& b) {
@@ -178,6 +209,9 @@ Value eval_call(const Ast& node, const Env& env) {
     if (!v.is_numeric()) throw EvalError("abs() of non-number");
     if (!v.is_real()) {
       const std::int64_t i = v.as_int();
+      if (i == std::numeric_limits<std::int64_t>::min()) {
+        return Value(-static_cast<double>(i));  // 2^63: promote like overflow
+      }
       return Value(i < 0 ? -i : i);
     }
     return Value(std::fabs(v.as_real()));
@@ -188,7 +222,7 @@ Value eval_call(const Ast& node, const Env& env) {
   }
   if (node.name == "gcd") {
     if (args.size() != 2) throw EvalError("gcd() needs exactly two arguments");
-    return Value(std::gcd(arg(0).as_int(), arg(1).as_int()));
+    return value_gcd(arg(0), arg(1));
   }
   if (node.name == "int") {
     if (args.size() != 1) throw EvalError("int() needs exactly one argument");

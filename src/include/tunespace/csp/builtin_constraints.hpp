@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "tunespace/csp/constraint.hpp"
+#include "tunespace/csp/int_set.hpp"
 
 namespace tunespace::csp {
 
@@ -50,6 +51,10 @@ class ProductConstraint : public Constraint {
   bool consistent(const Value* values, const unsigned char* assigned) const override;
   bool prunes_partial() const override { return monotone_; }
   bool preprocess(const std::vector<Domain*>& domains) override;
+  bool try_specialize(const std::vector<const Domain*>& domains) override;
+  bool satisfied_fast(const std::int64_t* values) const override;
+  bool consistent_fast(const std::int64_t* values,
+                       const unsigned char* assigned) const override;
   std::string describe() const override;
 
   CmpOp op() const { return op_; }
@@ -107,6 +112,10 @@ class SumConstraint : public Constraint {
   bool consistent(const Value* values, const unsigned char* assigned) const override;
   bool prunes_partial() const override { return prepared_; }
   bool preprocess(const std::vector<Domain*>& domains) override;
+  bool try_specialize(const std::vector<const Domain*>& domains) override;
+  bool satisfied_fast(const std::int64_t* values) const override;
+  bool consistent_fast(const std::int64_t* values,
+                       const unsigned char* assigned) const override;
   std::string describe() const override;
 
   CmpOp op() const { return op_; }
@@ -162,6 +171,8 @@ class VarComparison : public Constraint {
 
   bool satisfied(const Value* values) const override;
   bool preprocess(const std::vector<Domain*>& domains) override;
+  bool try_specialize(const std::vector<const Domain*>& domains) override;
+  bool satisfied_fast(const std::int64_t* values) const override;
   std::string describe() const override;
 
   CmpOp op() const { return op_; }
@@ -181,6 +192,8 @@ class Divisibility : public Constraint {
 
   bool satisfied(const Value* values) const override;
   bool preprocess(const std::vector<Domain*>& domains) override;
+  bool try_specialize(const std::vector<const Domain*>& domains) override;
+  bool satisfied_fast(const std::int64_t* values) const override;
   std::string describe() const override;
 
  private:
@@ -195,11 +208,16 @@ class InSet : public Constraint {
 
   bool satisfied(const Value* values) const override;
   bool preprocess(const std::vector<Domain*>& domains) override;
+  bool try_specialize(const std::vector<const Domain*>& domains) override;
+  bool satisfied_fast(const std::int64_t* values) const override;
   std::string describe() const override;
 
  private:
   bool member(const Value& v) const;
   std::vector<Value> set_;
+  IntValueSet int_set_;         ///< lowered on first try_specialize()
+  bool int_set_built_ = false;  ///< lowering attempted (set_ is immutable)
+  bool int_set_ok_ = false;     ///< lowering succeeded (no real elements)
   bool negated_;
 };
 
@@ -211,6 +229,10 @@ class AllDifferent : public Constraint {
   bool satisfied(const Value* values) const override;
   bool consistent(const Value* values, const unsigned char* assigned) const override;
   bool prunes_partial() const override { return true; }
+  bool try_specialize(const std::vector<const Domain*>& domains) override;
+  bool satisfied_fast(const std::int64_t* values) const override;
+  bool consistent_fast(const std::int64_t* values,
+                       const unsigned char* assigned) const override;
   std::string describe() const override;
 };
 
@@ -222,6 +244,10 @@ class AllEqual : public Constraint {
   bool satisfied(const Value* values) const override;
   bool consistent(const Value* values, const unsigned char* assigned) const override;
   bool prunes_partial() const override { return true; }
+  bool try_specialize(const std::vector<const Domain*>& domains) override;
+  bool satisfied_fast(const std::int64_t* values) const override;
+  bool consistent_fast(const std::int64_t* values,
+                       const unsigned char* assigned) const override;
   std::string describe() const override;
 };
 
@@ -235,6 +261,8 @@ class ConstBool : public Constraint {
   bool consistent(const Value* values, const unsigned char* assigned) const override;
   bool prunes_partial() const override { return !value_; }
   bool preprocess(const std::vector<Domain*>& domains) override;
+  // No fast-path overrides: empty-scope constraints are resolved during plan
+  // construction, before solvers ever consult try_specialize().
   std::string describe() const override;
 
   bool value() const { return value_; }

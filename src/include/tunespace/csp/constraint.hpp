@@ -56,6 +56,30 @@ class Constraint {
   /// global variable index; every scope variable is guaranteed assigned.
   virtual bool satisfied(const Value* values) const = 0;
 
+  // --- int64 fast path -------------------------------------------------------
+  // Real tuning spaces are almost entirely integer-valued; solvers that keep
+  // a dense int64 mirror of the assignment can skip boxed Value dispatch for
+  // constraints that opt in.  A solver calls try_specialize() once per solve
+  // (after prepare(), with the same final domains); when it returns true the
+  // solver may use satisfied_fast()/consistent_fast() with an int64 array
+  // in place of satisfied()/consistent().  The boxed entry points stay valid
+  // either way — they remain the correctness oracle.
+
+  /// Attempt to enable the int64 fast path for the given scope domains
+  /// (scope order).  Returns false (no specialization) by default; overrides
+  /// must only return true when the fast entry points give answers identical
+  /// to the boxed ones for every assignment drawn from these domains.
+  virtual bool try_specialize(const std::vector<const Domain*>& domains);
+
+  /// Fast full check; only valid after try_specialize() returned true.
+  /// `values` is the solver's dense int64 mirror, indexed like satisfied().
+  virtual bool satisfied_fast(const std::int64_t* values) const;
+
+  /// Fast partial check; same contract as consistent(), over the int64
+  /// mirror.  Default: full check once every scope variable is assigned.
+  virtual bool consistent_fast(const std::int64_t* values,
+                               const unsigned char* assigned) const;
+
   /// Partial consistency check. `assigned[i]` is nonzero iff global variable
   /// i currently has a value in `values`.  Must only return false when no
   /// completion can satisfy the constraint.  The default returns true (i.e.
@@ -95,5 +119,9 @@ class Constraint {
 };
 
 using ConstraintPtr = std::unique_ptr<Constraint>;
+
+/// True when every value of every domain is int or bool — the gate shared by
+/// the try_specialize() overrides and the solvers' int64 mirror setup.
+bool domains_all_int(const std::vector<const Domain*>& domains);
 
 }  // namespace tunespace::csp

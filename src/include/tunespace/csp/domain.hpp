@@ -58,6 +58,11 @@ class Domain {
   /// True if every value is numeric and strictly positive.
   bool all_positive() const;
 
+  /// If every value is int/bool, fill `out` with the int64 mirror (value
+  /// order preserved) and return true; otherwise leave `out` empty and
+  /// return false.  Solvers use this to build their fast-path value arrays.
+  bool int_mirror(std::vector<std::int64_t>& out) const;
+
   bool operator==(const Domain& o) const { return values_ == o.values_; }
 
  private:

@@ -1,0 +1,36 @@
+#pragma once
+// IntValueSet: a tuple/set of Values lowered for exact int64 membership
+// tests — the shared representation behind the int64 fast path's `in`
+// operator (expr::IntProgram) and the InSet builtin constraint.
+//
+// Lowering rules, shared so the two users cannot drift: string elements can
+// never compare equal to an int64 operand and are dropped; any real element
+// makes the set unlowerable (boxed int-vs-real equality goes through double
+// and is lossy above 2^53, so exact fast/boxed agreement could not be
+// preserved).  Small dense sets get a bitset probe, everything else a
+// sorted-array binary search.
+
+#include <cstdint>
+#include <vector>
+
+#include "tunespace/csp/value.hpp"
+
+namespace tunespace::csp {
+
+struct IntValueSet {
+  std::vector<std::int64_t> sorted;  ///< sorted unique elements
+  std::vector<std::uint64_t> bits;   ///< non-empty => bitset representation
+  std::int64_t base = 0;             ///< value of bit 0
+
+  /// Lower `values` per the rules above.  Returns false (leaving the set
+  /// empty) when a real element makes exact lowering impossible.
+  bool lower(const std::vector<Value>& values);
+
+  /// Membership test; picks the representation built by lower().
+  bool contains(std::int64_t v) const;
+
+  /// True when lower() chose the dense bitset representation.
+  bool dense() const { return !bits.empty(); }
+};
+
+}  // namespace tunespace::csp

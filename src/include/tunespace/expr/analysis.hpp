@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "tunespace/expr/ast.hpp"
+#include "tunespace/expr/bytecode.hpp"
 
 namespace tunespace::expr {
 
@@ -32,5 +33,20 @@ std::size_t variable_count(const Ast& node);
 /// cannot be split (disjunctions, negations, single comparisons) come back
 /// as a single element.
 std::vector<AstPtr> decompose(const AstPtr& node);
+
+/// Type inference for the int64 fast path: true when `program`, run with
+/// every variable bound to an int64, can only push int64 values — i.e. it is
+/// *integer-closed* and eligible for lowering to an IntProgram.
+///
+/// The check rejects operations whose result is inherently real (TrueDiv,
+/// CallFloat) and constants that are not int/bool (real or string literals,
+/// membership tuples containing reals — boxed real equality is lossy above
+/// 2^53, so exact agreement could not be preserved).  Everything else in the
+/// instruction set maps int64 inputs to int64 outputs; the dynamic escapes
+/// (division by zero, overflow that the boxed evaluator promotes to real,
+/// negative exponents) are guarded at run time by IntProgram's poison flag,
+/// not here.  Implemented as "does IntProgram::lower succeed", so the
+/// lowering is the single source of truth for the rule set.
+bool int_closed(const Program& program);
 
 }  // namespace tunespace::expr

@@ -63,6 +63,12 @@ class Program {
   /// Variable names in slot order; the caller builds slot_map accordingly.
   const std::vector<std::string>& var_names() const { return var_names_; }
   const std::vector<Instr>& code() const { return code_; }
+  /// Constant pool indexed by PushConst.
+  const std::vector<csp::Value>& consts() const { return consts_; }
+  /// Tuple constant pool indexed by InConst/NotInConst.
+  const std::vector<std::vector<csp::Value>>& tuple_consts() const {
+    return tuple_consts_;
+  }
   std::size_t max_stack() const { return max_stack_; }
 
   /// Execute against a dense value array: variable slot s reads
@@ -87,6 +93,7 @@ class Program {
   std::vector<csp::Value> consts_;
   std::vector<std::vector<csp::Value>> tuple_consts_;
   std::vector<std::string> var_names_;
+  std::vector<std::uint32_t> identity_slots_;  ///< cached run_dense slot map
   std::size_t max_stack_ = 0;
 };
 

@@ -1,0 +1,113 @@
+#pragma once
+// IntProgram: the statically-typed int64 fast path of the bytecode VM.
+//
+// Nearly all real tuning parameters are integers (block sizes, tile factors,
+// unroll counts), yet the boxed Program pays tagged-union dispatch, 40+ byte
+// stack slots and non-trivial Value copies on every instruction.  When the
+// type-inference pass (expr/analysis.hpp: int_closed) proves a compiled
+// Program can only ever see and produce int64 values, it is lowered once to
+// an IntProgram: the same control flow over an untagged int64_t stack.
+//
+// The fast path never throws.  The rare dynamic escapes from the int64 type
+// system — division/modulo by zero, overflow that the boxed evaluator
+// promotes to real, negative exponents — set a poison flag instead; the
+// caller then replays the evaluation through the boxed Program, which is
+// kept as the correctness oracle.  Agreement is exact, not approximate: the
+// differential tests in tests/test_int_fastpath.cpp enforce it.
+//
+// Tuple membership is lowered at specialization time: small dense integer
+// tuples become a bitset probe, everything else a sorted-array binary
+// search.  String elements can never equal an int64 operand and are dropped;
+// any real element makes the program unlowerable (boxed real equality goes
+// through double and is lossy above 2^53, so exact agreement could not be
+// preserved).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/int_set.hpp"
+#include "tunespace/expr/bytecode.hpp"
+
+namespace tunespace::expr {
+
+/// Fast-path opcodes: the integer-closed subset of Op, with membership
+/// specialized by representation.
+enum class IntOp : std::uint8_t {
+  PushConst,        ///< push int_consts[arg]
+  LoadVar,          ///< push values[slot_map[arg]]
+  Add, Sub, Mul, FloorDiv, Mod, Pow,
+  Neg, Not, ToBool,
+  CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe,
+  InSorted,         ///< binary search in sets[arg].sorted
+  NotInSorted,
+  InBitset,         ///< bit probe in sets[arg].bits
+  NotInBitset,
+  Dup, Rot2, Rot3, Pop,
+  Jump,
+  JumpIfFalseOrPop,
+  JumpIfTrueOrPop,
+  PopJumpIfFalse,
+  CallMin,          ///< arg = argc
+  CallMax,          ///< arg = argc
+  CallAbs,
+  CallGcd,
+  Nop,              ///< int() of an int; keeps jump targets aligned 1:1
+  Return,
+};
+
+/// One fast-path instruction: opcode plus immediate.
+struct IntInstr {
+  IntOp op;
+  std::int32_t arg = 0;
+};
+
+/// A tuple constant lowered for int64 membership tests (shared with the
+/// InSet builtin constraint; see csp/int_set.hpp for the lowering rules).
+using IntSet = csp::IntValueSet;
+
+/// A Program lowered to the untagged int64 representation.
+class IntProgram {
+ public:
+  IntProgram() = default;
+
+  /// Lower a boxed Program.  Returns nullopt when the program is not
+  /// integer-closed (see expr/analysis.hpp: int_closed); lowering preserves
+  /// variable slot order, so the boxed program's slot maps can be reused.
+  static std::optional<IntProgram> lower(const Program& program);
+
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  const std::vector<IntInstr>& code() const { return code_; }
+
+  /// Execute against a dense int64 array: variable slot s reads
+  /// values[slot_map[s]].  Returns false when the evaluation poisoned
+  /// (dynamic escape from the int64 type system); the caller must then fall
+  /// back to the boxed evaluator.  On success *result holds the value.
+  bool run(const std::int64_t* values, const std::uint32_t* slot_map,
+           std::int64_t* result) const;
+
+  /// Execute and coerce to truthiness; same poison protocol as run().
+  bool run_bool(const std::int64_t* values, const std::uint32_t* slot_map,
+                bool* result) const {
+    std::int64_t r;
+    if (!run(values, slot_map, &r)) return false;
+    *result = r != 0;
+    return true;
+  }
+
+  /// Human-readable disassembly for debugging.
+  std::string disassemble() const;
+
+ private:
+  bool run_on(std::int64_t* stack, const std::int64_t* values,
+              const std::uint32_t* slot_map, std::int64_t* result) const;
+
+  std::vector<IntInstr> code_;
+  std::vector<std::int64_t> consts_;
+  std::vector<IntSet> sets_;
+  std::vector<std::string> var_names_;
+  std::size_t max_stack_ = 0;
+};
+
+}  // namespace tunespace::expr

@@ -43,6 +43,9 @@ csp::Value value_mod(const csp::Value& a, const csp::Value& b);
 csp::Value value_pow(const csp::Value& a, const csp::Value& b);
 /// Unary negation.
 csp::Value value_neg(const csp::Value& a);
+/// gcd over int/bool operands; raises EvalError for real/string operands and
+/// when the result (2^63, from gcd involving INT64_MIN) is unrepresentable.
+csp::Value value_gcd(const csp::Value& a, const csp::Value& b);
 /// Apply a comparison operator (Lt..Ne); In/NotIn are handled by callers.
 bool value_compare(CompareOp op, const csp::Value& a, const csp::Value& b);
 

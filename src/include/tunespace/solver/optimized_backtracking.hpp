@@ -28,6 +28,7 @@ struct OptimizedOptions {
   bool preprocess = true;        ///< domain pruning before search
   bool sort_variables = true;    ///< constraint-count variable ordering
   bool partial_checks = true;    ///< early consistency checks
+  bool int_fast_path = true;     ///< typed int64 evaluation for int-only scopes
 };
 
 /// Optimized backtracking solver.

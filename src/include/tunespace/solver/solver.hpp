@@ -23,7 +23,8 @@ namespace tunespace::solver {
 /// Search effort counters reported by each solver.
 struct SolveStats {
   std::uint64_t nodes = 0;              ///< partial assignments attempted
-  std::uint64_t constraint_checks = 0;  ///< constraint evaluations
+  std::uint64_t constraint_checks = 0;  ///< constraint evaluations (all tiers)
+  std::uint64_t fast_checks = 0;        ///< subset taken through the int64 fast path
   std::uint64_t prunes = 0;             ///< rejections before full assignment
   double preprocess_seconds = 0.0;      ///< domain preprocessing time
   double search_seconds = 0.0;          ///< enumeration time

@@ -89,10 +89,25 @@ SearchPlan build_plan(csp::Problem& problem, const OptimizedOptions& options,
   plan.pos_of.resize(n);
   for (std::size_t p = 0; p < n; ++p) plan.pos_of[plan.order[p]] = p;
 
+  // Dense int64 mirror of every int-only domain, so fast-path constraints
+  // never touch a boxed Value during search.  Skipped entirely when the fast
+  // path is disabled, so ablation baselines pay no bookkeeping for it.
+  plan.var_is_int.assign(n, 0);
+  plan.int_values.resize(n);
+  if (options.int_fast_path) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (plan.domains[v].int_mirror(plan.int_values[v])) plan.var_is_int[v] = 1;
+    }
+  }
+
   // Constraint dispatch tables: full check where the scope completes,
   // partial checks at every earlier scope position (§4.3.1/§4.3.2).
+  // Each table is partitioned into an int64 fast tier and a boxed tier.
   plan.full_at.resize(n);
   plan.partial_at.resize(n);
+  plan.full_fast_at.resize(n);
+  plan.partial_fast_at.resize(n);
+  plan.var_needs_boxed.assign(n, 0);
   for (const auto& c : problem.constraints()) {
     std::vector<const Domain*> scope_domains;
     scope_domains.reserve(c->indices().size());
@@ -106,15 +121,20 @@ SearchPlan build_plan(csp::Problem& problem, const OptimizedOptions& options,
       if (!c->satisfied(&dummy)) plan.unsatisfiable = true;
       continue;
     }
+    const bool fast = options.int_fast_path && c->try_specialize(scope_domains);
+    if (!fast) {
+      for (std::uint32_t idx : c->indices()) plan.var_needs_boxed[idx] = 1;
+    }
     std::size_t last = 0;
     for (std::uint32_t idx : c->indices()) {
       last = std::max(last, plan.pos_of[idx]);
     }
-    plan.full_at[last].push_back(c.get());
+    (fast ? plan.full_fast_at : plan.full_at)[last].push_back(c.get());
     if (options.partial_checks && c->prunes_partial()) {
       for (std::uint32_t idx : c->indices()) {
         if (plan.pos_of[idx] != last) {
-          plan.partial_at[plan.pos_of[idx]].push_back(c.get());
+          (fast ? plan.partial_fast_at
+                : plan.partial_at)[plan.pos_of[idx]].push_back(c.get());
         }
       }
     }
@@ -127,6 +147,7 @@ BacktrackingEngine::BacktrackingEngine(const SearchPlan& plan, std::size_t first
     : plan_(&plan), first_lo_(first_lo), first_hi_(first_hi) {
   const std::size_t n = plan.order.size();
   values_.resize(n);
+  int_values_.assign(n, 0);
   assigned_.assign(n, 0);
   value_idx_.assign(n, 0);
   row_.resize(n);
@@ -149,15 +170,39 @@ bool BacktrackingEngine::next() {
     bool descended = false;
     while (value_idx_[p_] < limit) {
       const std::size_t vi = value_idx_[p_]++;
-      values_[var] = dom[vi];
+      if (plan.var_is_int[var]) int_values_[var] = plan.int_values[var][vi];
+      // Boxed Values are only materialized for variables the boxed tier
+      // actually reads; all-integer problems skip this copy entirely.
+      if (plan.var_needs_boxed[var]) values_[var] = dom[vi];
       assigned_[var] = 1;
       ++nodes_;
       bool ok = true;
-      for (const Constraint* c : plan.full_at[p_]) {
+      for (const Constraint* c : plan.full_fast_at[p_]) {
         ++checks_;
-        if (!c->satisfied(values_.data())) {
+        ++fast_checks_;
+        if (!c->satisfied_fast(int_values_.data())) {
           ok = false;
           break;
+        }
+      }
+      if (ok) {
+        for (const Constraint* c : plan.full_at[p_]) {
+          ++checks_;
+          if (!c->satisfied(values_.data())) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        for (const Constraint* c : plan.partial_fast_at[p_]) {
+          ++checks_;
+          ++fast_checks_;
+          if (!c->consistent_fast(int_values_.data(), assigned_.data())) {
+            ok = false;
+            ++prunes_;
+            break;
+          }
         }
       }
       if (ok) {

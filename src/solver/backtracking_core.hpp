@@ -19,13 +19,26 @@
 namespace tunespace::solver::detail {
 
 /// Precomputed search strategy for one problem.
+///
+/// Constraint dispatch is two-tier: constraints that specialized for the
+/// int64 fast path (Constraint::try_specialize) land in the *_fast tables
+/// and are evaluated against a dense int64 mirror of the assignment;
+/// everything else stays in the boxed tables.  Boxed Values are only
+/// written for variables some boxed constraint actually reads
+/// (var_needs_boxed), so all-integer problems never touch a Value on the
+/// hot path.
 struct SearchPlan {
   std::vector<csp::Domain> domains;                    ///< preprocessed copies
   std::vector<std::vector<std::uint32_t>> orig_index;  ///< pruned -> original
   std::vector<std::size_t> order;                      ///< position -> variable
   std::vector<std::size_t> pos_of;                     ///< variable -> position
-  std::vector<std::vector<const csp::Constraint*>> full_at;
-  std::vector<std::vector<const csp::Constraint*>> partial_at;
+  std::vector<std::vector<const csp::Constraint*>> full_at;     ///< boxed tier
+  std::vector<std::vector<const csp::Constraint*>> partial_at;  ///< boxed tier
+  std::vector<std::vector<const csp::Constraint*>> full_fast_at;
+  std::vector<std::vector<const csp::Constraint*>> partial_fast_at;
+  std::vector<std::vector<std::int64_t>> int_values;   ///< per int var: domain mirror
+  std::vector<unsigned char> var_is_int;               ///< domain is int/bool only
+  std::vector<unsigned char> var_needs_boxed;          ///< boxed tier reads this var
   bool unsatisfiable = false;  ///< proven empty during preprocessing
 };
 
@@ -52,18 +65,20 @@ class BacktrackingEngine {
 
   std::uint64_t nodes() const { return nodes_; }
   std::uint64_t constraint_checks() const { return checks_; }
+  std::uint64_t fast_checks() const { return fast_checks_; }
   std::uint64_t prunes() const { return prunes_; }
 
  private:
   const SearchPlan* plan_;
   std::size_t first_lo_, first_hi_;
   std::vector<csp::Value> values_;
+  std::vector<std::int64_t> int_values_;  ///< dense int64 assignment mirror
   std::vector<unsigned char> assigned_;
   std::vector<std::size_t> value_idx_;
   std::vector<std::uint32_t> row_;
   std::size_t p_ = 0;
   bool exhausted_ = false;
-  std::uint64_t nodes_ = 0, checks_ = 0, prunes_ = 0;
+  std::uint64_t nodes_ = 0, checks_ = 0, fast_checks_ = 0, prunes_ = 0;
 };
 
 }  // namespace tunespace::solver::detail

@@ -40,7 +40,8 @@ struct TreeNode {
 
 struct GroupBuild {
   std::vector<std::size_t> vars;                    // declaration order
-  std::vector<std::vector<const Constraint*>> check_at;  // per depth
+  std::vector<std::vector<const Constraint*>> check_at;       // boxed tier
+  std::vector<std::vector<const Constraint*>> check_fast_at;  // int64 tier
   std::vector<TreeNode> roots;
   std::size_t tree_nodes = 0;
   std::vector<std::vector<std::uint32_t>> combos;   // enumerated leaves
@@ -92,9 +93,26 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
   for (std::size_t g = 0; g < groups_vars.size(); ++g) {
     groups[g].vars = std::move(groups_vars[g]);
     groups[g].check_at.resize(groups[g].vars.size());
+    groups[g].check_fast_at.resize(groups[g].vars.size());
   }
+
+  // Int64 mirror of the int-only domains; the pyATF-overhead mode keeps the
+  // fully boxed data flow it is modelling.
+  const bool fast_enabled = !interpreter_overhead_;
+  std::vector<unsigned char> var_is_int(n, 0);
+  std::vector<std::vector<std::int64_t>> int_dom(n);
+  if (fast_enabled) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (problem.domain(v).int_mirror(int_dom[v])) var_is_int[v] = 1;
+    }
+  }
+
   // Assign each constraint to the depth where its scope completes within its
-  // group (all scope variables share one group by construction).
+  // group (all scope variables share one group by construction), partitioned
+  // into the int64 fast tier and the boxed tier.  Boxed Values are only
+  // materialized for variables the boxed tier (or the pyATF-overhead data
+  // flow) actually reads, mirroring the backtracking engine's var_needs_boxed.
+  std::vector<unsigned char> needs_boxed(n, interpreter_overhead_ ? 1 : 0);
   bool unsatisfiable_constant = false;
   for (const auto& c : problem.constraints()) {
     if (c->indices().empty()) {
@@ -105,7 +123,22 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
     const std::size_t g = group_of[c->indices()[0]];
     std::size_t depth = 0;
     for (std::uint32_t idx : c->indices()) depth = std::max(depth, pos_in_group[idx]);
-    groups[g].check_at[depth].push_back(c.get());
+    bool fast = false;
+    if (fast_enabled) {
+      std::vector<const csp::Domain*> scope_domains;
+      scope_domains.reserve(c->indices().size());
+      for (std::uint32_t idx : c->indices()) {
+        scope_domains.push_back(&problem.domain(idx));
+      }
+      // try_specialize's contract requires prepare() first (specializations
+      // may consume prepared bounds, as consistent_fast does).
+      c->prepare(scope_domains);
+      fast = c->try_specialize(scope_domains);
+    }
+    if (!fast) {
+      for (std::uint32_t idx : c->indices()) needs_boxed[idx] = 1;
+    }
+    (fast ? groups[g].check_fast_at : groups[g].check_at)[depth].push_back(c.get());
   }
   result.stats.preprocess_seconds = timer.seconds();
   if (unsatisfiable_constant) return result;
@@ -113,8 +146,9 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
   // --- Build one tree per group ---------------------------------------------
   timer.reset();
   std::vector<Value> values(n);
+  std::vector<std::int64_t> int_values(n, 0);
   std::vector<unsigned char> assigned(n, 0);
-  std::uint64_t nodes = 0, checks = 0;
+  std::uint64_t nodes = 0, checks = 0, fast_checks = 0;
 
   // pyATF-mode sink: the most recent name-keyed configuration dictionary.
   // A *fresh* dictionary is allocated per visited node / emitted solution,
@@ -129,7 +163,8 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
     const std::size_t var = group.vars[depth];
     const csp::Domain& dom = problem.domain(var);
     for (std::uint32_t vi = 0; vi < dom.size(); ++vi) {
-      values[var] = dom[vi];
+      if (needs_boxed[var]) values[var] = dom[vi];
+      if (var_is_int[var]) int_values[var] = int_dom[var][vi];
       assigned[var] = 1;
       ++nodes;
       if (interpreter_overhead_) {
@@ -142,11 +177,21 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
         py_config = std::move(node_config);
       }
       bool ok = true;
-      for (const Constraint* c : group.check_at[depth]) {
+      for (const Constraint* c : group.check_fast_at[depth]) {
         ++checks;
-        if (!c->satisfied(values.data())) {
+        ++fast_checks;
+        if (!c->satisfied_fast(int_values.data())) {
           ok = false;
           break;
+        }
+      }
+      if (ok) {
+        for (const Constraint* c : group.check_at[depth]) {
+          ++checks;
+          if (!c->satisfied(values.data())) {
+            ok = false;
+            break;
+          }
         }
       }
       if (!ok) {
@@ -177,6 +222,7 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
       // One empty group empties the whole chain.
       result.stats.nodes = nodes;
       result.stats.constraint_checks = checks;
+      result.stats.fast_checks = fast_checks;
       result.stats.search_seconds = timer.seconds();
       return result;
     }
@@ -229,6 +275,7 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
 done:
   result.stats.nodes = nodes;
   result.stats.constraint_checks = checks;
+  result.stats.fast_checks = fast_checks;
   result.stats.search_seconds = timer.seconds();
   return result;
 }

@@ -21,6 +21,7 @@ SolveResult OptimizedBacktracking::solve(csp::Problem& problem) const {
   while (engine.next()) result.solutions.append(engine.row().data());
   result.stats.nodes = engine.nodes();
   result.stats.constraint_checks = engine.constraint_checks();
+  result.stats.fast_checks = engine.fast_checks();
   result.stats.prunes += engine.prunes();  // += : preprocessing counted some
   result.stats.search_seconds = timer.seconds();
   return result;

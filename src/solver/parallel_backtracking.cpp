@@ -31,7 +31,7 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
   // the sequential enumeration order deterministically.
   struct TaskState {
     SolutionSet solutions;
-    std::uint64_t nodes = 0, checks = 0, prunes = 0;
+    std::uint64_t nodes = 0, checks = 0, fast_checks = 0, prunes = 0;
   };
   std::vector<TaskState> tasks(first_domain);
   for (auto& t : tasks) t.solutions = SolutionSet(n);
@@ -49,6 +49,7 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
         while (engine.next()) state.solutions.append(engine.row().data());
         state.nodes = engine.nodes();
         state.checks = engine.constraint_checks();
+        state.fast_checks = engine.fast_checks();
         state.prunes = engine.prunes();
       }
     });
@@ -59,6 +60,7 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
     result.solutions.append_all(state.solutions);
     result.stats.nodes += state.nodes;
     result.stats.constraint_checks += state.checks;
+    result.stats.fast_checks += state.fast_checks;
     result.stats.prunes += state.prunes;
   }
   result.stats.search_seconds = timer.seconds();
