@@ -32,6 +32,12 @@ class SearchSpace {
   /// Construct from a spec with an explicit method (benchmarks use this).
   SearchSpace(const tuner::TuningProblem& spec, const tuner::Method& method);
 
+  /// Construct from a spec with the work-stealing parallel engine (full
+  /// pipeline + ParallelBacktracking).  The resolved space is byte-identical
+  /// to the sequential construction.
+  SearchSpace(const tuner::TuningProblem& spec,
+              const solver::SolverOptions& parallel);
+
   // --- Shape ----------------------------------------------------------------
   std::size_t size() const { return solutions_.size(); }
   bool empty() const { return solutions_.empty(); }

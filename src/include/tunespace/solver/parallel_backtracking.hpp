@@ -1,14 +1,20 @@
 #pragma once
-// ParallelBacktracking: multi-threaded variant of the optimized solver.
+// ParallelBacktracking: work-stealing multi-threaded variant of the
+// optimized solver.
 //
-// The paper lists parallel construction as an engineering avenue; this
-// implementation embarrassingly parallelizes the search by partitioning the
-// first search variable's (preprocessed) domain into contiguous chunks, one
-// resumable engine per worker thread.  Preprocessing, variable ordering and
-// constraint preparation run once, sequentially; the per-thread engines then
-// share the read-only plan (constraints are stateless during search), and
-// per-thread SolutionSets are concatenated in chunk order, so the output
-// ordering is identical to the sequential solver and fully deterministic.
+// The search tree is split at a configurable prefix depth D: a sequential
+// *prefix expansion* enumerates every valid assignment of the first D search
+// positions (charging exactly the effort the sequential search spends on the
+// top D levels), and each valid prefix becomes one task — the subtree below
+// it.  Tasks are distributed over per-worker deques; idle workers steal the
+// back half of a victim's oldest task range, so skewed subtrees split
+// adaptively instead of serializing the tail (see work_stealing.hpp).
+//
+// Every worker appends solutions into its own sharded SolutionSet (no shared
+// append lock) and records one (prefix-rank, begin, count) segment per task;
+// segments are merged by rank afterwards, so the output is byte-identical to
+// the sequential solver's enumeration order, and the summed effort counters
+// (nodes / checks / prunes) equal a sequential run exactly.
 
 #include <cstddef>
 
@@ -23,15 +29,23 @@ class ParallelBacktracking : public Solver {
   /// `threads` = 0 uses the hardware concurrency.
   explicit ParallelBacktracking(std::size_t threads = 0,
                                 OptimizedOptions options = {})
-      : threads_(threads), options_(options) {}
+      : options_(options) {
+    parallel_.threads = threads;
+  }
+
+  /// Full control over threads, split depth and steal policy.
+  explicit ParallelBacktracking(SolverOptions parallel,
+                                OptimizedOptions options = {})
+      : parallel_(parallel), options_(options) {}
 
   std::string name() const override { return "optimized-parallel"; }
   SolveResult solve(csp::Problem& problem) const override;
 
-  std::size_t threads() const { return threads_; }
+  std::size_t threads() const { return parallel_.threads; }
+  const SolverOptions& parallel_options() const { return parallel_; }
 
  private:
-  std::size_t threads_;
+  SolverOptions parallel_;
   OptimizedOptions options_;
 };
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tunespace/csp/problem.hpp"
@@ -26,9 +27,40 @@ struct SolveStats {
   std::uint64_t constraint_checks = 0;  ///< constraint evaluations (all tiers)
   std::uint64_t fast_checks = 0;        ///< subset taken through the int64 fast path
   std::uint64_t prunes = 0;             ///< rejections before full assignment
+  std::uint64_t parallel_tasks = 0;     ///< work-stealing tasks executed (0 = sequential)
+  std::uint32_t parallel_workers = 0;   ///< worker threads used (0 = sequential)
   double preprocess_seconds = 0.0;      ///< domain preprocessing time
   double search_seconds = 0.0;          ///< enumeration time
   double total_seconds() const { return preprocess_seconds + search_seconds; }
+};
+
+/// How an idle worker picks steal victims when its own deque runs dry.
+enum class StealPolicy {
+  kSequential,  ///< scan victims round-robin starting at worker id + 1
+  kRandom,      ///< per-worker deterministic xorshift victim order
+};
+
+/// Execution options shared by the parallel construction engines
+/// (ParallelBacktracking, parallel ChainOfTrees, SearchSpace).  Neither the
+/// solution order nor the effort counters depend on any of these knobs; they
+/// only steer how the deterministic result is computed.
+struct SolverOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Assignment-prefix length used to split the search tree into tasks;
+  /// 0 = auto (grow until ~tasks_per_thread tasks per worker exist).
+  std::size_t split_depth = 0;
+  /// Auto split-depth granularity target (tasks per worker).
+  std::size_t tasks_per_thread = 8;
+  /// Victim-selection policy for work stealing.
+  StealPolicy steal = StealPolicy::kRandom;
+
+  /// Worker count after applying the hardware-concurrency default (>= 1);
+  /// the single resolution point shared by every parallel engine.
+  std::size_t resolve_threads() const {
+    std::size_t workers = threads ? threads : std::thread::hardware_concurrency();
+    return workers ? workers : 1;
+  }
 };
 
 /// Column-major store of all valid configurations.
@@ -51,9 +83,17 @@ class SolutionSet {
   /// Append all solutions of another set (column-wise bulk copy; used by
   /// the parallel solver to merge per-thread results cheaply).
   void append_all(const SolutionSet& other) {
+    append_range(other, 0, other.size());
+  }
+
+  /// Append `count` solutions of another set starting at row `begin`.  The
+  /// parallel solvers use this to stitch rank-tagged segments of per-worker
+  /// shards back into the canonical sequential enumeration order.
+  void append_range(const SolutionSet& other, std::size_t begin,
+                    std::size_t count) {
     for (std::size_t v = 0; v < columns_.size(); ++v) {
-      columns_[v].insert(columns_[v].end(), other.columns_[v].begin(),
-                         other.columns_[v].end());
+      columns_[v].insert(columns_[v].end(), other.columns_[v].begin() + begin,
+                         other.columns_[v].begin() + begin + count);
     }
   }
 

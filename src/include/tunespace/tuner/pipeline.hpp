@@ -58,6 +58,12 @@ struct Method {
 /// Fig. 4 SMT-style enumerator.
 std::vector<Method> construction_methods(bool include_blocking = false);
 
+/// The optimized method on the work-stealing parallel engine (full pipeline
+/// + ParallelBacktracking).  Produces byte-identical results to the
+/// "optimized" method; benches and the SearchSpace layer use it to scale
+/// construction across cores.
+Method parallel_method(const solver::SolverOptions& options = {});
+
 /// Convenience: lower and solve in one timed step.  The returned stats'
 /// preprocess_seconds includes pipeline build time (the paper includes
 /// search-space definition compile time in total construction time, §5.1).

@@ -24,6 +24,10 @@ SearchSpace::SearchSpace(const tuner::TuningProblem& spec)
                                 std::make_unique<solver::OptimizedBacktracking>()}) {}
 
 SearchSpace::SearchSpace(const tuner::TuningProblem& spec,
+                         const solver::SolverOptions& parallel)
+    : SearchSpace(spec, tuner::parallel_method(parallel)) {}
+
+SearchSpace::SearchSpace(const tuner::TuningProblem& spec,
                          const tuner::Method& method) {
   util::WallTimer timer;
   problem_ = tuner::build_problem(spec, method.pipeline);

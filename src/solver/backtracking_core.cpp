@@ -143,30 +143,59 @@ SearchPlan build_plan(csp::Problem& problem, const OptimizedOptions& options,
 }
 
 BacktrackingEngine::BacktrackingEngine(const SearchPlan& plan, std::size_t first_lo,
-                                       std::size_t first_hi)
+                                       std::size_t first_hi, std::size_t emit_depth)
     : plan_(&plan), first_lo_(first_lo), first_hi_(first_hi) {
   const std::size_t n = plan.order.size();
+  emit_depth_ = std::min(emit_depth, n);
   values_.resize(n);
   int_values_.assign(n, 0);
   assigned_.assign(n, 0);
   value_idx_.assign(n, 0);
   row_.resize(n);
-  if (n == 0 || plan.unsatisfiable || first_lo_ >= first_hi_) {
+  if (n == 0 || plan.unsatisfiable || first_lo_ >= first_hi_ || emit_depth_ == 0) {
     exhausted_ = true;
   } else {
     value_idx_[0] = first_lo_;
   }
 }
 
+BacktrackingEngine::BacktrackingEngine(const SearchPlan& plan, PrefixSeed seed)
+    : plan_(&plan), base_(seed.length) {
+  const std::uint32_t* prefix = seed.values;
+  const std::size_t prefix_len = seed.length;
+  const std::size_t n = plan.order.size();
+  emit_depth_ = n;
+  values_.resize(n);
+  int_values_.assign(n, 0);
+  assigned_.assign(n, 0);
+  value_idx_.assign(n, 0);
+  row_.resize(n);
+  if (n == 0 || plan.unsatisfiable || prefix_len >= n) {
+    exhausted_ = true;
+    return;
+  }
+  for (std::size_t q = 0; q < prefix_len; ++q) {
+    const std::size_t var = plan.order[q];
+    const std::uint32_t vi = prefix[q];
+    if (plan.var_is_int[var]) int_values_[var] = plan.int_values[var][vi];
+    if (plan.var_needs_boxed[var]) values_[var] = plan.domains[var][vi];
+    assigned_[var] = 1;
+    row_[var] = plan.orig_index[var][vi];
+    value_idx_[q] = vi + 1;  // keep the chosen_index invariant for seeds too
+  }
+  p_ = base_;
+  first_lo_ = 0;
+  first_hi_ = plan.domains[plan.order[base_]].size();
+}
+
 bool BacktrackingEngine::next() {
   if (exhausted_) return false;
   const SearchPlan& plan = *plan_;
-  const std::size_t n = plan.order.size();
 
   while (true) {
     const std::size_t var = plan.order[p_];
     const Domain& dom = plan.domains[var];
-    const std::size_t limit = p_ == 0 ? first_hi_ : dom.size();
+    const std::size_t limit = p_ == base_ ? first_hi_ : dom.size();
     bool descended = false;
     while (value_idx_[p_] < limit) {
       const std::size_t vi = value_idx_[p_]++;
@@ -220,7 +249,7 @@ bool BacktrackingEngine::next() {
         continue;
       }
       row_[var] = plan.orig_index[var][vi];
-      if (p_ + 1 == n) {
+      if (p_ + 1 == emit_depth_) {
         assigned_[var] = 0;
         return true;  // resume at this position on the next call
       }
@@ -231,7 +260,7 @@ bool BacktrackingEngine::next() {
     }
     if (descended) continue;
     assigned_[var] = 0;
-    if (p_ == 0) {
+    if (p_ == base_) {
       exhausted_ = true;
       return false;
     }

@@ -5,9 +5,16 @@
 // A SearchPlan captures everything derived from the Problem before search:
 // preprocessed domain copies, the original-domain index mapping, the
 // variable order, and the per-position constraint dispatch tables.
-// A BacktrackingEngine then enumerates solutions resumably over a plan,
-// optionally restricted to a sub-range of the first search variable's
-// values — the unit of work the parallel solver distributes across threads.
+// A BacktrackingEngine then enumerates solutions resumably over a plan.
+// Two restrictions compose into the parallel decomposition:
+//   * an emit depth D < n turns the engine into a *prefix expander* that
+//     yields every valid depth-D assignment prefix (and charges exactly the
+//     nodes/checks the sequential search spends on the top D levels);
+//   * a prefix seed fixes positions [0, D) to one expanded prefix and
+//     enumerates only the subtree below it, never backtracking above D.
+// Together they let the work-stealing parallel solver split the search tree
+// at any depth while keeping the union of all engines' effort counters
+// exactly equal to a single sequential enumeration.
 
 #include <cstdint>
 #include <vector>
@@ -54,14 +61,38 @@ class BacktrackingEngine {
  public:
   /// Restrict the first search position's value indices to [first_lo,
   /// first_hi) — pass 0 and the full domain size for a complete search.
+  /// `emit_depth` < n turns the engine into a prefix expander: next()
+  /// returns once per valid assignment of positions [0, emit_depth) and
+  /// never descends (or counts effort) below that depth.
   BacktrackingEngine(const SearchPlan& plan, std::size_t first_lo,
-                     std::size_t first_hi);
+                     std::size_t first_hi,
+                     std::size_t emit_depth = static_cast<std::size_t>(-1));
+
+  /// A fixed assignment prefix: `length` pruned-domain value indices, one
+  /// per search position, as produced by a prefix expander via chosen_index.
+  struct PrefixSeed {
+    const std::uint32_t* values = nullptr;
+    std::size_t length = 0;
+  };
+
+  /// Seed positions [0, seed.length) and enumerate the subtree below.  The
+  /// seeded positions are assumed already validated by the expansion; no
+  /// effort is counted for them, and the engine never backtracks above the
+  /// prefix.
+  BacktrackingEngine(const SearchPlan& plan, PrefixSeed seed);
 
   /// Advance to the next solution; false when exhausted.  On success the
   /// solution is available via row() (original-domain value indices).
   bool next();
 
   const std::vector<std::uint32_t>& row() const { return row_; }
+
+  /// Pruned-domain value index currently chosen at search position `pos`.
+  /// Valid for pos < emit_depth after next() returned true; used to capture
+  /// the prefix a depth-limited expander stopped at.
+  std::uint32_t chosen_index(std::size_t pos) const {
+    return static_cast<std::uint32_t>(value_idx_[pos] - 1);
+  }
 
   std::uint64_t nodes() const { return nodes_; }
   std::uint64_t constraint_checks() const { return checks_; }
@@ -71,6 +102,8 @@ class BacktrackingEngine {
  private:
   const SearchPlan* plan_;
   std::size_t first_lo_, first_hi_;
+  std::size_t base_ = 0;        ///< backtracking floor (prefix length)
+  std::size_t emit_depth_ = 0;  ///< position count after which next() yields
   std::vector<csp::Value> values_;
   std::vector<std::int64_t> int_values_;  ///< dense int64 assignment mirror
   std::vector<unsigned char> assigned_;

@@ -1,12 +1,46 @@
 #include "tunespace/solver/parallel_backtracking.hpp"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
 
 #include "backtracking_core.hpp"
 #include "tunespace/util/timer.hpp"
+#include "work_stealing.hpp"
 
 namespace tunespace::solver {
+
+namespace {
+
+/// Upper bound on auto-chosen prefix candidates: keeps the expanded prefix
+/// pool (and per-task bookkeeping) bounded on spaces with huge level fan-out.
+constexpr std::uint64_t kMaxAutoCandidates = 1u << 20;
+
+/// Initial guess for the prefix split depth: grow until the Cartesian
+/// fan-out of the first `depth` search positions reaches ~tasks_per_thread
+/// tasks per worker, staying above the old first-variable-only
+/// decomposition (depth 1) and below a full enumeration (depth n-1).  The
+/// solve loop deepens further when pruning leaves too few *valid* prefixes
+/// at this depth.
+std::size_t initial_split_depth(const detail::SearchPlan& plan,
+                                const SolverOptions& options,
+                                std::size_t workers) {
+  const std::size_t n = plan.order.size();
+  std::size_t depth = options.split_depth;
+  if (depth == 0) {
+    const std::uint64_t target =
+        workers * std::max<std::size_t>(options.tasks_per_thread, 1);
+    std::uint64_t product = 1;
+    while (depth + 1 < n && product < target) {
+      const std::uint64_t next =
+          product * plan.domains[plan.order[depth]].size();
+      if (depth > 0 && next > kMaxAutoCandidates) break;
+      product = next;
+      ++depth;
+    }
+  }
+  return std::clamp<std::size_t>(depth, 1, n - 1);
+}
+
+}  // namespace
 
 SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
   SolveResult result;
@@ -20,48 +54,112 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
   if (plan.unsatisfiable) return result;
 
   timer.reset();
-  const std::size_t first_domain = plan.domains[plan.order[0]].size();
-  std::size_t workers = threads_ ? threads_ : std::thread::hardware_concurrency();
-  if (workers == 0) workers = 1;
-  workers = std::min(workers, first_domain);
+  const std::size_t workers = parallel_.resolve_threads();
 
-  // Dynamic scheduling: each task is one value of the first search variable
-  // (subtree sizes are highly skewed, so static chunking load-imbalances).
-  // Per-task solution sets are merged in task order afterwards, preserving
-  // the sequential enumeration order deterministically.
-  struct TaskState {
+  if (n == 1) {
+    // No prefix to split on: a single-variable search is one flat scan.
+    detail::BacktrackingEngine engine(plan, 0, plan.domains[plan.order[0]].size());
+    while (engine.next()) result.solutions.append(engine.row().data());
+    result.stats.nodes = engine.nodes();
+    result.stats.constraint_checks = engine.constraint_checks();
+    result.stats.fast_checks = engine.fast_checks();
+    result.stats.prunes += engine.prunes();
+    result.stats.parallel_tasks = 1;
+    result.stats.parallel_workers = 1;
+    result.stats.search_seconds = timer.seconds();
+    return result;
+  }
+
+  // --- Phase 1: sequential prefix expansion over the top `depth` levels ----
+  // When constraints prune the top of the tree so hard that fewer valid
+  // prefixes than the task target survive (the old first-variable clamp's
+  // failure mode, triggered by *invalid* rather than small first domains),
+  // discard the probe and deepen: re-expansions are cheap exactly when they
+  // trigger, because the surviving top tree is narrow.  Only the accepted
+  // expansion's counters are recorded, so expansion + task counters still
+  // sum to the sequential totals.
+  std::size_t depth = initial_split_depth(plan, parallel_, workers);
+  const std::size_t task_target =
+      workers * std::max<std::size_t>(parallel_.tasks_per_thread, 1);
+  std::vector<std::uint32_t> prefixes;  // depth entries per task, rank order
+  for (;;) {
+    prefixes.clear();
+    detail::BacktrackingEngine expander(
+        plan, 0, plan.domains[plan.order[0]].size(), depth);
+    while (expander.next()) {
+      for (std::size_t q = 0; q < depth; ++q) {
+        prefixes.push_back(expander.chosen_index(q));
+      }
+    }
+    const std::size_t tasks = prefixes.size() / depth;
+    if (parallel_.split_depth == 0 && depth + 1 < n && tasks > 0 &&
+        tasks < task_target && tasks < kMaxAutoCandidates) {
+      ++depth;
+      continue;
+    }
+    result.stats.nodes += expander.nodes();
+    result.stats.constraint_checks += expander.constraint_checks();
+    result.stats.fast_checks += expander.fast_checks();
+    result.stats.prunes += expander.prunes();
+    break;
+  }
+  const std::size_t num_tasks = prefixes.size() / depth;
+  result.stats.parallel_tasks = num_tasks;
+  if (num_tasks == 0) {
+    result.stats.search_seconds = timer.seconds();
+    return result;
+  }
+
+  // --- Phase 2: work-stealing enumeration of the per-prefix subtrees ------
+  // Solutions land in per-worker sharded SolutionSets tagged with their
+  // prefix rank; no shared append lock anywhere on the hot path.
+  struct Segment {
+    std::uint32_t rank = 0;
+    std::uint32_t worker = 0;
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  struct WorkerShard {
     SolutionSet solutions;
+    std::vector<Segment> segments;
     std::uint64_t nodes = 0, checks = 0, fast_checks = 0, prunes = 0;
   };
-  std::vector<TaskState> tasks(first_domain);
-  for (auto& t : tasks) t.solutions = SolutionSet(n);
-  std::atomic<std::size_t> next_task{0};
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&plan, &tasks, &next_task, first_domain] {
-      for (;;) {
-        const std::size_t task = next_task.fetch_add(1, std::memory_order_relaxed);
-        if (task >= first_domain) return;
-        detail::BacktrackingEngine engine(plan, task, task + 1);
-        TaskState& state = tasks[task];
-        while (engine.next()) state.solutions.append(engine.row().data());
-        state.nodes = engine.nodes();
-        state.checks = engine.constraint_checks();
-        state.fast_checks = engine.fast_checks();
-        state.prunes = engine.prunes();
-      }
-    });
+  detail::WorkStealingScheduler scheduler(num_tasks, workers, parallel_.steal);
+  std::vector<WorkerShard> shards(scheduler.workers());
+  for (auto& shard : shards) shard.solutions = SolutionSet(n);
+
+  scheduler.run([&](std::size_t w, std::uint32_t task) {
+    WorkerShard& shard = shards[w];
+    detail::BacktrackingEngine engine(
+        plan, detail::BacktrackingEngine::PrefixSeed{&prefixes[task * depth], depth});
+    const std::size_t begin = shard.solutions.size();
+    while (engine.next()) shard.solutions.append(engine.row().data());
+    shard.segments.push_back(Segment{task, static_cast<std::uint32_t>(w), begin,
+                                     shard.solutions.size() - begin});
+    shard.nodes += engine.nodes();
+    shard.checks += engine.constraint_checks();
+    shard.fast_checks += engine.fast_checks();
+    shard.prunes += engine.prunes();
+  });
+  result.stats.parallel_workers = static_cast<std::uint32_t>(scheduler.workers());
+
+  // --- Phase 3: deterministic merge in prefix-rank order ------------------
+  std::vector<Segment> segments;
+  segments.reserve(num_tasks);
+  for (const WorkerShard& shard : shards) {
+    segments.insert(segments.end(), shard.segments.begin(), shard.segments.end());
+    result.stats.nodes += shard.nodes;
+    result.stats.constraint_checks += shard.checks;
+    result.stats.fast_checks += shard.fast_checks;
+    result.stats.prunes += shard.prunes;
   }
-  for (auto& t : pool) t.join();
-
-  for (auto& state : tasks) {
-    result.solutions.append_all(state.solutions);
-    result.stats.nodes += state.nodes;
-    result.stats.constraint_checks += state.checks;
-    result.stats.fast_checks += state.fast_checks;
-    result.stats.prunes += state.prunes;
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) { return a.rank < b.rank; });
+  for (const Segment& seg : segments) {
+    if (seg.count == 0) continue;
+    result.solutions.append_range(shards[seg.worker].solutions, seg.begin,
+                                  seg.count);
   }
   result.stats.search_seconds = timer.seconds();
   return result;

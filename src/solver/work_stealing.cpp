@@ -1,0 +1,118 @@
+#include "work_stealing.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace tunespace::solver::detail {
+
+void WorkStealingDeque::push_bottom(TaskRange r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ranges_.push_back(r);
+}
+
+bool WorkStealingDeque::pop_bottom(TaskRange& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ranges_.empty()) return false;
+  out = ranges_.back();
+  ranges_.pop_back();
+  return true;
+}
+
+bool WorkStealingDeque::steal_top(TaskRange& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ranges_.empty()) return false;
+  TaskRange& top = ranges_.front();
+  if (top.size() <= 1) {
+    out = top;
+    ranges_.erase(ranges_.begin());
+    return true;
+  }
+  const std::uint32_t mid = top.lo + top.size() / 2;
+  out = TaskRange{mid, top.hi};
+  top.hi = mid;  // victim keeps the front half in place
+  return true;
+}
+
+WorkStealingScheduler::WorkStealingScheduler(std::size_t num_tasks,
+                                             std::size_t num_workers,
+                                             StealPolicy policy)
+    : tasks_(num_tasks),
+      workers_(std::max<std::size_t>(
+          1, std::min(num_workers ? num_workers : 1, num_tasks))),
+      policy_(policy) {}
+
+void WorkStealingScheduler::run(
+    const std::function<void(std::size_t, std::uint32_t)>& fn) {
+  if (tasks_ == 0) return;
+
+  std::vector<WorkStealingDeque> deques(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    const auto lo = static_cast<std::uint32_t>(tasks_ * w / workers_);
+    const auto hi = static_cast<std::uint32_t>(tasks_ * (w + 1) / workers_);
+    if (lo < hi) deques[w].push_bottom(TaskRange{lo, hi});
+  }
+
+  std::atomic<std::size_t> done{0};
+  auto worker = [&](std::size_t w) {
+    // Deterministically-seeded xorshift for the random steal policy (victim
+    // choice never affects results, only which thread computes them).
+    std::uint64_t rng = 0x9E3779B97F4A7C15ULL * (w + 2);
+    auto execute = [&](TaskRange r) {
+      // Take the front task; re-expose the rest so thieves can split it.
+      if (r.size() > 1) deques[w].push_bottom(TaskRange{r.lo + 1, r.hi});
+      fn(w, r.lo);
+      done.fetch_add(1, std::memory_order_release);
+    };
+    // Back off when repeated steal sweeps come up dry (typically the tail of
+    // a skewed run): sleeping idle workers stop burning cores the remaining
+    // busy workers — possibly time-sharing the same cores — need.
+    int dry_sweeps = 0;
+    while (done.load(std::memory_order_acquire) < tasks_) {
+      TaskRange r;
+      if (deques[w].pop_bottom(r)) {
+        dry_sweeps = 0;
+        execute(r);
+        continue;
+      }
+      bool found = false;
+      for (std::size_t i = 1; i < workers_ && !found; ++i) {
+        std::size_t victim;
+        if (policy_ == StealPolicy::kSequential) {
+          victim = (w + i) % workers_;
+        } else {
+          rng ^= rng << 13;
+          rng ^= rng >> 7;
+          rng ^= rng << 17;
+          // Draw from the nonzero offsets so every attempt targets a real
+          // victim instead of wasting sweep iterations on self-picks.
+          victim = (w + 1 + rng % (workers_ - 1)) % workers_;
+        }
+        if (victim == w) continue;
+        if (deques[victim].steal_top(r)) {
+          execute(r);
+          found = true;
+        }
+      }
+      if (found) {
+        dry_sweeps = 0;
+      } else if (++dry_sweeps < 16) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  };
+
+  if (workers_ == 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) pool.emplace_back(worker, w);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace tunespace::solver::detail

@@ -1,0 +1,82 @@
+#pragma once
+// Work-stealing task scheduler shared by the parallel solvers (internal, not
+// installed; used by ParallelBacktracking and the parallel ChainOfTrees).
+//
+// The unit of distribution is an index into an externally-owned, rank-ordered
+// task array.  Each worker owns a deque seeded with one contiguous block of
+// task indices:
+//
+//   * the owner pops single tasks from the BOTTOM of its deque, so a worker
+//     drains its block in ascending rank order — cache-friendly and nearly
+//     sequential;
+//   * an idle worker steals from the TOP of a victim's deque, and a steal
+//     takes only the back half of the victim's oldest range, leaving the
+//     front half in place — skewed subtrees therefore keep splitting
+//     adaptively instead of serializing the tail.
+//
+// The deque stores ranges and is mutex-guarded behind the classic Chase–Lev
+// owner/thief interface (push_bottom / pop_bottom / steal_top).  Because the
+// granularity is a whole solver subtree, lock traffic is a few operations per
+// task; the mutex is effectively uncontended and keeps the structure
+// trivially TSan-clean.  A lock-free Chase–Lev circular array can be dropped
+// in behind the same interface if task granularity ever shrinks.
+//
+// Determinism note: the scheduler never orders *results* — callers tag every
+// produced segment with its task rank and merge by rank afterwards, so the
+// output is byte-identical no matter which worker ran which task.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "tunespace/solver/solver.hpp"
+
+namespace tunespace::solver::detail {
+
+/// Half-open range of task indices [lo, hi).
+struct TaskRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  std::uint32_t size() const { return hi - lo; }
+};
+
+/// Mutex-guarded deque of disjoint task ranges with Chase–Lev semantics.
+class WorkStealingDeque {
+ public:
+  /// Owner side: push a range onto the bottom (newest end).
+  void push_bottom(TaskRange r);
+  /// Owner side: remove the newest range.
+  bool pop_bottom(TaskRange& out);
+  /// Thief side: split the oldest range, taking its back half (the whole
+  /// range when it holds a single task).
+  bool steal_top(TaskRange& out);
+
+ private:
+  std::mutex mutex_;
+  std::vector<TaskRange> ranges_;  // front = top (steal end), back = bottom
+};
+
+/// Runs `num_tasks` tasks over up to `num_workers` threads with work
+/// stealing.  `fn(worker, task)` is invoked exactly once per task index in
+/// [0, num_tasks); each worker's initially-assigned block is executed in
+/// ascending index order.  run() returns after all tasks completed and all
+/// spawned threads joined, so every write made by `fn` is visible.
+class WorkStealingScheduler {
+ public:
+  WorkStealingScheduler(std::size_t num_tasks, std::size_t num_workers,
+                        StealPolicy policy);
+
+  /// Worker count actually used (capped at the task count, at least 1).
+  std::size_t workers() const { return workers_; }
+
+  void run(const std::function<void(std::size_t, std::uint32_t)>& fn);
+
+ private:
+  std::size_t tasks_;
+  std::size_t workers_;
+  StealPolicy policy_;
+};
+
+}  // namespace tunespace::solver::detail

@@ -9,6 +9,7 @@
 #include "tunespace/solver/chain_of_trees.hpp"
 #include "tunespace/solver/optimized_backtracking.hpp"
 #include "tunespace/solver/original_backtracking.hpp"
+#include "tunespace/solver/parallel_backtracking.hpp"
 #include "tunespace/util/timer.hpp"
 
 namespace tunespace::tuner {
@@ -61,6 +62,11 @@ std::vector<Method> construction_methods(bool include_blocking) {
                              std::make_unique<solver::BlockingEnumerator>()});
   }
   return methods;
+}
+
+Method parallel_method(const solver::SolverOptions& options) {
+  return Method{"optimized-parallel", PipelineOptions::optimized(),
+                std::make_unique<solver::ParallelBacktracking>(options)};
 }
 
 solver::SolveResult construct(const TuningProblem& spec, const Method& method) {

@@ -1,0 +1,252 @@
+// Determinism + equivalence suite for the work-stealing parallel engines.
+//
+// For randomized (seed-deterministic) synthetic problems and hand-built
+// multi-group problems, the sequential, 1-thread and N-thread constructions
+// of both engines (backtracking and chain-of-trees) must produce the
+// identical solution ORDER (not just set) and identical SolveStats
+// node/check totals — the parallel decomposition only re-distributes work,
+// it never changes what work is done.
+#include <gtest/gtest.h>
+
+#include "tunespace/csp/builtin_constraints.hpp"
+#include "tunespace/solver/chain_of_trees.hpp"
+#include "tunespace/solver/optimized_backtracking.hpp"
+#include "tunespace/expr/function_constraint.hpp"
+#include "tunespace/expr/parser.hpp"
+#include "tunespace/solver/parallel_backtracking.hpp"
+#include "tunespace/spaces/synthetic.hpp"
+#include "tunespace/tuner/pipeline.hpp"
+
+using namespace tunespace;
+using namespace tunespace::solver;
+
+namespace {
+
+/// Byte-level equality of two solution sets including enumeration order.
+void expect_identical(const SolutionSet& a, const SolutionSet& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.num_vars(), b.num_vars()) << what;
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t v = 0; v < a.num_vars(); ++v) {
+    EXPECT_EQ(a.column(v), b.column(v)) << what << " column " << v;
+  }
+}
+
+void expect_same_effort(const SolveStats& a, const SolveStats& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.nodes, b.nodes) << what;
+  EXPECT_EQ(a.constraint_checks, b.constraint_checks) << what;
+  EXPECT_EQ(a.fast_checks, b.fast_checks) << what;
+  EXPECT_EQ(a.prunes, b.prunes) << what;
+}
+
+csp::Problem synthetic_problem(std::size_t dims, std::uint64_t target,
+                               std::size_t constraints, std::uint64_t seed) {
+  const auto space = spaces::make_synthetic(dims, target, constraints, seed);
+  return tuner::build_problem(space.spec, tuner::PipelineOptions::optimized());
+}
+
+/// Three interdependence groups (pairs), so the chain-of-trees path
+/// exercises cross-group tree tasks and the chunked product linking.
+csp::Problem multi_group_problem() {
+  csp::Problem p;
+  for (int g = 0; g < 3; ++g) {
+    const std::string a = "a" + std::to_string(g);
+    const std::string b = "b" + std::to_string(g);
+    p.add_variable(a, csp::Domain::range(1, 6));
+    p.add_variable(b, csp::Domain::range(1, 6));
+    p.add_constraint(std::make_unique<csp::MaxProduct>(
+        12 + g, std::vector<std::string>{a, b}));
+  }
+  return p;
+}
+
+}  // namespace
+
+// --- Backtracking engine ------------------------------------------------------
+
+class ParallelEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelEquivalence, BacktrackingIdenticalOrderAndEffort) {
+  const std::uint64_t seed = GetParam();
+  auto build = [&] { return synthetic_problem(4, 60000, 1 + seed % 5, seed); };
+
+  csp::Problem p_seq = build();
+  const auto sequential = OptimizedBacktracking{}.solve(p_seq);
+  ASSERT_GT(sequential.solutions.size(), 0u);
+
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    csp::Problem p_par = build();
+    const auto parallel = ParallelBacktracking(threads).solve(p_par);
+    const std::string what =
+        "seed " + std::to_string(seed) + " threads " + std::to_string(threads);
+    expect_identical(parallel.solutions, sequential.solutions, what);
+    expect_same_effort(parallel.stats, sequential.stats, what);
+    EXPECT_GE(parallel.stats.parallel_workers, 1u) << what;
+    EXPECT_GE(parallel.stats.parallel_tasks, 1u) << what;
+  }
+}
+
+TEST_P(ParallelEquivalence, SplitDepthAndStealPolicyDoNotChangeResults) {
+  const std::uint64_t seed = GetParam();
+  auto build = [&] { return synthetic_problem(4, 40000, 2, seed); };
+
+  csp::Problem p_seq = build();
+  const auto sequential = OptimizedBacktracking{}.solve(p_seq);
+
+  for (std::size_t split_depth : {0u, 1u, 2u, 3u, 100u}) {  // 100 -> clamped
+    for (StealPolicy steal : {StealPolicy::kSequential, StealPolicy::kRandom}) {
+      SolverOptions options;
+      options.threads = 4;
+      options.split_depth = split_depth;
+      options.steal = steal;
+      csp::Problem p_par = build();
+      const auto parallel = ParallelBacktracking(options).solve(p_par);
+      const std::string what = "seed " + std::to_string(seed) + " depth " +
+                               std::to_string(split_depth);
+      expect_identical(parallel.solutions, sequential.solutions, what);
+      expect_same_effort(parallel.stats, sequential.stats, what);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedProblems, ParallelEquivalence,
+                         ::testing::Values(3u, 17u, 42u, 2025u));
+
+// Regression for the old `workers = min(workers, first_domain)` clamp: a
+// first search variable with only 2 values must no longer cap the engine at
+// 2 workers — prefix splitting exposes the fan-out of deeper levels.
+TEST(ParallelBacktrackingSplit, TinyFirstDomainStillUsesManyWorkers) {
+  auto build = [] {
+    csp::Problem p;
+    // Most-constrained-first ordering puts `x` (2 values, 1 constraint)
+    // at search position 0.
+    p.add_variable("x", csp::Domain::range(1, 2));
+    p.add_variable("y", csp::Domain::range(1, 50));
+    p.add_variable("z", csp::Domain::range(1, 50));
+    p.add_constraint(std::make_unique<csp::MaxSum>(
+        51, std::vector<std::string>{"x", "y"}));
+    return p;
+  };
+  csp::Problem p_seq = build();
+  const auto sequential = OptimizedBacktracking{}.solve(p_seq);
+
+  csp::Problem p_par = build();
+  const auto parallel = ParallelBacktracking(8).solve(p_par);
+  expect_identical(parallel.solutions, sequential.solutions, "tiny first domain");
+  expect_same_effort(parallel.stats, sequential.stats, "tiny first domain");
+  EXPECT_GT(parallel.stats.parallel_workers, 2u);
+  EXPECT_GT(parallel.stats.parallel_tasks, 2u);
+}
+
+// Deepening regression: a first search variable whose *valid* fan-out is
+// tiny (64 domain values, but constraints leave only 2 expandable prefixes)
+// must not cap the engine at 2 workers either — the auto split deepens past
+// pruned levels until enough valid prefixes exist.
+TEST(ParallelBacktrackingSplit, HeavilyPrunedFirstLevelStillSplits) {
+  auto build = [] {
+    csp::Problem p;
+    p.add_variable("x", csp::Domain::range(1, 64));
+    p.add_variable("y", csp::Domain::range(1, 50));
+    p.add_variable("z", csp::Domain::range(1, 10));
+    p.add_constraint(std::make_unique<expr::FunctionConstraint>(
+        expr::parse("x <= 2")));
+    return p;
+  };
+  // Preprocessing off keeps x's stored domain at 64 values, so the valid
+  // fan-out only becomes visible during expansion — the hard case.
+  const OptimizedOptions no_preprocess{false, true, true, true};
+  csp::Problem p_seq = build();
+  const auto sequential = OptimizedBacktracking(no_preprocess).solve(p_seq);
+
+  SolverOptions options;
+  options.threads = 8;
+  csp::Problem p_par = build();
+  const auto parallel = ParallelBacktracking(options, no_preprocess).solve(p_par);
+  expect_identical(parallel.solutions, sequential.solutions, "pruned first level");
+  expect_same_effort(parallel.stats, sequential.stats, "pruned first level");
+  EXPECT_EQ(parallel.stats.parallel_workers, 8u);
+  EXPECT_GT(parallel.stats.parallel_tasks, 2u);
+}
+
+TEST(ParallelBacktrackingSplit, SingleVariableProblem) {
+  csp::Problem p;
+  p.add_variable("x", csp::Domain::range(1, 10));
+  const auto result = ParallelBacktracking(8).solve(p);
+  EXPECT_EQ(result.solutions.size(), 10u);
+  EXPECT_EQ(result.stats.parallel_workers, 1u);
+}
+
+// --- Chain-of-trees engine ----------------------------------------------------
+
+class ChainOfTreesParallel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainOfTreesParallel, IdenticalOrderAndEffort) {
+  const std::uint64_t seed = GetParam();
+  auto build = [&] { return synthetic_problem(3, 30000, 1 + seed % 3, seed); };
+
+  csp::Problem p_seq = build();
+  const auto sequential = ChainOfTrees{}.solve(p_seq);
+  ASSERT_GT(sequential.solutions.size(), 0u);
+
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    SolverOptions options;
+    options.threads = threads;
+    csp::Problem p_par = build();
+    const auto parallel = ChainOfTrees{}.set_parallel(options).solve(p_par);
+    const std::string what =
+        "seed " + std::to_string(seed) + " threads " + std::to_string(threads);
+    expect_identical(parallel.solutions, sequential.solutions, what);
+    expect_same_effort(parallel.stats, sequential.stats, what);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedProblems, ChainOfTreesParallel,
+                         ::testing::Values(5u, 23u, 99u));
+
+TEST(ChainOfTreesParallelTest, MultiGroupProductIsIdentical) {
+  csp::Problem p_seq = multi_group_problem();
+  const auto sequential = ChainOfTrees{}.solve(p_seq);
+  ASSERT_GT(sequential.solutions.size(), 0u);
+
+  for (StealPolicy steal : {StealPolicy::kSequential, StealPolicy::kRandom}) {
+    SolverOptions options;
+    options.threads = 8;
+    options.steal = steal;
+    csp::Problem p_par = multi_group_problem();
+    const auto parallel = ChainOfTrees{}.set_parallel(options).solve(p_par);
+    expect_identical(parallel.solutions, sequential.solutions, "multi-group");
+    expect_same_effort(parallel.stats, sequential.stats, "multi-group");
+    EXPECT_GE(parallel.stats.parallel_tasks, 3u);  // >= one per group subtree
+  }
+}
+
+TEST(ChainOfTreesParallelTest, PyAtfModeStaysSequential) {
+  // Interpreter-overhead mode models a Python data flow that cannot be
+  // parallelized; set_parallel must be a no-op there, not a crash.
+  csp::Problem p_seq = multi_group_problem();
+  const auto sequential = ChainOfTrees("pyATF").solve(p_seq);
+  SolverOptions options;
+  options.threads = 8;
+  csp::Problem p_par = multi_group_problem();
+  const auto parallel = ChainOfTrees("pyATF").set_parallel(options).solve(p_par);
+  expect_identical(parallel.solutions, sequential.solutions, "pyATF");
+  expect_same_effort(parallel.stats, sequential.stats, "pyATF");
+  EXPECT_EQ(parallel.stats.parallel_workers, 0u);
+}
+
+// --- SolutionSet sharding primitives ------------------------------------------
+
+TEST(SolutionSetRange, AppendRangeStitchesSegments) {
+  SolutionSet shard(2);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    std::uint32_t row[] = {i, i + 10};
+    shard.append(row);
+  }
+  SolutionSet merged(2);
+  merged.append_range(shard, 4, 2);  // rows 4,5
+  merged.append_range(shard, 0, 2);  // rows 0,1
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.index_row(0), (std::vector<std::uint32_t>{4, 14}));
+  EXPECT_EQ(merged.index_row(3), (std::vector<std::uint32_t>{1, 11}));
+}
