@@ -494,7 +494,9 @@ bool Divisibility::satisfied_fast(const std::int64_t* values) const {
 }
 
 std::string Divisibility::describe() const {
-  if (const_divisor_) return scope_[0] + " % " + std::to_string(*const_divisor_) + " == 0";
+  if (const_divisor_) {
+    return scope_[0] + " % " + std::to_string(*const_divisor_) + " == 0";
+  }
   return scope_[0] + " % " + scope_[1] + " == 0";
 }
 

@@ -2,17 +2,25 @@
 // SearchSpace: the fully-resolved search space representation of §4.4.
 //
 // Wraps the solver's SolutionSet with the operations optimization algorithms
-// need: O(1) membership / row lookup through a hash index, true parameter
-// bounds (values that actually occur in valid configurations — unavailable
-// to dynamic approaches), per-parameter inverted indexes (posting lists) for
-// neighbour and stratified-sampling queries, and materialized config views.
+// need: O(1) membership / row lookup through an open-addressing row table,
+// true parameter bounds (values that actually occur in valid configurations
+// — unavailable to dynamic approaches), per-parameter inverted indexes in
+// CSR form (posting lists) for neighbour and stratified-sampling queries,
+// and materialized config views.
+//
+// Both indexes are flat arrays so a snapshot (searchspace/io.hpp) can
+// serialize them verbatim and a reload can *borrow* them straight out of
+// the snapshot buffer instead of rebuilding: the `std::span` views point
+// either at the owned `*_store_` vectors (fresh construction) or into the
+// loaded buffer kept alive by `snapshot_buffer_` (zero-copy reload).
 //
 // Configurations are addressed by a dense row id in [0, size()).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "tunespace/csp/problem.hpp"
@@ -21,6 +29,8 @@
 #include "tunespace/tuner/tuning_problem.hpp"
 
 namespace tunespace::searchspace {
+
+enum class SnapshotVerify;  // defined in searchspace/io.hpp
 
 /// Fully-resolved, indexed search space.
 class SearchSpace {
@@ -37,6 +47,19 @@ class SearchSpace {
   /// to the sequential construction.
   SearchSpace(const tuner::TuningProblem& spec,
               const solver::SolverOptions& parallel);
+
+  /// Construct-once, reload-forever: look for a snapshot of `spec` (keyed by
+  /// tuner::spec_fingerprint) under `cache_dir`; on a hit, reload it through
+  /// the zero-copy path (orders of magnitude faster than solving); on a
+  /// miss or a stale/corrupt file, build fresh and populate the cache.  The
+  /// returned space is byte-identical either way — same enumeration order,
+  /// same CSV bytes, same query results.  Specs with native lambda
+  /// constraints cannot be fingerprinted and always build fresh.
+  static SearchSpace load_or_build(const tuner::TuningProblem& spec,
+                                   const std::string& cache_dir);
+  static SearchSpace load_or_build(const tuner::TuningProblem& spec,
+                                   const tuner::Method& method,
+                                   const std::string& cache_dir);
 
   // --- Shape ----------------------------------------------------------------
   std::size_t size() const { return solutions_.size(); }
@@ -83,28 +106,63 @@ class SearchSpace {
     return present_values_[p];
   }
 
-  /// Rows whose parameter `p` has domain value index `vi` (posting list);
-  /// empty list if the value never occurs.
-  const std::vector<std::uint32_t>& rows_with(std::size_t p, std::uint32_t vi) const;
+  /// Rows whose parameter `p` has domain value index `vi` (posting list,
+  /// rows ascending); empty if the value never occurs.
+  std::span<const std::uint32_t> rows_with(std::size_t p, std::uint32_t vi) const;
 
   // --- Stats ------------------------------------------------------------------
-  /// Wall-clock seconds spent constructing (pipeline + solve).
+  /// Wall-clock seconds spent constructing — pipeline + solve on a fresh
+  /// build, file load on a snapshot reload.
   double construction_seconds() const { return construction_seconds_; }
   const solver::SolveStats& solve_stats() const { return stats_; }
+  /// Fingerprint of the (spec, method) pair this space was resolved from
+  /// (tuner::spec_fingerprint); snapshots are keyed by it.
+  std::uint64_t fingerprint() const { return fingerprint_; }
 
  private:
+  SearchSpace() = default;  // the snapshot loader fills the members directly
+
+  friend void save_snapshot(const SearchSpace& space, const std::string& path);
+  friend SearchSpace load_snapshot(const tuner::TuningProblem& spec,
+                                   const tuner::Method& method,
+                                   const std::string& path,
+                                   SnapshotVerify verify);
+
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
   void build_indexes();
+  void derive_present_values();
   std::uint64_t row_hash(const std::uint32_t* row) const;
+  bool row_equals(std::uint32_t row, const std::uint32_t* index_row) const;
 
   csp::Problem problem_;
   solver::SolutionSet solutions_;
   solver::SolveStats stats_;
   double construction_seconds_ = 0.0;
+  std::uint64_t fingerprint_ = 0;
 
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> hash_index_;
+  // Row-lookup table: open addressing, power-of-two size, linear probing,
+  // kEmptySlot marks an empty bucket.  Load factor is kept <= 0.5.
+  std::vector<std::uint32_t> hash_table_store_;
+  std::span<const std::uint32_t> hash_table_;
+
+  // Inverted indexes in CSR form.  For parameter p with offset-array base
+  // posting_base_[p], the posting list of value index vi is
+  //   posting_rows_[posting_offsets_[base + vi] ...
+  //                 posting_offsets_[base + vi + 1])
+  // with offsets global into posting_rows_ (parameter p's region is
+  // [p * size(), (p + 1) * size())).
+  std::vector<std::uint64_t> posting_offsets_store_;
+  std::span<const std::uint64_t> posting_offsets_;
+  std::vector<std::uint32_t> posting_rows_store_;
+  std::span<const std::uint32_t> posting_rows_;
+  std::vector<std::size_t> posting_base_;  // per-parameter offset-array base
+
+  // Derived from the posting offsets (cheap), always owned.
   std::vector<std::vector<std::uint32_t>> present_values_;
-  // posting_[p][vi] -> rows; indexed by original domain value index.
-  std::vector<std::vector<std::vector<std::uint32_t>>> posting_;
+
+  // Keeps a loaded snapshot buffer alive while views borrow from it.
+  std::shared_ptr<const void> snapshot_buffer_;
 };
 
 }  // namespace tunespace::searchspace

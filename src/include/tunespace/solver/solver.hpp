@@ -6,10 +6,11 @@
 // Solver and produce a SolutionSet: the fully-resolved search space.
 //
 // Solutions are stored column-major as indices into the Problem's original
-// domains (uint32 per parameter), which is both the memory-efficient
-// representation the SearchSpace layer wants (§4.3.4 "output formats close
-// to the internal representation") and a canonical encoding that makes
-// cross-solver validation an exact set comparison.
+// domains, bit-packed to ceil(log2(domain_size)) bits per parameter, which
+// is both the memory-efficient representation the SearchSpace layer wants
+// (§4.3.4 "output formats close to the internal representation") and a
+// canonical encoding that makes cross-solver validation an exact set
+// comparison.
 
 #include <cstdint>
 #include <memory>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "tunespace/csp/problem.hpp"
+#include "tunespace/solver/packed_column.hpp"
 
 namespace tunespace::solver {
 
@@ -63,11 +65,19 @@ struct SolverOptions {
   }
 };
 
-/// Column-major store of all valid configurations.
+/// Column-major bit-packed store of all valid configurations.
 class SolutionSet {
  public:
   SolutionSet() = default;
+  /// Unpacked columns (32 bits per value); used by scratch sets whose domain
+  /// sizes are unknown at construction time.
   explicit SolutionSet(std::size_t num_vars) : columns_(num_vars) {}
+  /// Bit-packed columns sized from the problem's original domains: variable
+  /// `v` stores ceil(log2(|domain(v)|)) bits per value.
+  explicit SolutionSet(const csp::Problem& problem);
+  /// Adopt prebuilt columns (the snapshot zero-copy reload path).
+  explicit SolutionSet(std::vector<PackedColumn> columns)
+      : columns_(std::move(columns)) {}
 
   std::size_t num_vars() const { return columns_.size(); }
   std::size_t size() const { return columns_.empty() ? 0 : columns_[0].size(); }
@@ -80,7 +90,7 @@ class SolutionSet {
     }
   }
 
-  /// Append all solutions of another set (column-wise bulk copy; used by
+  /// Append all solutions of another set (column-wise bulk bit copy; used by
   /// the parallel solver to merge per-thread results cheaply).
   void append_all(const SolutionSet& other) {
     append_range(other, 0, other.size());
@@ -92,20 +102,20 @@ class SolutionSet {
   void append_range(const SolutionSet& other, std::size_t begin,
                     std::size_t count) {
     for (std::size_t v = 0; v < columns_.size(); ++v) {
-      columns_[v].insert(columns_[v].end(), other.columns_[v].begin() + begin,
-                         other.columns_[v].begin() + begin + count);
+      columns_[v].append(other.columns_[v], begin, count);
     }
   }
 
   /// Domain value index of variable `var` in solution `row`.
   std::uint32_t value_index(std::size_t row, std::size_t var) const {
-    return columns_[var][row];
+    return columns_[var].get(row);
   }
 
-  /// Direct access to one variable's column.
-  const std::vector<std::uint32_t>& column(std::size_t var) const {
-    return columns_[var];
-  }
+  /// Direct access to one variable's packed column.
+  const PackedColumn& column(std::size_t var) const { return columns_[var]; }
+
+  /// Heap bytes held by the packed columns.
+  std::size_t memory_bytes() const;
 
   /// Materialize one solution as a Config using the problem's domains.
   csp::Config config(std::size_t row, const csp::Problem& problem) const;
@@ -121,7 +131,7 @@ class SolutionSet {
   bool same_solutions(const SolutionSet& other) const;
 
  private:
-  std::vector<std::vector<std::uint32_t>> columns_;
+  std::vector<PackedColumn> columns_;
 };
 
 /// Result of a full construction.

@@ -36,9 +36,13 @@ struct PipelineOptions {
   /// Full paper pipeline.
   static PipelineOptions optimized() { return {true, true, expr::EvalMode::Compiled}; }
   /// Vanilla python-constraint: monolithic interpreted function constraints.
-  static PipelineOptions original() { return {false, false, expr::EvalMode::Interpreted}; }
+  static PipelineOptions original() {
+    return {false, false, expr::EvalMode::Interpreted};
+  }
   /// Monolithic but natively-compiled constraints (C++ baselines).
-  static PipelineOptions compiled_raw() { return {false, false, expr::EvalMode::Compiled}; }
+  static PipelineOptions compiled_raw() {
+    return {false, false, expr::EvalMode::Compiled};
+  }
 };
 
 /// Lower a TuningProblem to a csp::Problem.  Throws expr::SyntaxError on
@@ -58,6 +62,9 @@ struct Method {
 /// Fig. 4 SMT-style enumerator.
 std::vector<Method> construction_methods(bool include_blocking = false);
 
+/// The default user-path method: full pipeline + OptimizedBacktracking.
+Method optimized_method();
+
 /// The optimized method on the work-stealing parallel engine (full pipeline
 /// + ParallelBacktracking).  Produces byte-identical results to the
 /// "optimized" method; benches and the SearchSpace layer use it to scale
@@ -68,5 +75,18 @@ Method parallel_method(const solver::SolverOptions& options = {});
 /// preprocess_seconds includes pipeline build time (the paper includes
 /// search-space definition compile time in total construction time, §5.1).
 solver::SolveResult construct(const TuningProblem& spec, const Method& method);
+
+/// Stable 64-bit fingerprint of everything that determines the resolved
+/// search space: the parameter domains (names, value kinds and payloads, in
+/// declaration order), the constraint expressions, and the construction
+/// method (name + pipeline switches — methods differ in enumeration order).
+/// The spec's display name is deliberately excluded.  Snapshot files and
+/// the SearchSpace::load_or_build cache are keyed by this value; native
+/// lambda constraints are opaque to it, so specs carrying them must not be
+/// cached (load_or_build refuses and builds fresh).
+std::uint64_t spec_fingerprint(const TuningProblem& spec,
+                               const std::string& method_name,
+                               const PipelineOptions& pipeline);
+std::uint64_t spec_fingerprint(const TuningProblem& spec, const Method& method);
 
 }  // namespace tunespace::tuner

@@ -37,7 +37,8 @@ std::size_t snap_to_valid(const SearchSpace& space,
   // Scan the smallest posting list among the target coordinates; if the
   // target value of some parameter never occurs, use its nearest present
   // value instead.
-  const std::vector<std::uint32_t>* best_list = nullptr;
+  std::span<const std::uint32_t> best_list;
+  bool have_list = false;
   for (std::size_t p = 0; p < space.num_params(); ++p) {
     std::uint32_t vi = target[p];
     const auto& present = space.present_values(p);
@@ -52,12 +53,15 @@ std::size_t snap_to_valid(const SearchSpace& space,
       }
       vi = nearest;
     }
-    const auto& list = space.rows_with(p, vi);
-    if (!best_list || list.size() < best_list->size()) best_list = &list;
+    const auto list = space.rows_with(p, vi);
+    if (!have_list || list.size() < best_list.size()) {
+      best_list = list;
+      have_list = true;
+    }
   }
   double best_d = std::numeric_limits<double>::infinity();
   std::size_t best_row = 0;
-  for (std::uint32_t r : *best_list) {
+  for (std::uint32_t r : best_list) {
     const double d = l1_distance(space, r, target);
     if (d < best_d) {
       best_d = d;
@@ -87,8 +91,8 @@ std::vector<std::size_t> latin_hypercube_sample(const SearchSpace& space,
     for (std::size_t p = 0; p < d; ++p) {
       const auto& present = space.present_values(p);
       // Map stratum -> a position within the present values (jittered).
-      const double frac =
-          (static_cast<double>(strata[p][i]) + rng.uniform()) / static_cast<double>(count);
+      const double frac = (static_cast<double>(strata[p][i]) + rng.uniform()) /
+                          static_cast<double>(count);
       const std::size_t pos = std::min<std::size_t>(
           present.size() - 1,
           static_cast<std::size_t>(frac * static_cast<double>(present.size())));

@@ -1,8 +1,9 @@
 #include "tunespace/searchspace/searchspace.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 
-#include "tunespace/solver/optimized_backtracking.hpp"
 #include "tunespace/util/timer.hpp"
 
 namespace tunespace::searchspace {
@@ -19,9 +20,7 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 }  // namespace
 
 SearchSpace::SearchSpace(const tuner::TuningProblem& spec)
-    : SearchSpace(spec,
-                  tuner::Method{"optimized", tuner::PipelineOptions::optimized(),
-                                std::make_unique<solver::OptimizedBacktracking>()}) {}
+    : SearchSpace(spec, tuner::optimized_method()) {}
 
 SearchSpace::SearchSpace(const tuner::TuningProblem& spec,
                          const solver::SolverOptions& parallel)
@@ -30,6 +29,7 @@ SearchSpace::SearchSpace(const tuner::TuningProblem& spec,
 SearchSpace::SearchSpace(const tuner::TuningProblem& spec,
                          const tuner::Method& method) {
   util::WallTimer timer;
+  fingerprint_ = tuner::spec_fingerprint(spec, method);
   problem_ = tuner::build_problem(spec, method.pipeline);
   solver::SolveResult result = method.solver->solve(problem_);
   solutions_ = std::move(result.solutions);
@@ -50,44 +50,91 @@ std::uint64_t SearchSpace::row_hash(const std::uint32_t* row) const {
   return h;
 }
 
+bool SearchSpace::row_equals(std::uint32_t row,
+                             const std::uint32_t* index_row) const {
+  for (std::size_t p = 0; p < num_params(); ++p) {
+    if (solutions_.value_index(row, p) != index_row[p]) return false;
+  }
+  return true;
+}
+
 void SearchSpace::build_indexes() {
   const std::size_t n = size();
   const std::size_t d = num_params();
+  assert(n < kEmptySlot);
 
-  hash_index_.reserve(n * 2);
+  // --- CSR inverted indexes: one global offsets array over all parameters.
+  posting_base_.resize(d);
+  std::size_t total_offsets = 0;
+  for (std::size_t p = 0; p < d; ++p) {
+    posting_base_[p] = total_offsets;
+    total_offsets += problem_.domain(p).size() + 1;
+  }
+  posting_offsets_store_.assign(total_offsets, 0);
+  posting_rows_store_.resize(n * d);
+  std::vector<std::uint64_t> cursor;
+  for (std::size_t p = 0; p < d; ++p) {
+    const auto& col = solutions_.column(p);
+    const std::size_t base = posting_base_[p];
+    const std::size_t m = problem_.domain(p).size();
+    // Count occurrences, then prefix-sum into global row positions starting
+    // at parameter p's region base p * n.
+    for (std::size_t r = 0; r < n; ++r) {
+      ++posting_offsets_store_[base + col.get(r) + 1];
+    }
+    posting_offsets_store_[base] = static_cast<std::uint64_t>(p) * n;
+    for (std::size_t vi = 0; vi < m; ++vi) {
+      posting_offsets_store_[base + vi + 1] += posting_offsets_store_[base + vi];
+    }
+    // Fill rows ascending so each posting list is sorted by row id.
+    cursor.assign(posting_offsets_store_.begin() + static_cast<std::ptrdiff_t>(base),
+                  posting_offsets_store_.begin() + static_cast<std::ptrdiff_t>(base + m));
+    for (std::size_t r = 0; r < n; ++r) {
+      posting_rows_store_[cursor[col.get(r)]++] = static_cast<std::uint32_t>(r);
+    }
+  }
+  posting_offsets_ = posting_offsets_store_;
+  posting_rows_ = posting_rows_store_;
+  derive_present_values();
+
+  // --- Row-lookup table (insertion in row order is deterministic).
+  const std::size_t table_size =
+      std::bit_ceil(std::max<std::size_t>(16, n * 2));
+  hash_table_store_.assign(table_size, kEmptySlot);
+  const std::size_t tmask = table_size - 1;
   std::vector<std::uint32_t> row(d);
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t p = 0; p < d; ++p) row[p] = solutions_.value_index(r, p);
-    hash_index_[row_hash(row.data())].push_back(static_cast<std::uint32_t>(r));
+    std::size_t i = static_cast<std::size_t>(row_hash(row.data())) & tmask;
+    while (hash_table_store_[i] != kEmptySlot) i = (i + 1) & tmask;
+    hash_table_store_[i] = static_cast<std::uint32_t>(r);
   }
+  hash_table_ = hash_table_store_;
+}
 
-  posting_.resize(d);
-  present_values_.resize(d);
+void SearchSpace::derive_present_values() {
+  const std::size_t d = num_params();
+  present_values_.assign(d, {});
   for (std::size_t p = 0; p < d; ++p) {
-    posting_[p].assign(problem_.domain(p).size(), {});
-    for (std::size_t r = 0; r < n; ++r) {
-      posting_[p][solutions_.value_index(r, p)].push_back(static_cast<std::uint32_t>(r));
-    }
-    for (std::uint32_t vi = 0; vi < posting_[p].size(); ++vi) {
-      if (!posting_[p][vi].empty()) present_values_[p].push_back(vi);
+    const std::size_t base = posting_base_[p];
+    const std::size_t m = problem_.domain(p).size();
+    for (std::uint32_t vi = 0; vi < m; ++vi) {
+      if (posting_offsets_[base + vi + 1] > posting_offsets_[base + vi]) {
+        present_values_[p].push_back(vi);
+      }
     }
   }
 }
 
 std::optional<std::size_t> SearchSpace::find(
     const std::vector<std::uint32_t>& index_row) const {
-  if (index_row.size() != num_params()) return std::nullopt;
-  auto it = hash_index_.find(row_hash(index_row.data()));
-  if (it == hash_index_.end()) return std::nullopt;
-  for (std::uint32_t r : it->second) {
-    bool match = true;
-    for (std::size_t p = 0; p < num_params(); ++p) {
-      if (solutions_.value_index(r, p) != index_row[p]) {
-        match = false;
-        break;
-      }
-    }
-    if (match) return r;
+  if (index_row.size() != num_params() || hash_table_.empty()) {
+    return std::nullopt;
+  }
+  const std::size_t tmask = hash_table_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(row_hash(index_row.data())) & tmask;
+  for (; hash_table_[i] != kEmptySlot; i = (i + 1) & tmask) {
+    if (row_equals(hash_table_[i], index_row.data())) return hash_table_[i];
   }
   return std::nullopt;
 }
@@ -103,11 +150,14 @@ std::optional<std::size_t> SearchSpace::find_config(const csp::Config& config) c
   return find(row);
 }
 
-const std::vector<std::uint32_t>& SearchSpace::rows_with(std::size_t p,
-                                                         std::uint32_t vi) const {
-  static const std::vector<std::uint32_t> kEmpty;
-  if (p >= posting_.size() || vi >= posting_[p].size()) return kEmpty;
-  return posting_[p][vi];
+std::span<const std::uint32_t> SearchSpace::rows_with(std::size_t p,
+                                                      std::uint32_t vi) const {
+  if (p >= posting_base_.size() || vi >= problem_.domain(p).size()) return {};
+  const std::size_t base = posting_base_[p];
+  const std::uint64_t begin = posting_offsets_[base + vi];
+  const std::uint64_t end = posting_offsets_[base + vi + 1];
+  return posting_rows_.subspan(static_cast<std::size_t>(begin),
+                               static_cast<std::size_t>(end - begin));
 }
 
 }  // namespace tunespace::searchspace

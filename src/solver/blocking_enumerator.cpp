@@ -12,7 +12,7 @@ using csp::Value;
 SolveResult BlockingEnumerator::solve(csp::Problem& problem) const {
   SolveResult result;
   const std::size_t n = problem.num_variables();
-  result.solutions = SolutionSet(n);
+  result.solutions = SolutionSet(problem);
   util::WallTimer timer;
   if (n == 0) return result;
   for (const auto& d : problem.domains()) {

@@ -10,7 +10,7 @@ using csp::Value;
 SolveResult BruteForce::solve(csp::Problem& problem) const {
   SolveResult result;
   const std::size_t n = problem.num_variables();
-  result.solutions = SolutionSet(n);
+  result.solutions = SolutionSet(problem);
   util::WallTimer timer;
 
   for (const auto& d : problem.domains()) {

@@ -89,7 +89,7 @@ std::vector<std::vector<std::size_t>> ChainOfTrees::interdependence_groups(
 SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
   SolveResult result;
   const std::size_t n = problem.num_variables();
-  result.solutions = SolutionSet(n);
+  result.solutions = SolutionSet(problem);
   util::WallTimer timer;
   for (const auto& d : problem.domains()) {
     if (d.empty()) return result;
@@ -352,7 +352,7 @@ SolveResult ChainOfTrees::solve(csp::Problem& problem) const {
     const std::size_t num_chunks =
         static_cast<std::size_t>(std::min<std::uint64_t>(total, workers * 4));
     std::vector<SolutionSet> chunk_sets(num_chunks);
-    for (auto& set : chunk_sets) set = SolutionSet(n);
+    for (auto& set : chunk_sets) set = SolutionSet(problem);
     detail::WorkStealingScheduler scheduler(num_chunks, workers, parallel_.steal);
     scheduler.run([&](std::size_t, std::uint32_t c) {
       const std::uint64_t lo = total * c / num_chunks;

@@ -8,7 +8,7 @@ namespace tunespace::solver {
 SolveResult OptimizedBacktracking::solve(csp::Problem& problem) const {
   SolveResult result;
   const std::size_t n = problem.num_variables();
-  result.solutions = SolutionSet(n);
+  result.solutions = SolutionSet(problem);
   util::WallTimer timer;
   if (n == 0) return result;
 

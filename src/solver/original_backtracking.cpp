@@ -88,7 +88,7 @@ void search(SearchState& st) {
 SolveResult OriginalBacktracking::solve(csp::Problem& problem) const {
   SolveResult result;
   const std::size_t n = problem.num_variables();
-  result.solutions = SolutionSet(n);
+  result.solutions = SolutionSet(problem);
   for (const auto& d : problem.domains()) {
     if (d.empty()) return result;
   }

@@ -1,0 +1,113 @@
+#include "tunespace/solver/packed_column.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace tunespace::solver {
+
+unsigned PackedColumn::bits_for_domain(std::size_t domain_size) {
+  if (domain_size <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(domain_size - 1));
+}
+
+PackedColumn PackedColumn::borrowed(unsigned bits, std::size_t size,
+                                    const std::uint64_t* words,
+                                    std::shared_ptr<const void> keepalive) {
+  PackedColumn col(bits);
+  col.size_ = size;
+  col.borrowed_ = words;
+  col.keepalive_ = std::move(keepalive);
+  return col;
+}
+
+void PackedColumn::detach() {
+  owned_.assign(borrowed_, borrowed_ + word_count());
+  borrowed_ = nullptr;
+  keepalive_.reset();
+}
+
+void PackedColumn::grow_to_words(std::size_t need) {
+  if (owned_.capacity() < need) {
+    owned_.reserve(std::max(need, owned_.capacity() * 2));
+  }
+  owned_.resize(need, 0);
+}
+
+void PackedColumn::push_back(std::uint32_t v) {
+  assert((v & ~static_cast<std::uint64_t>(mask_)) == 0 &&
+         "value exceeds column width");
+  if (borrowed_) detach();
+  if (bits_ == 0) {
+    ++size_;
+    return;
+  }
+  const std::uint64_t bit = static_cast<std::uint64_t>(size_) * bits_;
+  const std::size_t need = words_needed(size_ + 1);
+  if (need > owned_.size()) grow_to_words(need);
+  const std::size_t word = static_cast<std::size_t>(bit >> 6);
+  const unsigned off = static_cast<unsigned>(bit & 63);
+  owned_[word] |= static_cast<std::uint64_t>(v) << off;
+  if (off + bits_ > 64) {
+    owned_[word + 1] |= static_cast<std::uint64_t>(v) >> (64 - off);
+  }
+  ++size_;
+}
+
+void PackedColumn::append_bits(const std::uint64_t* src, std::uint64_t src_bit,
+                               std::uint64_t nbits) {
+  std::uint64_t dst_bit = static_cast<std::uint64_t>(size_) * bits_;
+  while (nbits > 0) {
+    const unsigned chunk = nbits < 64 ? static_cast<unsigned>(nbits) : 64u;
+    const std::uint64_t* sw = src + (src_bit >> 6);
+    const unsigned soff = static_cast<unsigned>(src_bit & 63);
+    std::uint64_t v = sw[0] >> soff;
+    // The second source word exists whenever the chunk extends into it.
+    if (soff + chunk > 64) v |= sw[1] << (64 - soff);
+    if (chunk < 64) v &= (1ULL << chunk) - 1;
+    std::uint64_t* dw = owned_.data() + (dst_bit >> 6);
+    const unsigned doff = static_cast<unsigned>(dst_bit & 63);
+    dw[0] |= v << doff;
+    if (doff + chunk > 64) dw[1] |= v >> (64 - doff);
+    src_bit += chunk;
+    dst_bit += chunk;
+    nbits -= chunk;
+  }
+}
+
+void PackedColumn::append(const PackedColumn& other, std::size_t begin,
+                          std::size_t count) {
+  assert(begin + count <= other.size_);
+  if (count == 0) return;
+  if (bits_ != other.bits_) {
+    // Width mismatch (e.g. a packed target fed from an unpacked scratch
+    // set): element-wise fallback.
+    for (std::size_t i = 0; i < count; ++i) push_back(other.get(begin + i));
+    return;
+  }
+  if (borrowed_) detach();
+  if (bits_ == 0) {
+    size_ += count;
+    return;
+  }
+  const std::size_t need = words_needed(size_ + count);
+  if (need > owned_.size()) grow_to_words(need);
+  append_bits(other.data(), static_cast<std::uint64_t>(begin) * bits_,
+              static_cast<std::uint64_t>(count) * bits_);
+  size_ += count;
+}
+
+bool PackedColumn::operator==(const PackedColumn& o) const {
+  if (size_ != o.size_) return false;
+  if (bits_ == o.bits_) {
+    // Tail bits past size()*bits() are zero by invariant, so equal-width
+    // columns compare word-by-word.
+    const std::size_t words = word_count();
+    return std::equal(data(), data() + words, o.data());
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i) != o.get(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace tunespace::solver

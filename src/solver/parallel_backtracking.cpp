@@ -45,7 +45,7 @@ std::size_t initial_split_depth(const detail::SearchPlan& plan,
 SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
   SolveResult result;
   const std::size_t n = problem.num_variables();
-  result.solutions = SolutionSet(n);
+  result.solutions = SolutionSet(problem);
   util::WallTimer timer;
   if (n == 0) return result;
 
@@ -127,7 +127,7 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
 
   detail::WorkStealingScheduler scheduler(num_tasks, workers, parallel_.steal);
   std::vector<WorkerShard> shards(scheduler.workers());
-  for (auto& shard : shards) shard.solutions = SolutionSet(n);
+  for (auto& shard : shards) shard.solutions = SolutionSet(problem);
 
   scheduler.run([&](std::size_t w, std::uint32_t task) {
     WorkerShard& shard = shards[w];

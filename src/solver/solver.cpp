@@ -4,18 +4,31 @@
 
 namespace tunespace::solver {
 
+SolutionSet::SolutionSet(const csp::Problem& problem) {
+  columns_.reserve(problem.num_variables());
+  for (std::size_t v = 0; v < problem.num_variables(); ++v) {
+    columns_.emplace_back(PackedColumn::bits_for_domain(problem.domain(v).size()));
+  }
+}
+
+std::size_t SolutionSet::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : columns_) total += c.memory_bytes();
+  return total;
+}
+
 csp::Config SolutionSet::config(std::size_t row, const csp::Problem& problem) const {
   csp::Config out;
   out.reserve(columns_.size());
   for (std::size_t v = 0; v < columns_.size(); ++v) {
-    out.push_back(problem.domain(v)[columns_[v][row]]);
+    out.push_back(problem.domain(v)[columns_[v].get(row)]);
   }
   return out;
 }
 
 std::vector<std::uint32_t> SolutionSet::index_row(std::size_t row) const {
   std::vector<std::uint32_t> out(columns_.size());
-  for (std::size_t v = 0; v < columns_.size(); ++v) out[v] = columns_[v][row];
+  for (std::size_t v = 0; v < columns_.size(); ++v) out[v] = columns_[v].get(row);
   return out;
 }
 

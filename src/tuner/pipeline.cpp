@@ -1,5 +1,8 @@
 #include "tunespace/tuner/pipeline.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "tunespace/expr/analysis.hpp"
 #include "tunespace/expr/compiler.hpp"
 #include "tunespace/expr/parser.hpp"
@@ -64,9 +67,88 @@ std::vector<Method> construction_methods(bool include_blocking) {
   return methods;
 }
 
+Method optimized_method() {
+  return Method{"optimized", PipelineOptions::optimized(),
+                std::make_unique<solver::OptimizedBacktracking>()};
+}
+
 Method parallel_method(const solver::SolverOptions& options) {
   return Method{"optimized-parallel", PipelineOptions::optimized(),
                 std::make_unique<solver::ParallelBacktracking>(options)};
+}
+
+namespace {
+
+// FNV-1a 64 over a canonical byte rendering of the spec.  The rendering is
+// length-prefixed and kind-tagged everywhere, so no two distinct specs
+// produce the same byte stream.
+struct Fold {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 0x100000001B3ULL;
+    }
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u64(std::uint64_t v) { bytes(&v, 8); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void value(const csp::Value& v) {
+    u8(static_cast<std::uint8_t>(v.kind()));
+    switch (v.kind()) {
+      case csp::ValueKind::Int:
+        u64(static_cast<std::uint64_t>(v.as_int()));
+        break;
+      case csp::ValueKind::Real:
+        u64(std::bit_cast<std::uint64_t>(v.as_real()));
+        break;
+      case csp::ValueKind::Bool:
+        u8(v.truthy() ? 1 : 0);
+        break;
+      case csp::ValueKind::Str:
+        str(v.as_str());
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t spec_fingerprint(const TuningProblem& spec,
+                               const std::string& method_name,
+                               const PipelineOptions& pipeline) {
+  Fold f;
+  f.str("tunespace.spec.v1");
+  f.u64(spec.num_params());
+  for (const auto& p : spec.params()) {
+    f.str(p.name);
+    f.u64(p.values.size());
+    for (const auto& v : p.values) f.value(v);
+  }
+  f.u64(spec.constraints().size());
+  for (const auto& c : spec.constraints()) f.str(c);
+  // Lambda constraints are opaque native code: fold their declared shape so
+  // differently-shaped specs at least diverge, but callers that cache must
+  // refuse specs carrying any (see SearchSpace::load_or_build).
+  f.u64(spec.lambda_constraints().size());
+  for (const auto& lc : spec.lambda_constraints()) {
+    f.u64(lc.scope.size());  // list boundary: scopes must not blur together
+    for (const auto& name : lc.scope) f.str(name);
+    f.str(lc.description);
+  }
+  f.str(method_name);
+  f.u8(pipeline.decompose ? 1 : 0);
+  f.u8(pipeline.recognize ? 1 : 0);
+  f.u8(static_cast<std::uint8_t>(pipeline.eval_mode));
+  return f.h;
+}
+
+std::uint64_t spec_fingerprint(const TuningProblem& spec, const Method& method) {
+  return spec_fingerprint(spec, method.name, method.pipeline);
 }
 
 solver::SolveResult construct(const TuningProblem& spec, const Method& method) {

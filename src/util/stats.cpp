@@ -159,7 +159,8 @@ Kde kde(const std::vector<double>& samples, std::size_t grid_points) {
   hi += 3.0 * h;
   out.grid.resize(grid_points);
   out.density.resize(grid_points);
-  const double step = (grid_points > 1) ? (hi - lo) / static_cast<double>(grid_points - 1) : 0.0;
+  const double step =
+      (grid_points > 1) ? (hi - lo) / static_cast<double>(grid_points - 1) : 0.0;
   const double norm = 1.0 / (n * h * std::sqrt(2.0 * M_PI));
   for (std::size_t g = 0; g < grid_points; ++g) {
     const double x = lo + step * static_cast<double>(g);

@@ -121,22 +121,29 @@ std::string random_expr(tunespace::util::Rng& rng, int depth) {
   }
   switch (rng.index(8)) {
     case 0:
-      return "(" + random_expr(rng, depth - 1) + " + " + random_expr(rng, depth - 1) + ")";
+      return "(" + random_expr(rng, depth - 1) + " + " +
+             random_expr(rng, depth - 1) + ")";
     case 1:
-      return "(" + random_expr(rng, depth - 1) + " - " + random_expr(rng, depth - 1) + ")";
+      return "(" + random_expr(rng, depth - 1) + " - " +
+             random_expr(rng, depth - 1) + ")";
     case 2:
-      return "(" + random_expr(rng, depth - 1) + " * " + random_expr(rng, depth - 1) + ")";
+      return "(" + random_expr(rng, depth - 1) + " * " +
+             random_expr(rng, depth - 1) + ")";
     case 3:
-      return "(" + random_expr(rng, depth - 1) + " <= " + random_expr(rng, depth - 1) + ")";
+      return "(" + random_expr(rng, depth - 1) + " <= " +
+             random_expr(rng, depth - 1) + ")";
     case 4:
       return "(" + random_expr(rng, depth - 1) + " < " + random_expr(rng, depth - 1) +
              " < " + random_expr(rng, depth - 1) + ")";
     case 5:
-      return "(" + random_expr(rng, depth - 1) + " and " + random_expr(rng, depth - 1) + ")";
+      return "(" + random_expr(rng, depth - 1) + " and " +
+             random_expr(rng, depth - 1) + ")";
     case 6:
-      return "(" + random_expr(rng, depth - 1) + " or " + random_expr(rng, depth - 1) + ")";
+      return "(" + random_expr(rng, depth - 1) + " or " +
+             random_expr(rng, depth - 1) + ")";
     default:
-      return "min(" + random_expr(rng, depth - 1) + ", " + random_expr(rng, depth - 1) + ")";
+      return "min(" + random_expr(rng, depth - 1) + ", " +
+             random_expr(rng, depth - 1) + ")";
   }
 }
 

@@ -243,7 +243,9 @@ TEST_P(PreprocessSoundness, NeverRemovesSupportedValues) {
       std::vector<std::size_t> counters(nvars, 0);
       for (;;) {
         std::vector<Value> assignment;
-        for (std::size_t i = 0; i < nvars; ++i) assignment.push_back(doms[i][counters[i]]);
+        for (std::size_t i = 0; i < nvars; ++i) {
+          assignment.push_back(doms[i][counters[i]]);
+        }
         assignment[var] = v;
         if (c->satisfied(assignment.data())) return true;
         std::size_t i = 0;

@@ -36,7 +36,8 @@ TEST(Domain, IndexOfCrossKind) {
 
 TEST(Domain, FilterRemovesAndCounts) {
   Domain d = Domain::range(1, 10);
-  const std::size_t removed = d.filter([](const Value& v) { return v.as_int() % 2 == 0; });
+  const std::size_t removed =
+      d.filter([](const Value& v) { return v.as_int() % 2 == 0; });
   EXPECT_EQ(removed, 5u);
   EXPECT_EQ(d.size(), 5u);
   EXPECT_EQ(d[0], Value(2));

@@ -403,12 +403,16 @@ TEST(BuiltinFastPath, AllSpecializeOnIntDomainsAndAgree) {
   const std::vector<const csp::Domain*> domains{&d1, &d2};
 
   std::vector<csp::ConstraintPtr> constraints;
-  constraints.push_back(std::make_unique<csp::MaxProduct>(48, std::vector<std::string>{"a", "b"}));
-  constraints.push_back(std::make_unique<csp::MinSum>(6, std::vector<std::string>{"a", "b"}));
+  constraints.push_back(
+      std::make_unique<csp::MaxProduct>(48, std::vector<std::string>{"a", "b"}));
+  constraints.push_back(
+      std::make_unique<csp::MinSum>(6, std::vector<std::string>{"a", "b"}));
   constraints.push_back(std::make_unique<csp::VarComparison>("a", csp::CmpOp::Le, "b"));
   constraints.push_back(std::make_unique<csp::Divisibility>("a", "b"));
-  constraints.push_back(std::make_unique<csp::AllDifferent>(std::vector<std::string>{"a", "b"}));
-  constraints.push_back(std::make_unique<csp::AllEqual>(std::vector<std::string>{"a", "b"}));
+  constraints.push_back(
+      std::make_unique<csp::AllDifferent>(std::vector<std::string>{"a", "b"}));
+  constraints.push_back(
+      std::make_unique<csp::AllEqual>(std::vector<std::string>{"a", "b"}));
   constraints.push_back(std::make_unique<csp::InSet>(
       "a", std::vector<Value>{Value(2), Value(3), Value(5), Value(8)}));
 

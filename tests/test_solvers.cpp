@@ -111,7 +111,8 @@ TEST_P(EverySolver, MatchesBruteForceOnMediumProblem) {
     p.add_variable("b", Domain::powers(1, 64));
     p.add_variable("c", Domain::range(1, 6));
     p.add_variable("d", Domain::range(1, 5));
-    p.add_constraint(std::make_unique<MaxProduct>(64, std::vector<std::string>{"a", "b"}));
+    p.add_constraint(
+        std::make_unique<MaxProduct>(64, std::vector<std::string>{"a", "b"}));
     p.add_constraint(std::make_unique<MinSum>(4, std::vector<std::string>{"c", "d"}));
     p.add_constraint(std::make_unique<Divisibility>("a", "c"));
     return p;
