@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json files against committed reference baselines.
+
+Usage:
+  compare_baselines.py --baseline-dir bench/baselines --current-dir build \
+      [--threshold 0.75] [--warn-only] [--report compare_report.md]
+
+For every BENCH_*.json present in *both* directories, walks the two JSON
+trees in parallel (arrays of objects are joined by their "name" field) and
+applies one rule per metric kind:
+
+  *speedup*  (numbers)   gated at the top level of a file: current must
+                         be >= threshold * baseline (the default threshold
+                         0.75 = "fail on >25% regression"); improvements
+                         always pass and are reported so a nightly refresh
+                         can ratchet the baseline upward.  Per-entry
+                         speedups nested inside "spaces"/"cases" arrays
+                         measure individual microsecond-scale operations
+                         and jitter far beyond 25%, so they are reported
+                         but only the aggregates gate.
+  identical / deterministic (booleans)
+                         gated: a baseline of true must stay true.
+  speedup arrays (per-thread scaling curves)
+                         gated on their maximum: the best-threads speedup
+                         must stay >= threshold * the baseline's best.
+  rows / rows_out / solutions / file_bytes (integers)
+                         gated: exact match — the resolved spaces are
+                         deterministic, so any drift is a correctness bug,
+                         not noise.
+  *seconds*  (numbers)   informational only: absolute timings are
+                         machine-dependent, so they are reported with their
+                         relative delta but never gate.
+
+A gated metric (or a whole BENCH file) present in the baseline but absent
+from the current run is itself a failure — otherwise renaming a metric
+would silently erase its gate.  Everything else (names, thread lists,
+fast_mode flags) is ignored.  Exits non-zero when any gated metric
+regresses or disappears, unless --warn-only is given (used by per-PR CI,
+where the report is uploaded as an artifact and the scheduled
+bench-baseline workflow is the enforcing gate).
+
+--ratchet additionally rewrites the baseline files in place as
+max(baseline, current) per gated speedup (everything else from the current
+run): the nightly refresh commit is therefore a monotonic ratchet, and a
+regression that stays inside the threshold keeps being measured against
+the old reference instead of compounding night over night.  An intentional
+downward reset bypasses the ratchet by copying the raw JSONs (the
+workflow_dispatch refresh=true path).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED_EXACT_KEYS = {"rows", "rows_out", "solutions", "file_bytes", "rows_parent"}
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def gated_missing(key, value, in_entry):
+    """Is the absence of this baseline key a gate failure?  Scalar speedups
+    nested inside named array entries are informational, so only their
+    aggregate (top-level) and array (max-gated) forms protect their gate."""
+    if key in ("identical", "deterministic") or key in GATED_EXACT_KEYS:
+        return True
+    if "speedup" in key:
+        return not in_entry or isinstance(value, list)
+    return False
+
+
+def contains_gated(value, in_entry):
+    """Does this baseline subtree hold anything whose absence erases a gate?"""
+    if isinstance(value, dict):
+        return any(gated_missing(k, v, in_entry) or contains_gated(v, in_entry)
+                   for k, v in value.items())
+    if isinstance(value, list):
+        return any(contains_gated(e, True) for e in value
+                   if isinstance(e, (dict, list)))
+    return False
+
+
+def walk(path, baseline, current, rows, in_entry=False):
+    """Recursively compare `baseline` vs `current`, appending result rows."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in baseline:
+            sub = f"{path}.{key}" if path else key
+            if key in current:
+                walk(sub, baseline[key], current[key], rows, in_entry)
+            elif gated_missing(key, baseline[key], in_entry) \
+                    or contains_gated(baseline[key], in_entry):
+                rows.append(("missing", sub, baseline[key], None))
+        return
+    leaf = path.rsplit(".", 1)[-1].split("[", 1)[0]
+    if isinstance(baseline, list) and isinstance(current, list):
+        if all(isinstance(e, dict) and "name" in e for e in baseline + current):
+            by_name = {e["name"]: e for e in current}
+            for entry in baseline:
+                if entry["name"] in by_name:
+                    walk(f"{path}[{entry['name']}]", entry, by_name[entry["name"]],
+                         rows, True)
+                else:
+                    rows.append(("missing", f"{path}[{entry['name']}]", entry, None))
+        elif "speedup" in leaf and baseline and all(is_number(e) for e in baseline):
+            if current and all(is_number(e) for e in current):
+                # Per-thread scaling curve: gate its best point (a robust
+                # aggregate; individual thread counts jitter).
+                rows.append(("speedup", f"max({path})", max(baseline), max(current)))
+            else:
+                # Gated curve came back empty or non-numeric: gate erased.
+                rows.append(("missing", path, baseline, None))
+        return
+    if isinstance(baseline, (dict, list)) or isinstance(current, (dict, list)):
+        # Structure changed shape against the baseline (e.g. a gated list
+        # became a scalar); treat a gated baseline as erased.
+        if gated_missing(leaf, baseline, in_entry):
+            rows.append(("missing", path, baseline, None))
+        return
+
+    if "speedup" in leaf and is_number(baseline):
+        if is_number(current):
+            rows.append(("speedup" if not in_entry else "info_speedup",
+                         path, baseline, current))
+        elif gated_missing(leaf, baseline, in_entry):
+            rows.append(("missing", path, baseline, None))
+    elif leaf in ("identical", "deterministic") and isinstance(baseline, bool) \
+            and isinstance(current, bool):
+        rows.append(("identical", path, baseline, current))
+    elif leaf in GATED_EXACT_KEYS and is_number(baseline) and is_number(current):
+        rows.append(("exact", path, baseline, current))
+    elif "seconds" in leaf and is_number(baseline) and is_number(current):
+        rows.append(("info", path, baseline, current))
+
+
+def compare_file(name, baseline, current, threshold):
+    """Returns (report lines, list of failure strings)."""
+    rows = []
+    walk("", baseline, current, rows)
+    lines = [f"## {name}", "", "| metric | baseline | current | delta | status |",
+             "|---|---|---|---|---|"]
+    failures = []
+    for kind, path, base, cur in rows:
+        if kind == "speedup":
+            ok = cur >= threshold * base
+            delta = f"{(cur / base - 1) * 100:+.1f}%" if base else "n/a"
+            status = "ok" if ok else f"REGRESSION (< {threshold:.2f}x baseline)"
+            if not ok:
+                failures.append(f"{name}: {path} = {cur:.2f} vs baseline "
+                                f"{base:.2f} ({delta})")
+            lines.append(f"| {path} | {base:.2f}x | {cur:.2f}x | {delta} | {status} |")
+        elif kind == "identical":
+            ok = cur or not base
+            status = "ok" if ok else "IDENTITY/DETERMINISM LOST"
+            if not ok:
+                failures.append(f"{name}: {path} became false")
+            lines.append(f"| {path} | {base} | {cur} | - | {status} |")
+        elif kind == "exact":
+            ok = base == cur
+            status = "ok" if ok else "MISMATCH"
+            if not ok:
+                failures.append(f"{name}: {path} = {cur} vs baseline {base}")
+            lines.append(f"| {path} | {base} | {cur} | - | {status} |")
+        elif kind == "missing":
+            failures.append(f"{name}: {path} present in baseline but missing "
+                            f"from the current run")
+            lines.append(f"| {path} | (present) | MISSING | - | GATE ERASED |")
+        elif kind == "info_speedup":
+            delta = f"{(cur / base - 1) * 100:+.1f}%" if base else "n/a"
+            lines.append(f"| {path} | {base:.2f}x | {cur:.2f}x | {delta} | info |")
+        else:  # info
+            delta = f"{(cur / base - 1) * 100:+.1f}%" if base else "n/a"
+            lines.append(f"| {path} | {base:.4f}s | {cur:.4f}s | {delta} | info |")
+    lines.append("")
+    return lines, failures
+
+
+def ratchet(baseline, current, in_entry=False):
+    """The current tree, with every *speedup* leaf raised to
+    max(baseline, current) — numeric scalars directly, numeric arrays
+    element-wise.  Everything else (timings, counts, flags) comes from the
+    current run.  Writing the result back as the new baseline makes the
+    nightly refresh a monotonic ratchet: a regression that stays inside the
+    gate threshold keeps being measured against the old reference instead
+    of compounding night over night.  Only *gated* speedups ratchet —
+    per-entry scalar speedups are informational and simply track the
+    current run."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        merged = {}
+        for key, value in current.items():
+            base = baseline.get(key)
+            if ("speedup" in key and not in_entry
+                    and is_number(value) and is_number(base)):
+                merged[key] = max(base, value)
+            elif ("speedup" in key and isinstance(value, list)
+                  and isinstance(base, list) and base and value
+                  and all(is_number(e) for e in base + value)):
+                if len(base) == len(value):
+                    merged[key] = [max(b, c) for b, c in zip(base, value)]
+                else:
+                    # Curve reshaped (e.g. new thread counts): adopt it only
+                    # if its gated best point does not drop, else keep the
+                    # old curve — refresh=true is the downward path.
+                    merged[key] = value if max(value) >= max(base) else base
+            elif base is not None:
+                merged[key] = ratchet(base, value, in_entry)
+            else:
+                merged[key] = value
+        return merged
+    if isinstance(baseline, list) and isinstance(current, list):
+        if all(isinstance(e, dict) and "name" in e for e in baseline + current):
+            by_name = {e["name"]: e for e in baseline}
+            return [ratchet(by_name[e["name"]], e, True)
+                    if e.get("name") in by_name else e for e in current]
+    return current
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default="build")
+    parser.add_argument("--threshold", type=float, default=0.75,
+                        help="minimum allowed current/baseline speedup ratio")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit zero")
+    parser.add_argument("--report", default="",
+                        help="also write the markdown report to this file")
+    parser.add_argument("--ratchet", action="store_true",
+                        help="on success, rewrite the baseline files as "
+                             "max(baseline, current) per speedup metric "
+                             "(the nightly refresh path)")
+    args = parser.parse_args()
+
+    names = sorted(n for n in os.listdir(args.baseline_dir)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    report = [f"# Bench baseline comparison (threshold {args.threshold:.2f})", ""]
+    failures = []
+    compared = 0
+    for name in names:
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(current_path):
+            report.append(f"## {name}\n\n*current run produced no {name}*\n")
+            failures.append(f"{name}: baseline exists but the current run "
+                            f"produced no such file")
+            continue
+        with open(os.path.join(args.baseline_dir, name)) as f:
+            baseline = json.load(f)
+        with open(current_path) as f:
+            current = json.load(f)
+        lines, file_failures = compare_file(name, baseline, current, args.threshold)
+        report.extend(lines)
+        failures.extend(file_failures)
+        compared += 1
+
+    if failures:
+        report.append("## Result: FAIL")
+        report.extend(f"- {f}" for f in failures)
+    else:
+        report.append(f"## Result: OK ({compared} file(s) compared)")
+
+    text = "\n".join(report) + "\n"
+    print(text)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(text)
+
+    if compared == 0:
+        print("no overlapping BENCH_*.json files to compare", file=sys.stderr)
+        return 2
+    if failures and not args.warn_only:
+        return 1
+    if args.ratchet and not failures:
+        for name in names:
+            current_path = os.path.join(args.current_dir, name)
+            if not os.path.exists(current_path):
+                continue
+            baseline_path = os.path.join(args.baseline_dir, name)
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+            with open(current_path) as f:
+                current = json.load(f)
+            with open(baseline_path, "w") as f:
+                json.dump(ratchet(baseline, current), f, indent=2)
+                f.write("\n")
+            print(f"ratcheted {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,22 @@
 #pragma once
-// Neighbour queries over a resolved SearchSpace (§4.4).
+// Neighbour queries over a resolved SearchSpace or a SubSpace view (§4.4).
 //
 // Optimization algorithms (genetic mutation, hill climbing, simulated
 // annealing) repeatedly ask for the *valid* neighbours of a configuration.
 // With a resolved space these are exact hash lookups; dynamic approaches
 // would have to re-check constraints per candidate.
+//
+// The SubSpace overloads answer the same queries inside a tune-time
+// restriction: neighbourhoods are defined over the view's own present
+// values and membership, and rows are the view's local ids — so an
+// optimizer sees a restricted view exactly as it would see a space built
+// with the restriction as a constraint.
 
 #include <cstddef>
 #include <vector>
 
 #include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/searchspace/view.hpp"
 
 namespace tunespace::searchspace {
 
@@ -24,11 +31,18 @@ enum class NeighborMethod {
 /// Row ids of all valid neighbours of `row` under `method`.
 std::vector<std::size_t> neighbors_of(const SearchSpace& space, std::size_t row,
                                       NeighborMethod method = NeighborMethod::Hamming1);
+/// View overload: neighbours within the view, as local row ids.
+std::vector<std::size_t> neighbors_of(const SubSpace& view, std::size_t row,
+                                      NeighborMethod method = NeighborMethod::Hamming1);
 
 /// Row ids of valid configurations at Hamming distance <= `max_distance`
 /// from `row` (excluding `row` itself).  Exponential in max_distance; meant
 /// for small distances (1-3) as used by genetic-algorithm mutation.
 std::vector<std::size_t> neighbors_within_hamming(const SearchSpace& space,
+                                                  std::size_t row,
+                                                  std::size_t max_distance);
+/// View overload (local row ids, view membership).
+std::vector<std::size_t> neighbors_within_hamming(const SubSpace& view,
                                                   std::size_t row,
                                                   std::size_t max_distance);
 
@@ -37,6 +51,8 @@ std::vector<std::size_t> neighbors_within_hamming(const SearchSpace& space,
 class NeighborIndex {
  public:
   NeighborIndex(const SearchSpace& space, NeighborMethod method);
+  /// Adjacency of a view, in local row ids.
+  NeighborIndex(const SubSpace& view, NeighborMethod method);
 
   const std::vector<std::size_t>& neighbors(std::size_t row) const {
     return lists_[row];

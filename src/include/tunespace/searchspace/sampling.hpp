@@ -1,5 +1,5 @@
 #pragma once
-// Sampling over a resolved SearchSpace (§4.4).
+// Sampling over a resolved SearchSpace or a filtered SubSpace view (§4.4).
 //
 // Because the space is fully resolved, sampling is uniform over *valid*
 // configurations — the paper's key fairness point versus chain-of-trees
@@ -7,17 +7,26 @@
 // rejection sampling over the Cartesian product.  Latin Hypercube Sampling
 // stratifies over the true parameter bounds and snaps candidates to the
 // nearest valid configuration using the posting-list index.
+//
+// Every function has a SubSpace overload operating in the view's local row
+// ids and over the view's own true bounds, so tune-time restrictions sample
+// exactly like a freshly-built space; a whole-space view behaves
+// identically to the SearchSpace overload.
 
 #include <cstddef>
 #include <vector>
 
 #include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/searchspace/view.hpp"
 #include "tunespace/util/rng.hpp"
 
 namespace tunespace::searchspace {
 
 /// `count` distinct rows uniformly at random (count is clamped to size()).
 std::vector<std::size_t> random_sample(const SearchSpace& space, std::size_t count,
+                                       util::Rng& rng);
+/// View overload; returns local row ids.
+std::vector<std::size_t> random_sample(const SubSpace& view, std::size_t count,
                                        util::Rng& rng);
 
 /// Latin Hypercube Sample of `count` rows:
@@ -30,11 +39,17 @@ std::vector<std::size_t> random_sample(const SearchSpace& space, std::size_t cou
 /// `count` on tightly-constrained spaces.
 std::vector<std::size_t> latin_hypercube_sample(const SearchSpace& space,
                                                 std::size_t count, util::Rng& rng);
+/// View overload: strata cover the view's present values; returns local ids.
+std::vector<std::size_t> latin_hypercube_sample(const SubSpace& view,
+                                                std::size_t count, util::Rng& rng);
 
 /// Snap an arbitrary index-space point to the nearest valid row (normalized
 /// L1 metric over present-value positions); returns the row id.
 /// Requires a non-empty space.
 std::size_t snap_to_valid(const SearchSpace& space,
+                          const std::vector<std::uint32_t>& target);
+/// View overload: snaps to the nearest row *of the view*; returns a local id.
+std::size_t snap_to_valid(const SubSpace& view,
                           const std::vector<std::uint32_t>& target);
 
 }  // namespace tunespace::searchspace

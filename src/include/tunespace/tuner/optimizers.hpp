@@ -1,24 +1,30 @@
 #pragma once
-// Optimization algorithms over a resolved SearchSpace.
+// Optimization algorithms over a resolved SearchSpace or a SubSpace view.
 //
 // All optimizers work through an EvalContext: they request evaluations by
 // row id and stop when the budget callback reports exhaustion.  Neighbour
-// selection goes through the SearchSpace's resolved indexes (§4.4), which is
-// exactly the integration the paper describes for Kernel Tuner's genetic
-// algorithm mutation step.
+// selection goes through the resolved indexes (§4.4), which is exactly the
+// integration the paper describes for Kernel Tuner's genetic algorithm
+// mutation step.
+//
+// The context holds a SubSpace, so the same optimizer runs unchanged over a
+// full space (a whole-space view costs nothing and a SearchSpace converts
+// implicitly) or over a tune-time restriction (SubSpace::restrict); row ids
+// are the view's local ids either way.
 
 #include <functional>
 #include <memory>
 #include <string>
 
 #include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/searchspace/view.hpp"
 #include "tunespace/util/rng.hpp"
 
 namespace tunespace::tuner {
 
 /// Evaluation services handed to an optimizer by the runner.
 struct EvalContext {
-  const searchspace::SearchSpace& space;
+  searchspace::SubSpace space;
   /// Evaluate a configuration; returns its performance (higher is better).
   /// Re-evaluating a row returns the cached result at no budget cost.
   std::function<double(std::size_t row)> evaluate;
@@ -37,6 +43,9 @@ class Optimizer {
 };
 
 /// Uniform random sampling without replacement (the §5.4 baseline).
+/// The permutation is generated lazily (incremental Fisher–Yates over the
+/// evaluated prefix only), so a budget-limited run over a huge space pays
+/// O(evaluations) memory and time instead of O(space size) up front.
 class RandomSearch : public Optimizer {
  public:
   std::string name() const override { return "random-sampling"; }

@@ -62,4 +62,13 @@ TuningRun run_tuning(const TuningProblem& spec, const Method& method,
                      const PerformanceModel& model, Optimizer& optimizer,
                      const TuningOptions& options);
 
+/// Run one tuning session over an already-resolved space or a tune-time
+/// restriction of one (SubSpace::restrict) — the resolve-once,
+/// restrict-per-scenario workflow.  The parent space's measured
+/// construction latency is charged to the virtual clock (the restriction
+/// itself is effectively free); rows in the run are the view's local ids.
+TuningRun run_tuning(const searchspace::SubSpace& view, const PerformanceModel& model,
+                     Optimizer& optimizer, const TuningOptions& options,
+                     const std::string& method_name = "subspace");
+
 }  // namespace tunespace::tuner

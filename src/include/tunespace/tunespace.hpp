@@ -35,11 +35,14 @@
 #include "tunespace/solver/solver.hpp"
 #include "tunespace/solver/validate.hpp"
 
-// Resolved search spaces: lookup, bounds, neighbours, sampling, I/O.
+// Resolved search spaces: lookup, bounds, neighbours, sampling, I/O,
+// predicate-filtered views.
 #include "tunespace/searchspace/io.hpp"
 #include "tunespace/searchspace/neighbors.hpp"
+#include "tunespace/searchspace/query.hpp"
 #include "tunespace/searchspace/sampling.hpp"
 #include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/searchspace/view.hpp"
 
 // Auto-tuning layer: specs, pipelines, optimizers, simulated kernels.
 #include "tunespace/tuner/kernels.hpp"

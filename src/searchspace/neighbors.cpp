@@ -6,8 +6,16 @@ namespace tunespace::searchspace {
 
 namespace {
 
+// One generic implementation serves the SearchSpace and SubSpace overloads:
+// both expose num_params / problem / present_values / indices / find over
+// their own row ids (parent rows for a space, local ids for a view), which
+// is all the neighbourhood walk needs.  A view's present values and find()
+// are membership-aware, so its neighbourhoods match those of a space built
+// with the restriction as a constraint.
+
 // Candidate alternative value indices for parameter p given current vi.
-void alternative_values(const SearchSpace& space, std::size_t p, std::uint32_t vi,
+template <typename SpaceLike>
+void alternative_values(const SpaceLike& space, std::size_t p, std::uint32_t vi,
                         NeighborMethod method, std::vector<std::uint32_t>& out) {
   out.clear();
   const auto& present = space.present_values(p);
@@ -37,10 +45,9 @@ void alternative_values(const SearchSpace& space, std::size_t p, std::uint32_t v
   }
 }
 
-}  // namespace
-
-std::vector<std::size_t> neighbors_of(const SearchSpace& space, std::size_t row,
-                                      NeighborMethod method) {
+template <typename SpaceLike>
+std::vector<std::size_t> neighbors_impl(const SpaceLike& space, std::size_t row,
+                                        NeighborMethod method) {
   std::vector<std::size_t> result;
   std::vector<std::uint32_t> indices = space.indices(row);
   std::vector<std::uint32_t> alts;
@@ -56,9 +63,8 @@ std::vector<std::size_t> neighbors_of(const SearchSpace& space, std::size_t row,
   return result;
 }
 
-namespace {
-
-void hamming_recurse(const SearchSpace& space, std::vector<std::uint32_t>& indices,
+template <typename SpaceLike>
+void hamming_recurse(const SpaceLike& space, std::vector<std::uint32_t>& indices,
                      std::size_t start_param, std::size_t remaining,
                      std::vector<std::size_t>& out) {
   for (std::size_t p = start_param; p < space.num_params(); ++p) {
@@ -75,11 +81,9 @@ void hamming_recurse(const SearchSpace& space, std::vector<std::uint32_t>& indic
   }
 }
 
-}  // namespace
-
-std::vector<std::size_t> neighbors_within_hamming(const SearchSpace& space,
-                                                  std::size_t row,
-                                                  std::size_t max_distance) {
+template <typename SpaceLike>
+std::vector<std::size_t> within_hamming_impl(const SpaceLike& space, std::size_t row,
+                                             std::size_t max_distance) {
   std::vector<std::size_t> out;
   if (max_distance == 0) return out;
   std::vector<std::uint32_t> indices = space.indices(row);
@@ -89,10 +93,41 @@ std::vector<std::size_t> neighbors_within_hamming(const SearchSpace& space,
   return out;
 }
 
+}  // namespace
+
+std::vector<std::size_t> neighbors_of(const SearchSpace& space, std::size_t row,
+                                      NeighborMethod method) {
+  return neighbors_impl(space, row, method);
+}
+
+std::vector<std::size_t> neighbors_of(const SubSpace& view, std::size_t row,
+                                      NeighborMethod method) {
+  return neighbors_impl(view, row, method);
+}
+
+std::vector<std::size_t> neighbors_within_hamming(const SearchSpace& space,
+                                                  std::size_t row,
+                                                  std::size_t max_distance) {
+  return within_hamming_impl(space, row, max_distance);
+}
+
+std::vector<std::size_t> neighbors_within_hamming(const SubSpace& view,
+                                                  std::size_t row,
+                                                  std::size_t max_distance) {
+  return within_hamming_impl(view, row, max_distance);
+}
+
 NeighborIndex::NeighborIndex(const SearchSpace& space, NeighborMethod method) {
   lists_.resize(space.size());
   for (std::size_t r = 0; r < space.size(); ++r) {
     lists_[r] = neighbors_of(space, r, method);
+  }
+}
+
+NeighborIndex::NeighborIndex(const SubSpace& view, NeighborMethod method) {
+  lists_.resize(view.size());
+  for (std::size_t r = 0; r < view.size(); ++r) {
+    lists_[r] = neighbors_of(view, r, method);
   }
 }
 

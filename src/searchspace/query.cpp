@@ -1,0 +1,188 @@
+#include "tunespace/searchspace/query.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+namespace tunespace::searchspace::query {
+
+// The node tree is deliberately tiny: every condition names one parameter,
+// and the only combinator is conjunction, which is what maps losslessly
+// onto per-parameter index-set intersection.
+struct Predicate::Node {
+  struct Eq {
+    std::string param;
+    csp::Value value;
+  };
+  struct In {
+    std::string param;
+    std::vector<csp::Value> values;
+  };
+  struct Between {
+    std::string param;
+    csp::Value lo;
+    csp::Value hi;
+  };
+  struct And {
+    std::vector<Predicate> parts;
+  };
+  std::variant<Eq, In, Between, And> v;
+};
+
+namespace {
+
+Predicate make(Predicate::Node&& node) {
+  return Predicate(std::make_shared<const Predicate::Node>(std::move(node)));
+}
+
+/// Inclusive numeric range test; a value that cannot be ordered against the
+/// bounds (ValueError, e.g. string vs number) does not match.
+bool in_range(const csp::Value& v, const csp::Value& lo, const csp::Value& hi) {
+  try {
+    return v.compare(lo) >= 0 && v.compare(hi) <= 0;
+  } catch (const csp::ValueError&) {
+    return false;
+  }
+}
+
+/// Intersect `dst` (sorted) with `src` (sorted) in place.
+void intersect_sorted(std::vector<std::uint32_t>& dst,
+                      const std::vector<std::uint32_t>& src) {
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min(dst.size(), src.size()));
+  std::set_intersection(dst.begin(), dst.end(), src.begin(), src.end(),
+                        std::back_inserter(out));
+  dst = std::move(out);
+}
+
+/// Fold one condition's admissible set into the per-parameter map.
+/// `first_touch` tracks parameters seen before: the first condition on a
+/// parameter installs its set, later ones intersect.
+void apply_mask(std::vector<ParamMask>& masks, std::vector<bool>& touched,
+                std::size_t param, std::vector<std::uint32_t> allowed) {
+  if (!touched[param]) {
+    touched[param] = true;
+    masks.push_back({param, std::move(allowed)});
+    return;
+  }
+  for (auto& mask : masks) {
+    if (mask.param == param) {
+      intersect_sorted(mask.allowed, allowed);
+      return;
+    }
+  }
+}
+
+void compile_into(const Predicate& pred, const csp::Problem& problem,
+                  std::vector<ParamMask>& masks, std::vector<bool>& touched) {
+  if (pred.trivial()) return;
+  const Predicate::Node& node = *pred.node();
+  if (const auto* and_node = std::get_if<Predicate::Node::And>(&node.v)) {
+    for (const Predicate& part : and_node->parts) {
+      compile_into(part, problem, masks, touched);
+    }
+    return;
+  }
+
+  std::string param_name;
+  std::vector<std::uint32_t> allowed;
+  if (const auto* eq_node = std::get_if<Predicate::Node::Eq>(&node.v)) {
+    param_name = eq_node->param;
+    const csp::Domain& domain = problem.domain(problem.index_of(param_name));
+    const std::size_t vi = domain.index_of(eq_node->value);
+    if (vi != csp::Domain::npos) allowed.push_back(static_cast<std::uint32_t>(vi));
+  } else if (const auto* in_node = std::get_if<Predicate::Node::In>(&node.v)) {
+    param_name = in_node->param;
+    const csp::Domain& domain = problem.domain(problem.index_of(param_name));
+    for (const csp::Value& value : in_node->values) {
+      const std::size_t vi = domain.index_of(value);
+      if (vi != csp::Domain::npos) allowed.push_back(static_cast<std::uint32_t>(vi));
+    }
+    std::sort(allowed.begin(), allowed.end());
+    allowed.erase(std::unique(allowed.begin(), allowed.end()), allowed.end());
+  } else {
+    const auto& between_node = std::get<Predicate::Node::Between>(node.v);
+    param_name = between_node.param;
+    const csp::Domain& domain = problem.domain(problem.index_of(param_name));
+    for (std::size_t vi = 0; vi < domain.size(); ++vi) {
+      if (in_range(domain[vi], between_node.lo, between_node.hi)) {
+        allowed.push_back(static_cast<std::uint32_t>(vi));
+      }
+    }
+  }
+  apply_mask(masks, touched, problem.index_of(param_name), std::move(allowed));
+}
+
+void render(const Predicate& pred, std::ostringstream& os, bool& first) {
+  if (pred.trivial()) return;
+  const Predicate::Node& node = *pred.node();
+  if (const auto* and_node = std::get_if<Predicate::Node::And>(&node.v)) {
+    for (const Predicate& part : and_node->parts) render(part, os, first);
+    return;
+  }
+  if (!first) os << " and ";
+  first = false;
+  if (const auto* eq_node = std::get_if<Predicate::Node::Eq>(&node.v)) {
+    os << eq_node->param << " == " << eq_node->value.to_string();
+  } else if (const auto* in_node = std::get_if<Predicate::Node::In>(&node.v)) {
+    os << in_node->param << " in (";
+    for (std::size_t i = 0; i < in_node->values.size(); ++i) {
+      os << (i ? ", " : "") << in_node->values[i].to_string();
+    }
+    os << ")";
+  } else {
+    const auto& between_node = std::get<Predicate::Node::Between>(node.v);
+    os << between_node.lo.to_string() << " <= " << between_node.param
+       << " <= " << between_node.hi.to_string();
+  }
+}
+
+}  // namespace
+
+Predicate eq(std::string param, csp::Value value) {
+  return make({Predicate::Node::Eq{std::move(param), std::move(value)}});
+}
+
+Predicate in_set(std::string param, std::vector<csp::Value> values) {
+  return make({Predicate::Node::In{std::move(param), std::move(values)}});
+}
+
+Predicate between(std::string param, csp::Value lo, csp::Value hi) {
+  return make({Predicate::Node::Between{std::move(param), std::move(lo), std::move(hi)}});
+}
+
+Predicate all_of(std::vector<Predicate> parts) {
+  std::erase_if(parts, [](const Predicate& p) { return p.trivial(); });
+  if (parts.empty()) return {};
+  if (parts.size() == 1) return parts[0];
+  return make({Predicate::Node::And{std::move(parts)}});
+}
+
+Predicate operator&&(const Predicate& a, const Predicate& b) {
+  return all_of({a, b});
+}
+
+std::string to_string(const Predicate& pred) {
+  if (pred.trivial()) return "true";
+  std::ostringstream os;
+  bool first = true;
+  render(pred, os, first);
+  return os.str();
+}
+
+bool CompiledPredicate::unsatisfiable() const {
+  return std::any_of(masks.begin(), masks.end(),
+                     [](const ParamMask& m) { return m.allowed.empty(); });
+}
+
+CompiledPredicate compile(const Predicate& pred, const csp::Problem& problem) {
+  CompiledPredicate compiled;
+  std::vector<bool> touched(problem.num_variables(), false);
+  compile_into(pred, problem, compiled.masks, touched);
+  std::sort(compiled.masks.begin(), compiled.masks.end(),
+            [](const ParamMask& a, const ParamMask& b) { return a.param < b.param; });
+  return compiled;
+}
+
+}  // namespace tunespace::searchspace::query

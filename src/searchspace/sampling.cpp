@@ -13,9 +13,24 @@ std::vector<std::size_t> random_sample(const SearchSpace& space, std::size_t cou
   return rng.sample_indices(space.size(), count);
 }
 
+std::vector<std::size_t> random_sample(const SubSpace& view, std::size_t count,
+                                       util::Rng& rng) {
+  count = std::min(count, view.size());
+  return rng.sample_indices(view.size(), count);
+}
+
 namespace {
 
-double l1_distance(const SearchSpace& space, std::size_t row,
+// The sampling algorithms are generic over "space-like" types: a resolved
+// SearchSpace and a SubSpace view expose the same row-addressed surface
+// (size / num_params / problem / value_index / present_values / find), so
+// one implementation serves both — rows are parent row ids for a
+// SearchSpace and local ids for a view.  The only customization point is
+// how posting-list candidates are enumerated: a view walks the parent's
+// posting list and keeps its members.
+
+template <typename SpaceLike>
+double l1_distance(const SpaceLike& space, std::size_t row,
                    const std::vector<std::uint32_t>& target) {
   double d = 0;
   for (std::size_t p = 0; p < space.num_params(); ++p) {
@@ -27,22 +42,47 @@ double l1_distance(const SearchSpace& space, std::size_t row,
   return d;
 }
 
-}  // namespace
+/// Upper bound on the number of rows parameter p takes value vi (exact for
+/// a SearchSpace; the parent's posting length for a view).
+std::size_t candidate_count(const SearchSpace& space, std::size_t p,
+                            std::uint32_t vi) {
+  return space.rows_with(p, vi).size();
+}
+std::size_t candidate_count(const SubSpace& view, std::size_t p, std::uint32_t vi) {
+  return view.parent().rows_with(p, vi).size();
+}
 
-std::size_t snap_to_valid(const SearchSpace& space,
-                          const std::vector<std::uint32_t>& target) {
+/// Invoke fn(row) for every row of the space whose parameter p is vi.
+template <typename Fn>
+void for_each_candidate(const SearchSpace& space, std::size_t p, std::uint32_t vi,
+                        Fn&& fn) {
+  for (std::uint32_t r : space.rows_with(p, vi)) fn(static_cast<std::size_t>(r));
+}
+template <typename Fn>
+void for_each_candidate(const SubSpace& view, std::size_t p, std::uint32_t vi,
+                        Fn&& fn) {
+  for (std::uint32_t r : view.parent().rows_with(p, vi)) {
+    if (const auto local = view.local_of(r)) fn(*local);
+  }
+}
+
+template <typename SpaceLike>
+std::size_t snap_impl(const SpaceLike& space,
+                      const std::vector<std::uint32_t>& target) {
   assert(!space.empty());
   // Exact hit first.
   if (auto r = space.find(target)) return *r;
   // Scan the smallest posting list among the target coordinates; if the
   // target value of some parameter never occurs, use its nearest present
   // value instead.
-  std::span<const std::uint32_t> best_list;
+  std::size_t best_param = 0;
+  std::uint32_t best_vi = 0;
+  std::size_t best_count = 0;
   bool have_list = false;
   for (std::size_t p = 0; p < space.num_params(); ++p) {
     std::uint32_t vi = target[p];
     const auto& present = space.present_values(p);
-    if (space.rows_with(p, vi).empty()) {
+    if (!std::binary_search(present.begin(), present.end(), vi)) {
       // nearest present value by index distance
       std::uint32_t nearest = present.front();
       for (std::uint32_t cand : present) {
@@ -53,26 +93,29 @@ std::size_t snap_to_valid(const SearchSpace& space,
       }
       vi = nearest;
     }
-    const auto list = space.rows_with(p, vi);
-    if (!have_list || list.size() < best_list.size()) {
-      best_list = list;
+    const std::size_t count = candidate_count(space, p, vi);
+    if (!have_list || count < best_count) {
+      best_param = p;
+      best_vi = vi;
+      best_count = count;
       have_list = true;
     }
   }
   double best_d = std::numeric_limits<double>::infinity();
   std::size_t best_row = 0;
-  for (std::uint32_t r : best_list) {
+  for_each_candidate(space, best_param, best_vi, [&](std::size_t r) {
     const double d = l1_distance(space, r, target);
     if (d < best_d) {
       best_d = d;
       best_row = r;
     }
-  }
+  });
   return best_row;
 }
 
-std::vector<std::size_t> latin_hypercube_sample(const SearchSpace& space,
-                                                std::size_t count, util::Rng& rng) {
+template <typename SpaceLike>
+std::vector<std::size_t> lhs_impl(const SpaceLike& space, std::size_t count,
+                                  util::Rng& rng) {
   if (space.empty() || count == 0) return {};
   count = std::min(count, space.size());
   const std::size_t d = space.num_params();
@@ -98,11 +141,33 @@ std::vector<std::size_t> latin_hypercube_sample(const SearchSpace& space,
           static_cast<std::size_t>(frac * static_cast<double>(present.size())));
       target[p] = present[pos];
     }
-    rows.push_back(snap_to_valid(space, target));
+    rows.push_back(snap_impl(space, target));
   }
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
   return rows;
+}
+
+}  // namespace
+
+std::size_t snap_to_valid(const SearchSpace& space,
+                          const std::vector<std::uint32_t>& target) {
+  return snap_impl(space, target);
+}
+
+std::size_t snap_to_valid(const SubSpace& view,
+                          const std::vector<std::uint32_t>& target) {
+  return snap_impl(view, target);
+}
+
+std::vector<std::size_t> latin_hypercube_sample(const SearchSpace& space,
+                                                std::size_t count, util::Rng& rng) {
+  return lhs_impl(space, count, rng);
+}
+
+std::vector<std::size_t> latin_hypercube_sample(const SubSpace& view,
+                                                std::size_t count, util::Rng& rng) {
+  return lhs_impl(view, count, rng);
 }
 
 }  // namespace tunespace::searchspace

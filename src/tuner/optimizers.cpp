@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "tunespace/searchspace/neighbors.hpp"
 #include "tunespace/searchspace/sampling.hpp"
@@ -9,23 +10,33 @@
 namespace tunespace::tuner {
 
 using searchspace::NeighborMethod;
-using searchspace::SearchSpace;
+using searchspace::SubSpace;
 
 void RandomSearch::run(EvalContext& ctx) {
   const std::size_t n = ctx.space.size();
   if (n == 0) return;
-  // Shuffled sweep = sampling without replacement.
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  ctx.rng->shuffle(order);
-  for (std::size_t row : order) {
+  // Shuffled sweep = sampling without replacement, with the Fisher–Yates
+  // permutation generated incrementally: position i draws its element from
+  // the not-yet-visited suffix, and only displaced suffix entries live in
+  // the journal.  A budget-limited run therefore allocates O(evaluated)
+  // instead of shuffling an O(n) index vector before the first evaluation.
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  const auto slot = [&](std::size_t k) {
+    const auto it = displaced.find(k);
+    return it == displaced.end() ? k : it->second;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
     if (ctx.exhausted()) return;
-    ctx.evaluate(row);
+    const std::size_t j = i + ctx.rng->index(n - i);
+    const std::size_t pick = slot(j);
+    displaced[j] = slot(i);
+    displaced.erase(i);  // positions < i are never drawn again
+    ctx.evaluate(pick);
   }
 }
 
 void GeneticAlgorithm::run(EvalContext& ctx) {
-  const SearchSpace& space = ctx.space;
+  const SubSpace& space = ctx.space;
   const std::size_t n = space.size();
   if (n == 0) return;
   const std::size_t pop_size = std::min(params_.population, n);
@@ -80,7 +91,7 @@ void GeneticAlgorithm::run(EvalContext& ctx) {
 }
 
 void SimulatedAnnealing::run(EvalContext& ctx) {
-  const SearchSpace& space = ctx.space;
+  const SubSpace& space = ctx.space;
   if (space.empty()) return;
   std::size_t current = ctx.rng->index(space.size());
   if (ctx.exhausted()) return;
@@ -114,7 +125,7 @@ void SimulatedAnnealing::run(EvalContext& ctx) {
 }
 
 void DifferentialEvolution::run(EvalContext& ctx) {
-  const SearchSpace& space = ctx.space;
+  const SubSpace& space = ctx.space;
   const std::size_t n = space.size();
   const std::size_t d = space.num_params();
   if (n == 0) return;
@@ -171,7 +182,7 @@ void DifferentialEvolution::run(EvalContext& ctx) {
 }
 
 void HillClimber::run(EvalContext& ctx) {
-  const SearchSpace& space = ctx.space;
+  const SubSpace& space = ctx.space;
   if (space.empty()) return;
   while (!ctx.exhausted()) {
     std::size_t current = ctx.rng->index(space.size());

@@ -185,7 +185,7 @@ class ParallelSolver : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelSolver, MatchesSequentialExactlyIncludingOrder) {
   const std::size_t threads = static_cast<std::size_t>(GetParam());
-  for (auto rw : {spaces::dedispersion(), spaces::gemm(), spaces::atf_prl(2)}) {
+  for (const auto& rw : {spaces::dedispersion(), spaces::gemm(), spaces::atf_prl(2)}) {
     auto p1 = tuner::build_problem(rw.spec, tuner::PipelineOptions::optimized());
     auto sequential = solver::OptimizedBacktracking{}.solve(p1);
     auto p2 = tuner::build_problem(rw.spec, tuner::PipelineOptions::optimized());
