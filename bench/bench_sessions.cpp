@@ -1,0 +1,219 @@
+// Concurrent multi-session runtime benchmark: aggregate throughput of N
+// overlapping same-spec tuning sessions under the SessionManager (shared
+// space + shared evaluation cache) versus the same N sessions as isolated
+// run_tuning calls, emitted as BENCH_sessions.json.
+//
+// Each case runs a rotation of the five optimizers with per-session seeds
+// and a fixed construction charge, so every session's TuningRun must be
+// *bit-identical* between the isolated and the managed path — an identity
+// mismatch is a hard failure regardless of flags.  The headline metric is
+// the aggregate speedup (total isolated wall seconds / total managed wall
+// seconds over all cases); per-case speedups and the shared-cache hit
+// throughput are reported alongside.
+//
+// CI gate:  bench_sessions --min-speedup <x>
+// exits non-zero when the aggregate speedup drops below <x>.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tunespace/spaces/realworld.hpp"
+#include "tunespace/tuner/session.hpp"
+#include "tunespace/util/table.hpp"
+#include "tunespace/util/timer.hpp"
+
+using namespace tunespace;
+
+namespace {
+
+std::unique_ptr<tuner::Optimizer> make_optimizer(std::size_t i) {
+  switch (i % 5) {
+    case 0: return std::make_unique<tuner::RandomSearch>();
+    case 1: return std::make_unique<tuner::GeneticAlgorithm>();
+    case 2: return std::make_unique<tuner::SimulatedAnnealing>();
+    case 3: return std::make_unique<tuner::HillClimber>();
+    default: return std::make_unique<tuner::DifferentialEvolution>();
+  }
+}
+
+tuner::TuningOptions session_options(std::uint64_t seed) {
+  tuner::TuningOptions options;
+  options.budget_seconds = 120.0;
+  options.seed = seed;
+  // Fix the construction charge: wall-clock construction latency is
+  // machine noise, and the identity check below compares virtual
+  // timelines bit-for-bit.
+  options.fixed_construction_seconds = 5.0;
+  return options;
+}
+
+struct CaseReport {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t sessions = 0;
+  double isolated_seconds = 0;
+  double shared_seconds = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool identical = true;
+  double speedup() const {
+    return shared_seconds > 0 ? isolated_seconds / shared_seconds : 0;
+  }
+  double hit_rate() const {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    return total > 0 ? static_cast<double>(cache_hits) / total : 0;
+  }
+};
+
+CaseReport run_case(const spaces::RealWorldSpace& rw, std::size_t sessions,
+                    const tuner::PerformanceModel& model) {
+  CaseReport report;
+  report.name = rw.name;
+  report.sessions = sessions;
+
+  // Isolated baseline: every session pays its own construction.
+  std::vector<tuner::TuningRun> isolated(sessions);
+  util::WallTimer timer;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto optimizer = make_optimizer(i);
+    const tuner::Method method = tuner::optimized_method();
+    isolated[i] = tuner::run_tuning(rw.spec, method, model, *optimizer,
+                                    session_options(i + 1));
+  }
+  report.isolated_seconds = timer.seconds();
+
+  // Managed: one shared space, one shared evaluation cache.
+  std::vector<tuner::SessionRequest> requests(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    requests[i].spec = rw.spec;
+    requests[i].model = std::shared_ptr<const tuner::PerformanceModel>(
+        &model, [](const tuner::PerformanceModel*) {});
+    requests[i].make_optimizer = [i] { return make_optimizer(i); };
+    requests[i].options = session_options(i + 1);
+  }
+  tuner::SessionManager manager;
+  timer.reset();
+  const auto results = manager.run_all(std::move(requests));
+  report.shared_seconds = timer.seconds();
+  report.cache_hits = manager.eval_cache().hits();
+  report.cache_misses = manager.eval_cache().misses();
+  // Row count via the manager's registry — a free hit on the shared space
+  // the sessions just used, not a third re-solve.
+  report.rows =
+      manager.acquire_space(rw.spec, tuner::optimized_method())->size();
+  for (std::size_t i = 0; i < sessions; ++i) {
+    if (!(results[i].run == isolated[i])) {
+      report.identical = false;
+      std::fprintf(stderr,
+                   "[sessions] %s session %zu diverged: managed best %.4f "
+                   "(%zu evals) vs isolated best %.4f (%zu evals)\n",
+                   rw.name.c_str(), i, results[i].run.best_gflops,
+                   results[i].run.evaluations, isolated[i].best_gflops,
+                   isolated[i].evaluations);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double gate_speedup = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      gate_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--min-speedup <x>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::section("Concurrent sessions: shared space + eval cache vs isolated");
+
+  tuner::HotspotModel hotspot_model;
+  tuner::GemmModel gemm_model;
+  tuner::SyntheticModel synthetic_model(17);
+
+  std::vector<CaseReport> reports;
+  reports.push_back(run_case(spaces::hotspot(), 8, hotspot_model));
+  reports.push_back(run_case(spaces::gemm(), 8, gemm_model));
+  // Cheap-construction case: the win here comes from the shared eval cache
+  // rather than amortized construction.
+  reports.push_back(run_case(spaces::dedispersion(), 16, synthetic_model));
+
+  util::Table table({"case", "rows", "sessions", "isolated", "shared",
+                     "speedup", "hit-rate", "identical"});
+  double total_isolated = 0, total_shared = 0;
+  std::uint64_t total_hits = 0;
+  bool all_identical = true;
+  for (const auto& r : reports) {
+    total_isolated += r.isolated_seconds;
+    total_shared += r.shared_seconds;
+    total_hits += r.cache_hits;
+    all_identical = all_identical && r.identical;
+    table.add_row({r.name, std::to_string(r.rows), std::to_string(r.sessions),
+                   util::fmt_seconds(r.isolated_seconds),
+                   util::fmt_seconds(r.shared_seconds),
+                   util::fmt_double(r.speedup(), 2) + "x",
+                   util::fmt_double(100 * r.hit_rate(), 3) + "%",
+                   r.identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  const double aggregate_speedup =
+      total_shared > 0 ? total_isolated / total_shared : 0;
+  const double hits_per_second =
+      total_shared > 0 ? static_cast<double>(total_hits) / total_shared : 0;
+  std::printf(
+      "suite total: isolated %.4fs, shared %.4fs, aggregate speedup %.1fx, "
+      "%.0f cache hits/s\n",
+      total_isolated, total_shared, aggregate_speedup, hits_per_second);
+
+  if (std::FILE* f = std::fopen("BENCH_sessions.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"sessions\",\n");
+    std::fprintf(f, "  \"fast_mode\": %s,\n", bench::fast_mode() ? "true" : "false");
+    std::fprintf(f, "  \"total_isolated_seconds\": %.6f,\n", total_isolated);
+    std::fprintf(f, "  \"total_shared_seconds\": %.6f,\n", total_shared);
+    std::fprintf(f, "  \"aggregate_speedup\": %.2f,\n", aggregate_speedup);
+    std::fprintf(f, "  \"cache_hits_per_second\": %.1f,\n", hits_per_second);
+    std::fprintf(f, "  \"identical\": %s,\n", all_identical ? "true" : "false");
+    std::fprintf(f, "  \"cases\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const CaseReport& r = reports[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"rows\": %zu, \"sessions\": %zu, "
+                   "\"isolated_seconds\": %.6f, \"shared_seconds\": %.6f, "
+                   "\"speedup\": %.2f, \"cache_hits\": %llu, "
+                   "\"cache_hit_rate\": %.4f, \"identical\": %s}%s\n",
+                   r.name.c_str(), r.rows, r.sessions, r.isolated_seconds,
+                   r.shared_seconds, r.speedup(),
+                   static_cast<unsigned long long>(r.cache_hits), r.hit_rate(),
+                   r.identical ? "true" : "false",
+                   i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_sessions.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_sessions.json\n");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a managed session diverged from its isolated "
+                 "counterpart (see above)\n");
+    return 1;
+  }
+  if (gate_speedup > 0 && aggregate_speedup < gate_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: aggregate speedup %.1fx below the %.1fx gate\n",
+                 aggregate_speedup, gate_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -41,6 +41,13 @@ class SubSpace {
   /// SearchSpace would dangle, so it is a compile error.
   SubSpace(const SearchSpace&&) = delete;
 
+  /// Whole-space view sharing ownership of the parent — the concurrent
+  /// runtime's shared-space handoff.  The view (and every restriction
+  /// chained off it) keeps `parent` alive, so a session can safely outlive
+  /// the registry entry that produced the space.  Throws
+  /// std::invalid_argument on a null pointer.
+  explicit SubSpace(std::shared_ptr<const SearchSpace> parent);
+
   /// Filtered view over `parent` (equivalent to a whole-space view
   /// restricted by `pred`).
   static SubSpace filter(const SearchSpace& parent, const query::Predicate& pred,
@@ -131,6 +138,9 @@ class SubSpace {
 
   const SearchSpace* parent_;
   std::shared_ptr<const Selection> sel_;
+  /// Optional shared ownership of the parent (see the shared_ptr
+  /// constructor); restrictions propagate it so chained views stay safe.
+  std::shared_ptr<const SearchSpace> keepalive_;
 };
 
 }  // namespace tunespace::searchspace

@@ -36,6 +36,12 @@ class PerformanceModel {
   /// a fixed compile/launch overhead plus time inversely proportional to
   /// throughput.  Charged to the virtual clock by the tuning runner.
   virtual double evaluation_cost(double gflops) const;
+
+  /// Stable identity of the performance surface, used to key the shared
+  /// evaluation cache: two models may share cached measurements iff their
+  /// fingerprints match.  Defaults to a hash of name(); models carrying
+  /// extra state (e.g. SyntheticModel's seed) must mix it in.
+  virtual std::uint64_t fingerprint() const;
 };
 
 /// Hotspot thermal-simulation kernel surface (paper §2 / §5.3.3).
@@ -63,6 +69,7 @@ class SyntheticModel : public PerformanceModel {
   std::string name() const override { return "synthetic"; }
   double gflops(const std::vector<std::string>& names,
                 const csp::Config& config) const override;
+  std::uint64_t fingerprint() const override;
 
  private:
   std::uint64_t seed_;

@@ -24,6 +24,8 @@ struct TrajectoryPoint {
   double time_seconds = 0;   ///< virtual time of the improvement
   double best_gflops = 0;    ///< best performance found up to that time
   std::size_t evaluations = 0;
+
+  friend bool operator==(const TrajectoryPoint&, const TrajectoryPoint&) = default;
 };
 
 /// Result of one tuning session.
@@ -37,6 +39,8 @@ struct TuningRun {
 
   /// Best performance found no later than `time`; 0 before the first eval.
   double best_at(double time) const;
+
+  friend bool operator==(const TuningRun&, const TuningRun&) = default;
 };
 
 /// Options for a tuning session.
@@ -54,6 +58,13 @@ struct TuningOptions {
   /// configurations (e.g. a converged genetic population) still consume
   /// budget and terminate.
   double overhead_per_request = 0.005;
+  /// When >= 0, charge exactly this many virtual seconds of construction
+  /// latency instead of the measured wall time.  Measured latency is
+  /// machine noise, so two runs of the same session never replay the same
+  /// virtual timeline; fixing the charge makes a session's TuningRun
+  /// bit-reproducible — across repeats, thread counts, and between an
+  /// isolated run_tuning call and the same session under a SessionManager.
+  double fixed_construction_seconds = -1.0;
 };
 
 /// Run one tuning session: construct the space with `method`, then drive

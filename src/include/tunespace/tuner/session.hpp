@@ -1,0 +1,261 @@
+#pragma once
+// Concurrent multi-session tuning runtime.
+//
+// run_tuning (runner.hpp) drives exactly one optimizer over one space.  A
+// production tuner serves many sessions at once — several kernels, several
+// devices, several users — and most of that load is redundant: sessions
+// tuning the same spec re-solve the same constrained space and re-measure
+// the same configurations.  This header adds the runtime that amortizes
+// both:
+//
+//   SharedEvalCache   lock-striped map of simulated kernel measurements
+//                     keyed by (space fingerprint, parent row id).  The
+//                     performance models are deterministic, so a cached
+//                     value is bit-identical to a fresh measurement and
+//                     sharing never changes a session's result — it only
+//                     skips redundant model work.
+//
+//   run_session_loop  the single session-loop core (virtual clock, budget
+//                     and overhead accounting, trajectory recording) that
+//                     the legacy run_tuning overloads, the SessionManager
+//                     workers and the Portfolio members all call.
+//
+//   SessionManager    schedules many TuningSessions over a worker pool.
+//                     Sessions whose spec + method hash to the same
+//                     fingerprint share one immutable SearchSpace: the
+//                     first session to need it builds it (optionally via
+//                     SearchSpace::load_or_build when a snapshot cache
+//                     directory is configured) and every other session
+//                     blocks on the same shared_future instead of
+//                     re-solving.  Results are byte-deterministic per
+//                     session for a fixed seed, independent of the worker
+//                     count and of which sessions run concurrently.
+//
+//   run_portfolio     races N optimizers (seed-split from one root seed)
+//                     over the same view with a shared best-so-far and an
+//                     early-stop rule.  Members run on real threads but
+//                     their evaluations are serialized in *virtual-time*
+//                     order by a lockstep scheduler (ties broken by member
+//                     index), so the shared best, the early stop and every
+//                     member trajectory are reproducible bit-for-bit
+//                     regardless of thread scheduling.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tunespace/searchspace/query.hpp"
+#include "tunespace/searchspace/searchspace.hpp"
+#include "tunespace/searchspace/view.hpp"
+#include "tunespace/tuner/runner.hpp"
+
+namespace tunespace::tuner {
+
+/// Lock-striped cache of kernel measurements shared across concurrent
+/// sessions, keyed by (space fingerprint, parent row id) so sessions tuning
+/// different restrictions of the same space still share.  Values come from
+/// the deterministic performance models, so a hit returns exactly what a
+/// fresh measurement would — sharing is invisible in the results.
+class SharedEvalCache {
+ public:
+  explicit SharedEvalCache(std::size_t stripes = 64);
+  ~SharedEvalCache();  // out of line: Stripe is an implementation detail
+  SharedEvalCache(const SharedEvalCache&) = delete;
+  SharedEvalCache& operator=(const SharedEvalCache&) = delete;
+
+  /// Cached measurement for (space, row), if any session has produced it.
+  std::optional<double> lookup(std::uint64_t space_fingerprint,
+                               std::uint64_t parent_row) const;
+  /// Publish a measurement (idempotent: later inserts keep the first value).
+  void insert(std::uint64_t space_fingerprint, std::uint64_t parent_row,
+              double gflops);
+
+  std::size_t size() const;      ///< distinct cached measurements
+  std::uint64_t hits() const;    ///< lookups served from the cache
+  std::uint64_t misses() const;  ///< lookups that fell through to the model
+
+ private:
+  struct Stripe;
+  std::size_t stripe_of(std::uint64_t space_fingerprint,
+                        std::uint64_t parent_row) const;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// Per-session observability filled by the shared runtime.
+struct SessionStats {
+  bool shared_space = false;        ///< space was reused from the registry
+  double space_seconds = 0;         ///< wall seconds acquiring the space
+  double session_seconds = 0;       ///< wall seconds in the session loop
+  std::uint64_t shared_cache_hits = 0;    ///< evals served by SharedEvalCache
+  std::uint64_t model_evaluations = 0;    ///< evals actually computed
+};
+
+/// Internal hooks the Portfolio scheduler injects into the session loop;
+/// default-constructed hooks are inert (the plain run_tuning path).
+struct SessionHooks {
+  /// Blocks until this session may perform its next evaluation request
+  /// (the lockstep virtual-time turnstile); called with the current
+  /// virtual time before any budget is charged.
+  std::function<void(double now)> before_request;
+  /// Observes each completed (non-memoized) evaluation at its virtual time.
+  std::function<void(std::size_t local_row, double gflops, double now)> on_eval;
+  /// Extra stop predicate OR-ed into the budget check (shared early stop).
+  std::function<bool(double now)> stop;
+};
+
+/// The single session-loop core: charge `construction_seconds` to a fresh
+/// virtual clock, then drive `optimizer` over `view` until the budget is
+/// exhausted, recording the best-so-far trajectory.  Both run_tuning
+/// overloads, the SessionManager and the Portfolio call this — the
+/// virtual-clock / overhead accounting exists exactly once.
+///
+/// `shared_cache` (optional) is consulted before the performance model,
+/// keyed by `cache_fingerprint` and the view's *parent* row ids; cache hits
+/// still charge the model's evaluation cost and count as evaluations, so a
+/// session's TuningRun is bit-identical with and without sharing.
+/// `cache_fingerprint` must identify the (space, model) pair — the
+/// SessionManager mixes SearchSpace::fingerprint() with
+/// PerformanceModel::fingerprint() — so sessions only ever share
+/// measurements of the same surface over the same space.
+TuningRun run_session_loop(const searchspace::SubSpace& view,
+                           const std::string& method_name,
+                           double construction_seconds,
+                           const PerformanceModel& model, Optimizer& optimizer,
+                           const TuningOptions& options,
+                           SharedEvalCache* shared_cache = nullptr,
+                           std::uint64_t cache_fingerprint = 0,
+                           SessionStats* stats = nullptr,
+                           const SessionHooks& hooks = {});
+
+/// One tuning session to schedule on a SessionManager.
+struct SessionRequest {
+  TuningProblem spec;
+  std::shared_ptr<const PerformanceModel> model;
+  std::function<std::unique_ptr<Optimizer>()> make_optimizer;
+  TuningOptions options;
+  /// Optional tune-time restriction applied to the (shared) space; the
+  /// trivial predicate tunes over the whole space.
+  searchspace::query::Predicate restriction;
+  /// Optional construction-method override; null uses the manager's
+  /// default (the optimized method).  Sessions share a space iff their
+  /// (spec, method) fingerprints match.
+  std::function<Method()> make_method;
+};
+
+/// Result of one scheduled session.
+struct SessionResult {
+  TuningRun run;
+  SessionStats stats;
+};
+
+/// Options for a SessionManager.
+struct SessionManagerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// When non-empty, shared spaces resolve through
+  /// SearchSpace::load_or_build(spec, method, snapshot_cache_dir), so a
+  /// warm snapshot cache makes even the first session's construction fast.
+  std::string snapshot_cache_dir;
+  /// Share one immutable SearchSpace between same-fingerprint sessions.
+  bool share_spaces = true;
+  /// Share kernel measurements between sessions via SharedEvalCache.
+  bool share_evaluations = true;
+  /// Lock stripes of the shared evaluation cache.
+  std::size_t cache_stripes = 64;
+};
+
+/// Schedules many tuning sessions over a worker pool, sharing immutable
+/// spaces and kernel measurements between sessions of the same spec.
+/// Thread-safe; one manager can serve many run_all calls (the eval cache
+/// and space registry persist across them).
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {});
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Run every session to completion; results are indexed like `requests`.
+  /// Each session's TuningRun is identical to what an isolated run_tuning
+  /// with the same spec, optimizer, and options would produce (fix
+  /// TuningOptions::fixed_construction_seconds for bit-exact equality —
+  /// measured construction latency is machine noise).
+  std::vector<SessionResult> run_all(std::vector<SessionRequest> requests);
+
+  /// The shared space for (spec, method): built at most once per
+  /// fingerprint; concurrent callers block on the in-flight build.  Specs
+  /// carrying native lambda constraints cannot be fingerprinted and get a
+  /// private space.  `stats` (optional) reports whether the space was
+  /// shared and the wall seconds spent waiting.
+  std::shared_ptr<const searchspace::SearchSpace> acquire_space(
+      const TuningProblem& spec, const Method& method,
+      SessionStats* stats = nullptr);
+
+  const SharedEvalCache& eval_cache() const { return eval_cache_; }
+  const SessionManagerOptions& options() const { return options_; }
+  std::size_t spaces_built() const;   ///< registry misses (fresh builds)
+  std::size_t spaces_shared() const;  ///< registry hits (reused spaces)
+
+ private:
+  SessionResult run_one(SessionRequest& request);
+
+  SessionManagerOptions options_;
+  SharedEvalCache eval_cache_;
+  struct SpaceRegistry;
+  std::unique_ptr<SpaceRegistry> registry_;
+};
+
+/// Options for a portfolio race.
+struct PortfolioOptions {
+  /// Budget / overhead / construction charge shared by every member; the
+  /// seed is the *root* seed, split into one independent stream per member.
+  TuningOptions base;
+  /// Early stop: halt every member once the shared best has not improved
+  /// for this much virtual time (0 disables the rule).
+  double stall_seconds = 0;
+  /// Early stop: halt every member once the shared best reaches this
+  /// performance (0 disables the rule).
+  double target_gflops = 0;
+};
+
+/// One racer's outcome.
+struct PortfolioMemberResult {
+  std::string optimizer_name;
+  std::uint64_t seed = 0;  ///< the member's split seed
+  TuningRun run;
+};
+
+/// Result of a portfolio race: per-member trajectories plus the merged run.
+struct PortfolioResult {
+  std::vector<PortfolioMemberResult> members;
+  /// All member trajectories merged on the shared virtual timeline
+  /// (best-so-far across the whole portfolio; evaluations are summed).
+  TuningRun merged;
+  std::size_t winner = 0;     ///< member holding the final shared best
+  bool early_stopped = false; ///< a PortfolioOptions rule ended the race
+};
+
+/// Race `optimizers` over `view` with a shared best-so-far: members run
+/// concurrently but every evaluation is serialized in virtual-time order
+/// (ties by member index), so the race is reproducible bit-for-bit for a
+/// fixed root seed regardless of thread count.  Member i draws its seed
+/// from the root seed's split stream.  `shared_cache` (optional) lets the
+/// race share measurements with a surrounding SessionManager; when null,
+/// members still share measurements with each other through a race-local
+/// cache.
+PortfolioResult run_portfolio(const searchspace::SubSpace& view,
+                              const PerformanceModel& model,
+                              std::vector<std::unique_ptr<Optimizer>> optimizers,
+                              const PortfolioOptions& options,
+                              SharedEvalCache* shared_cache = nullptr);
+
+/// The standard five-optimizer portfolio (random sampling, genetic
+/// algorithm, simulated annealing, hill climbing, differential evolution).
+std::vector<std::unique_ptr<Optimizer>> default_portfolio();
+
+}  // namespace tunespace::tuner

@@ -13,6 +13,16 @@
 
 namespace tunespace::util {
 
+/// Fold `v` into hash state `h` (splitmix64 finalizer over a boost-style
+/// combine).  The one mixing function shared by the row-hash tables, the
+/// performance-model jitter and the evaluation-cache keys — callers rely on
+/// it never changing silently, so tweak it nowhere or everywhere.
+inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 27);
+}
+
 /// xoshiro256** PRNG with splitmix64 seeding.
 /// Satisfies the C++ UniformRandomBitGenerator concept.
 class Rng {

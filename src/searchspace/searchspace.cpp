@@ -4,20 +4,10 @@
 #include <bit>
 #include <cassert>
 
+#include "tunespace/util/rng.hpp"
 #include "tunespace/util/timer.hpp"
 
 namespace tunespace::searchspace {
-
-namespace {
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  // 64-bit mix (splitmix64 finalizer) folded over the row values.
-  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  return h ^ (h >> 27);
-}
-
-}  // namespace
 
 SearchSpace::SearchSpace(const tuner::TuningProblem& spec)
     : SearchSpace(spec, tuner::optimized_method()) {}
@@ -46,7 +36,7 @@ double SearchSpace::sparsity() const {
 
 std::uint64_t SearchSpace::row_hash(const std::uint32_t* row) const {
   std::uint64_t h = 0x51A2B3C4D5E6F708ULL;
-  for (std::size_t p = 0; p < num_params(); ++p) h = mix(h, row[p]);
+  for (std::size_t p = 0; p < num_params(); ++p) h = util::mix64(h, row[p]);
   return h;
 }
 

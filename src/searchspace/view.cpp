@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "tunespace/util/timer.hpp"
 
@@ -84,6 +85,13 @@ void probe_filter(
 }
 
 }  // namespace
+
+SubSpace::SubSpace(std::shared_ptr<const SearchSpace> parent)
+    : parent_(parent.get()), keepalive_(std::move(parent)) {
+  if (parent_ == nullptr) {
+    throw std::invalid_argument("SubSpace: null shared SearchSpace");
+  }
+}
 
 const std::vector<std::uint32_t>& SubSpace::present_values(std::size_t p) const {
   if (!sel_) return parent_->present_values(p);
@@ -237,7 +245,9 @@ SubSpace SubSpace::restrict(const query::Predicate& pred,
   st.rows_out = out->rows.size();
   st.seconds = timer.seconds();
   if (stats) *stats = st;
-  return SubSpace(parent, std::move(out));
+  SubSpace restricted(parent, std::move(out));
+  restricted.keepalive_ = keepalive_;  // chained views keep the parent alive
+  return restricted;
 }
 
 }  // namespace tunespace::searchspace

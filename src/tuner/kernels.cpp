@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tunespace/util/rng.hpp"
+
 namespace tunespace::tuner {
 
 namespace {
@@ -11,11 +13,7 @@ namespace {
 double jitter(const std::vector<std::string>& names, const csp::Config& config,
               double amp) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    h ^= h >> 27;
-  };
+  const auto mix = [&h](std::uint64_t v) { h = util::mix64(h, v); };
   for (const auto& n : names) mix(std::hash<std::string>{}(n));
   for (const auto& v : config) mix(v.hash());
   const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
@@ -48,6 +46,12 @@ double PerformanceModel::evaluation_cost(double gflops) const {
   const double overhead = 0.35;
   const double bench = 120.0 / std::max(gflops, 1.0);
   return overhead + std::min(bench, 5.0);
+}
+
+std::uint64_t PerformanceModel::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a over the display name
+  for (char c : name()) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001B3ULL;
+  return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -155,6 +159,12 @@ double SyntheticModel::gflops(const std::vector<std::string>& names,
   }
   const double base = 100.0 * static_cast<double>(d ? d : 1);
   return base * score * ripple * jitter(names, config, 0.04);
+}
+
+std::uint64_t SyntheticModel::fingerprint() const {
+  // Two SyntheticModels share a name but not a surface; mix the seed so
+  // they never share cached measurements.
+  return util::mix64(PerformanceModel::fingerprint(), seed_);
 }
 
 }  // namespace tunespace::tuner

@@ -1,8 +1,6 @@
 #include "tunespace/tuner/runner.hpp"
 
-#include <unordered_map>
-
-#include "tunespace/util/timer.hpp"
+#include "tunespace/tuner/session.hpp"
 
 namespace tunespace::tuner {
 
@@ -15,77 +13,24 @@ double TuningRun::best_at(double time) const {
   return best;
 }
 
-namespace {
-
-/// Drive `optimizer` over `view` with `construction_seconds` already charged
-/// to the virtual clock (shared by the build-then-tune and the
-/// restrict-then-tune entry points).
-TuningRun run_over(const searchspace::SubSpace& view, const std::string& method_name,
-                   double construction_seconds, const PerformanceModel& model,
-                   Optimizer& optimizer, const TuningOptions& options) {
-  TuningRun run;
-  run.method_name = method_name;
-  run.budget_seconds = options.budget_seconds;
-  run.construction_seconds = construction_seconds;
-
-  util::VirtualClock clock;
-  clock.advance(construction_seconds * options.construction_time_scale);
-  if (clock.now() >= options.budget_seconds || view.empty()) {
-    return run;  // budget consumed before the first configuration
-  }
-
-  std::vector<std::string> names;
-  names.reserve(view.num_params());
-  for (std::size_t p = 0; p < view.num_params(); ++p) {
-    names.push_back(view.param_name(p));
-  }
-
-  util::Rng rng(options.seed);
-  std::unordered_map<std::size_t, double> cache;
-
-  EvalContext ctx{
-      view,
-      /*evaluate=*/
-      [&](std::size_t row) -> double {
-        clock.advance(options.overhead_per_request);
-        auto it = cache.find(row);
-        if (it != cache.end()) return it->second;  // cached: overhead only
-        if (clock.now() >= options.budget_seconds) return 0.0;
-        const csp::Config config = view.config(row);
-        const double perf = model.gflops(names, config);
-        clock.advance(model.evaluation_cost(perf));
-        cache.emplace(row, perf);
-        run.evaluations++;
-        if (perf > run.best_gflops) {
-          run.best_gflops = perf;
-          run.trajectory.push_back({clock.now(), perf, run.evaluations});
-        }
-        return perf;
-      },
-      /*exhausted=*/
-      [&]() { return clock.now() >= options.budget_seconds; },
-      &rng};
-
-  optimizer.run(ctx);
-  return run;
-}
-
-}  // namespace
+// Both overloads delegate to run_session_loop (session.cpp): the virtual
+// clock, budget and overhead accounting exist exactly once, shared with the
+// SessionManager workers and the Portfolio members.
 
 TuningRun run_tuning(const TuningProblem& spec, const Method& method,
                      const PerformanceModel& model, Optimizer& optimizer,
                      const TuningOptions& options) {
   // Construction: real measured latency, charged to the virtual clock.
   searchspace::SearchSpace space(spec, method);
-  return run_over(space, method.name, space.construction_seconds(), model,
-                  optimizer, options);
+  return run_session_loop(space, method.name, space.construction_seconds(),
+                          model, optimizer, options);
 }
 
 TuningRun run_tuning(const searchspace::SubSpace& view, const PerformanceModel& model,
                      Optimizer& optimizer, const TuningOptions& options,
                      const std::string& method_name) {
-  return run_over(view, method_name, view.parent().construction_seconds(), model,
-                  optimizer, options);
+  return run_session_loop(view, method_name, view.parent().construction_seconds(),
+                          model, optimizer, options);
 }
 
 }  // namespace tunespace::tuner

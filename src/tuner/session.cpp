@@ -1,0 +1,529 @@
+#include "tunespace/tuner/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <thread>
+
+#include "tunespace/util/timer.hpp"
+
+namespace tunespace::tuner {
+
+using util::mix64;
+
+// ---------------------------------------------------------------------------
+// SharedEvalCache
+// ---------------------------------------------------------------------------
+
+struct SharedEvalCache::Stripe {
+  struct Key {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t row = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(mix64(k.fingerprint, k.row));
+    }
+  };
+  mutable std::mutex mutex;
+  std::unordered_map<Key, double, KeyHash> map;
+  // Counters live per stripe so hot lookups never contend on one cache line.
+  mutable std::atomic<std::uint64_t> hits{0};
+  mutable std::atomic<std::uint64_t> misses{0};
+};
+
+SharedEvalCache::~SharedEvalCache() = default;
+
+SharedEvalCache::SharedEvalCache(std::size_t stripes) {
+  stripes_.reserve(std::max<std::size_t>(1, stripes));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, stripes); ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::size_t SharedEvalCache::stripe_of(std::uint64_t space_fingerprint,
+                                       std::uint64_t parent_row) const {
+  return static_cast<std::size_t>(mix64(space_fingerprint, parent_row)) %
+         stripes_.size();
+}
+
+std::optional<double> SharedEvalCache::lookup(std::uint64_t space_fingerprint,
+                                              std::uint64_t parent_row) const {
+  const Stripe& stripe = *stripes_[stripe_of(space_fingerprint, parent_row)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.map.find({space_fingerprint, parent_row});
+  if (it == stripe.map.end()) {
+    stripe.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  stripe.hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void SharedEvalCache::insert(std::uint64_t space_fingerprint,
+                             std::uint64_t parent_row, double gflops) {
+  Stripe& stripe = *stripes_[stripe_of(space_fingerprint, parent_row)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.map.emplace(Stripe::Key{space_fingerprint, parent_row}, gflops);
+}
+
+std::size_t SharedEvalCache::size() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += stripe->map.size();
+  }
+  return total;
+}
+
+std::uint64_t SharedEvalCache::hits() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_) total += s->hits.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t SharedEvalCache::misses() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_) total += s->misses.load(std::memory_order_relaxed);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// The session loop core
+// ---------------------------------------------------------------------------
+
+TuningRun run_session_loop(const searchspace::SubSpace& view,
+                           const std::string& method_name,
+                           double construction_seconds,
+                           const PerformanceModel& model, Optimizer& optimizer,
+                           const TuningOptions& options,
+                           SharedEvalCache* shared_cache,
+                           std::uint64_t cache_fingerprint, SessionStats* stats,
+                           const SessionHooks& hooks) {
+  TuningRun run;
+  run.method_name = method_name;
+  run.budget_seconds = options.budget_seconds;
+  const double charged = options.fixed_construction_seconds >= 0
+                             ? options.fixed_construction_seconds
+                             : construction_seconds;
+  run.construction_seconds = charged;
+
+  util::WallTimer wall;
+  util::VirtualClock clock;
+  clock.advance(charged * options.construction_time_scale);
+  if (clock.now() >= options.budget_seconds || view.empty()) {
+    if (stats) stats->session_seconds = wall.seconds();
+    return run;  // budget consumed before the first configuration
+  }
+
+  std::vector<std::string> names;
+  names.reserve(view.num_params());
+  for (std::size_t p = 0; p < view.num_params(); ++p) {
+    names.push_back(view.param_name(p));
+  }
+
+  util::Rng rng(options.seed);
+  // Session-local memo: re-requesting a row costs overhead only, exactly as
+  // a real tuner loop that keeps its own result log.
+  std::unordered_map<std::size_t, double> memo;
+
+  EvalContext ctx{
+      view,
+      /*evaluate=*/
+      [&](std::size_t row) -> double {
+        if (hooks.before_request) hooks.before_request(clock.now());
+        clock.advance(options.overhead_per_request);
+        auto it = memo.find(row);
+        if (it != memo.end()) return it->second;  // memoized: overhead only
+        if (clock.now() >= options.budget_seconds) return 0.0;
+        // Cross-session sharing: the deterministic models make a cached
+        // measurement bit-identical to a fresh one, so the shared cache only
+        // skips model work — the virtual timeline (full evaluation cost) and
+        // the evaluation count are charged either way.
+        const std::uint64_t parent_row = view.parent_row(row);
+        double perf;
+        std::optional<double> cached =
+            shared_cache ? shared_cache->lookup(cache_fingerprint, parent_row)
+                         : std::nullopt;
+        if (cached) {
+          perf = *cached;
+          if (stats) stats->shared_cache_hits++;
+        } else {
+          const csp::Config config = view.config(row);
+          perf = model.gflops(names, config);
+          if (stats) stats->model_evaluations++;
+          if (shared_cache) {
+            shared_cache->insert(cache_fingerprint, parent_row, perf);
+          }
+        }
+        clock.advance(model.evaluation_cost(perf));
+        memo.emplace(row, perf);
+        run.evaluations++;
+        if (perf > run.best_gflops) {
+          run.best_gflops = perf;
+          run.trajectory.push_back({clock.now(), perf, run.evaluations});
+        }
+        if (hooks.on_eval) hooks.on_eval(row, perf, clock.now());
+        return perf;
+      },
+      /*exhausted=*/
+      [&]() {
+        return clock.now() >= options.budget_seconds ||
+               (hooks.stop && hooks.stop(clock.now()));
+      },
+      &rng};
+
+  optimizer.run(ctx);
+  if (stats) stats->session_seconds = wall.seconds();
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+// ---------------------------------------------------------------------------
+
+struct SessionManager::SpaceRegistry {
+  using SpacePtr = std::shared_ptr<const searchspace::SearchSpace>;
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, std::shared_future<SpacePtr>> spaces;
+  std::atomic<std::size_t> built{0};
+  std::atomic<std::size_t> shared{0};
+};
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(std::move(options)),
+      eval_cache_(options_.cache_stripes),
+      registry_(std::make_unique<SpaceRegistry>()) {}
+
+SessionManager::~SessionManager() = default;
+
+std::size_t SessionManager::spaces_built() const { return registry_->built; }
+std::size_t SessionManager::spaces_shared() const { return registry_->shared; }
+
+std::shared_ptr<const searchspace::SearchSpace> SessionManager::acquire_space(
+    const TuningProblem& spec, const Method& method, SessionStats* stats) {
+  util::WallTimer timer;
+  const auto build = [&] {
+    return std::make_shared<const searchspace::SearchSpace>(
+        options_.snapshot_cache_dir.empty()
+            ? searchspace::SearchSpace(spec, method)
+            : searchspace::SearchSpace::load_or_build(
+                  spec, method, options_.snapshot_cache_dir));
+  };
+
+  // Lambda constraints are opaque to the fingerprint: two behaviorally
+  // different specs could collide, so such sessions get a private space.
+  if (!options_.share_spaces || !spec.lambda_constraints().empty()) {
+    registry_->built++;
+    auto space = build();
+    if (stats) {
+      stats->shared_space = false;
+      stats->space_seconds = timer.seconds();
+    }
+    return space;
+  }
+
+  const std::uint64_t fp = spec_fingerprint(spec, method);
+  std::promise<SpaceRegistry::SpacePtr> promise;
+  std::shared_future<SpaceRegistry::SpacePtr> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mutex);
+    const auto it = registry_->spaces.find(fp);
+    if (it != registry_->spaces.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      registry_->spaces.emplace(fp, future);
+      builder = true;
+    }
+  }
+  if (builder) {
+    registry_->built++;
+    try {
+      promise.set_value(build());
+    } catch (...) {
+      // Waiters see the build failure; drop the entry so a later session
+      // can retry (e.g. after a transient snapshot-cache I/O error).
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(registry_->mutex);
+      registry_->spaces.erase(fp);
+    }
+  } else {
+    registry_->shared++;
+  }
+  auto space = future.get();  // rethrows a failed build
+  if (stats) {
+    stats->shared_space = !builder;
+    stats->space_seconds = timer.seconds();
+  }
+  return space;
+}
+
+SessionResult SessionManager::run_one(SessionRequest& request) {
+  SessionResult result;
+  const Method method =
+      request.make_method ? request.make_method() : optimized_method();
+  auto space = acquire_space(request.spec, method, &result.stats);
+
+  searchspace::SubSpace view(space);  // shared-ownership handoff
+  if (!request.restriction.trivial()) {
+    view = view.restrict(request.restriction);
+  }
+
+  // Measurements may be shared only when the (space, model) pair is
+  // identifiable: lambda-constraint spaces have colliding fingerprints, so
+  // they never share.
+  const bool cacheable =
+      options_.share_evaluations && request.spec.lambda_constraints().empty();
+  const std::uint64_t cache_fp =
+      mix64(space->fingerprint(), request.model->fingerprint());
+
+  auto optimizer = request.make_optimizer();
+  result.run = run_session_loop(
+      view, method.name, space->construction_seconds(), *request.model,
+      *optimizer, request.options, cacheable ? &eval_cache_ : nullptr, cache_fp,
+      &result.stats);
+  return result;
+}
+
+std::vector<SessionResult> SessionManager::run_all(
+    std::vector<SessionRequest> requests) {
+  std::vector<SessionResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::size_t workers = options_.workers ? options_.workers : (hw ? hw : 1);
+  workers = std::min(workers, requests.size());
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= requests.size()) return;
+      try {
+        results[i] = run_one(requests[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio: deterministic lockstep race
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Serializes portfolio evaluations in virtual-time order: a member may
+/// perform its next evaluation request only when its virtual clock is the
+/// minimum over all still-active members (ties broken by member index).
+/// Every shared-state read and write happens at such a turn boundary, so
+/// the whole race — shared best, stall rule, member trajectories — is a
+/// pure function of the root seed, independent of thread scheduling.
+class LockstepRace {
+ public:
+  LockstepRace(std::size_t members, double start_clock,
+               const PortfolioOptions& options)
+      : options_(options),
+        clocks_(members, start_clock),
+        active_(members, 1),
+        last_improvement_(start_clock) {}
+
+  /// Block until member `m` (at virtual time `now`) holds the turn.
+  void wait_turn(std::size_t m, double now) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    clocks_[m] = now;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return stopped_ || holds_turn(m); });
+  }
+
+  /// The shared early-stop predicate, evaluated at member `m`'s turn so the
+  /// answer only depends on evaluations that precede (now, m) in virtual
+  /// order.
+  bool should_stop(std::size_t m, double now) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    clocks_[m] = now;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return stopped_ || holds_turn(m); });
+    if (stopped_) return true;
+    if (options_.target_gflops > 0 && best_ >= options_.target_gflops) {
+      stopped_ = early_stopped_ = true;
+    } else if (options_.stall_seconds > 0 &&
+               now - last_improvement_ > options_.stall_seconds) {
+      stopped_ = early_stopped_ = true;
+    }
+    if (stopped_) cv_.notify_all();
+    return stopped_;
+  }
+
+  /// Publish one evaluation (caller holds the turn, so calls arrive in
+  /// virtual-time order).
+  void record(double gflops, double now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (gflops > best_) {
+      best_ = gflops;
+      last_improvement_ = now;
+    }
+  }
+
+  void finish(std::size_t m) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_[m] = 0;
+    cv_.notify_all();
+  }
+
+  bool early_stopped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return early_stopped_;
+  }
+
+ private:
+  bool holds_turn(std::size_t m) const {
+    for (std::size_t j = 0; j < clocks_.size(); ++j) {
+      if (j == m || !active_[j]) continue;
+      if (clocks_[j] < clocks_[m] || (clocks_[j] == clocks_[m] && j < m)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const PortfolioOptions& options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<double> clocks_;
+  std::vector<std::uint8_t> active_;
+  double best_ = 0;
+  double last_improvement_ = 0;
+  bool stopped_ = false;
+  bool early_stopped_ = false;
+};
+
+}  // namespace
+
+PortfolioResult run_portfolio(const searchspace::SubSpace& view,
+                              const PerformanceModel& model,
+                              std::vector<std::unique_ptr<Optimizer>> optimizers,
+                              const PortfolioOptions& options,
+                              SharedEvalCache* shared_cache) {
+  PortfolioResult result;
+  const std::size_t n = optimizers.size();
+  if (n == 0) return result;
+
+  // Members always share measurements with each other; without an external
+  // cache the race brings its own.
+  SharedEvalCache local_cache;
+  SharedEvalCache* cache = shared_cache ? shared_cache : &local_cache;
+  const std::uint64_t cache_fp =
+      mix64(view.parent().fingerprint(), model.fingerprint());
+
+  const double construction = view.parent().construction_seconds();
+  const double charged = options.base.fixed_construction_seconds >= 0
+                             ? options.base.fixed_construction_seconds
+                             : construction;
+  LockstepRace race(n, charged * options.base.construction_time_scale, options);
+
+  // Seed-split: one independent stream per member from the root seed.
+  util::Rng root(options.base.seed);
+  std::vector<std::uint64_t> seeds(n);
+  for (auto& seed : seeds) seed = root();
+
+  result.members.resize(n);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto race_member = [&](std::size_t m) {
+    // A member must reach finish() on every path: an escaping exception
+    // would otherwise leave the remaining members deadlocked in wait_turn
+    // (and terminate the process, as std::thread has no result channel).
+    try {
+      TuningOptions member_options = options.base;
+      member_options.seed = seeds[m];
+      SessionHooks hooks;
+      hooks.before_request = [&race, m](double now) { race.wait_turn(m, now); };
+      hooks.on_eval = [&race](std::size_t, double gflops, double now) {
+        race.record(gflops, now);
+      };
+      hooks.stop = [&race, m](double now) { return race.should_stop(m, now); };
+      result.members[m].optimizer_name = optimizers[m]->name();
+      result.members[m].seed = seeds[m];
+      result.members[m].run =
+          run_session_loop(view, "portfolio:" + optimizers[m]->name(),
+                           construction, model, *optimizers[m], member_options,
+                           cache, cache_fp, nullptr, hooks);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    race.finish(m);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t m = 0; m < n; ++m) threads.emplace_back(race_member, m);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  result.early_stopped = race.early_stopped();
+
+  // Merge the member trajectories on the shared virtual timeline.  Points
+  // are ordered by (time, member) — exactly the order the lockstep race
+  // executed them in — and only portfolio-wide improvements survive; each
+  // merged point keeps the contributing member's evaluation count.
+  result.merged.method_name = "portfolio";
+  result.merged.budget_seconds = options.base.budget_seconds;
+  result.merged.construction_seconds = charged;
+  struct Tagged {
+    TrajectoryPoint point;
+    std::size_t member;
+  };
+  std::vector<Tagged> all;
+  for (std::size_t m = 0; m < n; ++m) {
+    result.merged.evaluations += result.members[m].run.evaluations;
+    for (const auto& pt : result.members[m].run.trajectory) {
+      all.push_back({pt, m});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.point.time_seconds != b.point.time_seconds) {
+      return a.point.time_seconds < b.point.time_seconds;
+    }
+    return a.member < b.member;
+  });
+  for (const Tagged& t : all) {
+    if (t.point.best_gflops > result.merged.best_gflops) {
+      result.merged.best_gflops = t.point.best_gflops;
+      result.merged.trajectory.push_back(t.point);
+      result.winner = t.member;
+    }
+  }
+  return result;
+}
+
+std::vector<std::unique_ptr<Optimizer>> default_portfolio() {
+  std::vector<std::unique_ptr<Optimizer>> members;
+  members.push_back(std::make_unique<RandomSearch>());
+  members.push_back(std::make_unique<GeneticAlgorithm>());
+  members.push_back(std::make_unique<SimulatedAnnealing>());
+  members.push_back(std::make_unique<HillClimber>());
+  members.push_back(std::make_unique<DifferentialEvolution>());
+  return members;
+}
+
+}  // namespace tunespace::tuner

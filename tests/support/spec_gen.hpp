@@ -1,0 +1,264 @@
+#pragma once
+// Seeded random TuningProblem generator + a tiny text serialization, shared
+// by the differential fuzz wall (test_fuzz_differential.cpp) and its
+// reproduction workflow (see CONTRIBUTING.md).
+//
+// Every spec is a pure function of its seed: integer domains drawn from a
+// few realistic families (powers of two, contiguous ranges, strided ranges,
+// small sets that may include zero), plus constraints drawn from two pools —
+// builtin-recognizable shapes (products, sums, comparison chains,
+// divisibility) and generic expression shapes that exercise the compiled /
+// interpreted fallback paths (modulo arithmetic, floor division,
+// disjunctions).  Constants are calibrated from randomly-drawn domain values
+// so constraints stay neither trivially true nor trivially false.
+//
+// When a fuzz iteration fails, the harness serializes the offending spec
+// with write_spec() and prints the seed; read_spec() loads such a file back
+// for a focused reproduction.
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/value.hpp"
+#include "tunespace/tuner/tuning_problem.hpp"
+#include "tunespace/util/rng.hpp"
+
+namespace tunespace::testsupport {
+
+struct SpecGenOptions {
+  std::size_t min_params = 2;
+  std::size_t max_params = 5;
+  std::size_t min_domain = 2;
+  std::size_t max_domain = 8;
+  /// Probability that each candidate constraint slot (there are
+  /// num_params + 1 of them) is filled — 0 yields pure Cartesian products,
+  /// 1 yields densely-constrained spaces.
+  double constraint_density = 0.7;
+  /// Fraction of constraints drawn from the generic-expression pool instead
+  /// of the builtin-recognizable pool.
+  double expression_fraction = 0.4;
+  /// Domains are trimmed (largest first) until the Cartesian product fits;
+  /// keeps the brute-force oracle cheap.
+  std::uint64_t max_cartesian = 20000;
+};
+
+namespace detail {
+
+inline std::vector<std::int64_t> random_domain(util::Rng& rng,
+                                               const SpecGenOptions& opt) {
+  const std::size_t count =
+      opt.min_domain + rng.index(opt.max_domain - opt.min_domain + 1);
+  std::vector<std::int64_t> values;
+  switch (rng.index(4)) {
+    case 0: {  // powers of two
+      std::int64_t v = rng.chance(0.5) ? 1 : 2;
+      for (std::size_t i = 0; i < count; ++i, v *= 2) values.push_back(v);
+      break;
+    }
+    case 1: {  // contiguous range
+      const std::int64_t lo = static_cast<std::int64_t>(rng.index(5));
+      for (std::size_t i = 0; i < count; ++i) {
+        values.push_back(lo + static_cast<std::int64_t>(i));
+      }
+      break;
+    }
+    case 2: {  // strided range
+      const std::int64_t lo = 1 + static_cast<std::int64_t>(rng.index(4));
+      const std::int64_t stride = 2 + static_cast<std::int64_t>(rng.index(4));
+      for (std::size_t i = 0; i < count; ++i) {
+        values.push_back(lo + stride * static_cast<std::int64_t>(i));
+      }
+      break;
+    }
+    default: {  // small set, occasionally with zero
+      std::int64_t v = rng.chance(0.25) ? 0 : 1;
+      for (std::size_t i = 0; i < count; ++i) {
+        values.push_back(v);
+        v += 1 + static_cast<std::int64_t>(rng.index(6));
+      }
+      break;
+    }
+  }
+  return values;
+}
+
+/// A value of parameter `p` drawn uniformly from its generated domain.
+inline std::int64_t pick_value(util::Rng& rng,
+                               const std::vector<std::vector<std::int64_t>>& domains,
+                               std::size_t p) {
+  return domains[p][rng.index(domains[p].size())];
+}
+
+inline std::string builtin_constraint(
+    util::Rng& rng, const std::vector<std::string>& names,
+    const std::vector<std::vector<std::int64_t>>& domains) {
+  const std::size_t a = rng.index(names.size());
+  std::size_t b = rng.index(names.size());
+  if (names.size() > 1) {
+    while (b == a) b = rng.index(names.size());
+  }
+  // Calibrate constants from a sampled configuration so the constraint is
+  // satisfiable but not vacuous.
+  const std::int64_t va = pick_value(rng, domains, a);
+  const std::int64_t vb = pick_value(rng, domains, b);
+  std::ostringstream os;
+  switch (rng.index(8)) {
+    case 0: os << names[a] << " * " << names[b] << " <= " << va * vb; break;
+    case 1: os << names[a] << " * " << names[b] << " >= " << va * vb; break;
+    case 2: os << names[a] << " + " << names[b] << " <= " << va + vb; break;
+    case 3: os << names[a] << " + " << names[b] << " >= " << va + vb; break;
+    case 4:
+      os << std::min(va, vb) * std::max(va, vb) / 2 << " <= " << names[a]
+         << " * " << names[b] << " <= " << va * vb + 16;
+      break;
+    case 5: os << names[a] << " % " << names[b] << " == 0"; break;
+    case 6: os << names[a] << " <= " << names[b]; break;
+    default: os << names[a] << " != " << names[b]; break;
+  }
+  return os.str();
+}
+
+inline std::string expression_constraint(
+    util::Rng& rng, const std::vector<std::string>& names,
+    const std::vector<std::vector<std::int64_t>>& domains) {
+  const std::size_t a = rng.index(names.size());
+  std::size_t b = rng.index(names.size());
+  if (names.size() > 1) {
+    while (b == a) b = rng.index(names.size());
+  }
+  const std::size_t c = rng.index(names.size());
+  const std::int64_t va = pick_value(rng, domains, a);
+  const std::int64_t vb = pick_value(rng, domains, b);
+  const std::int64_t vc = pick_value(rng, domains, c);
+  const std::int64_t m = 2 + static_cast<std::int64_t>(rng.index(4));
+  std::ostringstream os;
+  switch (rng.index(6)) {
+    case 0:
+      os << "(" << names[a] << " * 2 + " << names[b] << ") % " << m
+         << " != " << rng.index(static_cast<std::size_t>(m));
+      break;
+    case 1:
+      os << names[a] << " * " << names[b] << " + " << names[c]
+         << " <= " << va * vb + vc;
+      break;
+    case 2:
+      // Floor division; a zero divisor raises EvalError, which every engine
+      // must treat as "configuration invalid".
+      os << names[a] << " // " << names[b] << " <= " << (vb != 0 ? va / vb : va);
+      break;
+    case 3:
+      os << names[a] << " <= " << va << " or " << names[b] << " >= " << vb;
+      break;
+    case 4: os << "(" << names[a] << " + " << names[b] << ") % 2 == 0"; break;
+    default:
+      os << names[a] << " * " << names[a] << " <= " << va * va + vb * vb;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace detail
+
+/// The random spec for `seed` (pure: same seed, same spec).
+inline tuner::TuningProblem random_spec(std::uint64_t seed,
+                                        const SpecGenOptions& opt = {}) {
+  util::Rng rng(seed ^ 0xF7A3C591D2E48B06ULL);
+  const std::size_t num_params =
+      opt.min_params + rng.index(opt.max_params - opt.min_params + 1);
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::int64_t>> domains;
+  for (std::size_t p = 0; p < num_params; ++p) {
+    names.push_back("p" + std::to_string(p));
+    domains.push_back(detail::random_domain(rng, opt));
+  }
+  // Trim the largest domains until the Cartesian product fits the oracle.
+  for (;;) {
+    std::uint64_t cartesian = 1;
+    for (const auto& d : domains) cartesian *= d.size();
+    if (cartesian <= opt.max_cartesian) break;
+    std::size_t largest = 0;
+    for (std::size_t p = 1; p < domains.size(); ++p) {
+      if (domains[p].size() > domains[largest].size()) largest = p;
+    }
+    domains[largest].pop_back();
+  }
+
+  tuner::TuningProblem spec("fuzz-" + std::to_string(seed));
+  for (std::size_t p = 0; p < num_params; ++p) {
+    spec.add_param(names[p], domains[p]);
+  }
+  for (std::size_t slot = 0; slot < num_params + 1; ++slot) {
+    if (!rng.chance(opt.constraint_density)) continue;
+    spec.add_constraint(rng.chance(opt.expression_fraction)
+                            ? detail::expression_constraint(rng, names, domains)
+                            : detail::builtin_constraint(rng, names, domains));
+  }
+  return spec;
+}
+
+/// Serialize a generated spec as line-oriented text:
+///   name <spec name>
+///   param <name> <v1> <v2> ...
+///   constraint <expression until end of line>
+inline std::string write_spec(const tuner::TuningProblem& spec) {
+  std::ostringstream os;
+  os << "name " << spec.name() << "\n";
+  for (const auto& param : spec.params()) {
+    os << "param " << param.name;
+    for (const auto& value : param.values) os << " " << value.as_int();
+    os << "\n";
+  }
+  for (const auto& constraint : spec.constraints()) {
+    os << "constraint " << constraint << "\n";
+  }
+  return os.str();
+}
+
+/// Parse the write_spec() format back into a spec (integer domains only).
+/// Throws std::runtime_error on a malformed line.
+inline tuner::TuningProblem read_spec(std::istream& is) {
+  tuner::TuningProblem spec;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "name") {
+      std::string name;
+      ls >> name;
+      spec = tuner::TuningProblem(name);
+    } else if (kind == "param") {
+      std::string name;
+      if (!(ls >> name)) throw std::runtime_error("spec: param without a name");
+      std::vector<std::int64_t> values;
+      std::int64_t v = 0;
+      while (ls >> v) values.push_back(v);
+      if (values.empty()) throw std::runtime_error("spec: empty domain " + name);
+      spec.add_param(name, values);
+    } else if (kind == "constraint") {
+      std::string rest;
+      std::getline(ls, rest);
+      const std::size_t at = rest.find_first_not_of(' ');
+      if (at == std::string::npos) throw std::runtime_error("spec: empty constraint");
+      spec.add_constraint(rest.substr(at));
+    } else {
+      throw std::runtime_error("spec: unknown line kind '" + kind + "'");
+    }
+  }
+  return spec;
+}
+
+inline tuner::TuningProblem read_spec_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("spec: cannot open " + path);
+  return read_spec(is);
+}
+
+}  // namespace tunespace::testsupport

@@ -1,0 +1,176 @@
+// Property tests for all five optimizers, each run over both a full space
+// and a restricted SubSpace view: the budget is always respected, the
+// best-so-far trajectory is monotone, TuningRun::best_at agrees with the
+// trajectory, and a fixed seed reproduces the identical run across repeats
+// and under the SessionManager.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "tunespace/searchspace/view.hpp"
+#include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
+
+using namespace tunespace;
+
+namespace {
+
+tuner::TuningProblem property_spec() {
+  tuner::TuningProblem spec("property");
+  spec.add_param("block_size_x", {1, 2, 4, 8, 16, 32, 64, 128})
+      .add_param("block_size_y", {1, 2, 4, 8})
+      .add_param("tile", {1, 2, 3, 4})
+      .add_param("sh_power", {0, 1});
+  spec.add_constraint("16 <= block_size_x * block_size_y <= 512");
+  spec.add_constraint("tile <= block_size_y");
+  return spec;
+}
+
+searchspace::query::Predicate view_restriction() {
+  return searchspace::query::eq("sh_power", csp::Value(1)) &&
+         searchspace::query::between("tile", csp::Value(1), csp::Value(3));
+}
+
+std::unique_ptr<tuner::Optimizer> make_optimizer(int which) {
+  switch (which) {
+    case 0: return std::make_unique<tuner::RandomSearch>();
+    case 1: return std::make_unique<tuner::GeneticAlgorithm>();
+    case 2: return std::make_unique<tuner::SimulatedAnnealing>();
+    case 3: return std::make_unique<tuner::HillClimber>();
+    default: return std::make_unique<tuner::DifferentialEvolution>();
+  }
+}
+
+tuner::TuningOptions fixed_options(std::uint64_t seed, double budget) {
+  tuner::TuningOptions options;
+  options.budget_seconds = budget;
+  options.seed = seed;
+  options.fixed_construction_seconds = 1.0;
+  return options;
+}
+
+/// Largest possible virtual-time overshoot of the final evaluation: the
+/// per-request overhead plus the clamped worst-case benchmark cost (see
+/// PerformanceModel::evaluation_cost).
+constexpr double kStraddle = 6.0;
+
+}  // namespace
+
+class OptimizerProperties
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  static const searchspace::SearchSpace& space() {
+    static const searchspace::SearchSpace s(property_spec());
+    return s;
+  }
+  /// The tuned-over view: the whole space or a genuine restriction of it.
+  searchspace::SubSpace view() const {
+    if (!std::get<1>(GetParam())) return space();
+    static const searchspace::SubSpace restricted =
+        searchspace::SubSpace(space()).restrict(view_restriction());
+    return restricted;
+  }
+  tuner::TuningRun tune(std::uint64_t seed, double budget) const {
+    auto optimizer = make_optimizer(std::get<0>(GetParam()));
+    tuner::HotspotModel model;
+    return tuner::run_tuning(view(), model, *optimizer,
+                             fixed_options(seed, budget));
+  }
+};
+
+TEST_P(OptimizerProperties, ViewIsMeaningful) {
+  ASSERT_GT(view().size(), 0u);
+  if (std::get<1>(GetParam())) {
+    ASSERT_LT(view().size(), space().size());  // the restriction really cuts
+  }
+}
+
+TEST_P(OptimizerProperties, BudgetAlwaysRespected) {
+  for (double budget : {1e-9, 25.0, 80.0}) {
+    const auto run = tune(7, budget);
+    EXPECT_EQ(run.budget_seconds, budget);
+    for (const auto& pt : run.trajectory) {
+      EXPECT_LE(pt.time_seconds, budget + kStraddle);
+      EXPECT_LE(pt.evaluations, run.evaluations);
+    }
+    if (budget <= 1e-9) {
+      EXPECT_EQ(run.evaluations, 0u);
+      EXPECT_TRUE(run.trajectory.empty());
+    }
+    // An evaluation costs at least the request overhead, so the budget
+    // bounds the total request count from above.
+    tuner::TuningOptions options = fixed_options(7, budget);
+    EXPECT_LE(static_cast<double>(run.evaluations) * options.overhead_per_request,
+              budget + kStraddle);
+  }
+}
+
+TEST_P(OptimizerProperties, TrajectoryMonotoneAndBestAtConsistent) {
+  const auto run = tune(11, 120.0);
+  ASSERT_FALSE(run.trajectory.empty());
+  for (std::size_t i = 1; i < run.trajectory.size(); ++i) {
+    EXPECT_GT(run.trajectory[i].best_gflops, run.trajectory[i - 1].best_gflops);
+    EXPECT_GE(run.trajectory[i].time_seconds, run.trajectory[i - 1].time_seconds);
+    EXPECT_GT(run.trajectory[i].evaluations, run.trajectory[i - 1].evaluations);
+  }
+  EXPECT_EQ(run.trajectory.back().best_gflops, run.best_gflops);
+
+  // best_at replays the trajectory exactly: at, between, and outside points.
+  EXPECT_EQ(run.best_at(run.trajectory.front().time_seconds - 1e-9), 0.0);
+  for (const auto& pt : run.trajectory) {
+    EXPECT_EQ(run.best_at(pt.time_seconds), pt.best_gflops);
+    EXPECT_EQ(run.best_at(pt.time_seconds + 1e-9), pt.best_gflops);
+  }
+  EXPECT_EQ(run.best_at(run.budget_seconds + 1e6), run.best_gflops);
+}
+
+TEST_P(OptimizerProperties, IdenticalPerSeedAcrossRepeats) {
+  EXPECT_EQ(tune(21, 90.0), tune(21, 90.0));
+  // And genuinely seed-sensitive (the landscapes are multimodal, so two
+  // seeds virtually never trace identical trajectories).
+  EXPECT_NE(tune(21, 90.0).trajectory, tune(22, 90.0).trajectory);
+}
+
+TEST_P(OptimizerProperties, IdenticalUnderTheSessionManager) {
+  const int which = std::get<0>(GetParam());
+  const bool restricted = std::get<1>(GetParam());
+
+  tuner::SessionRequest request;
+  request.spec = property_spec();
+  request.model = std::make_shared<tuner::HotspotModel>();
+  request.make_optimizer = [which] { return make_optimizer(which); };
+  request.options = fixed_options(33, 90.0);
+  if (restricted) request.restriction = view_restriction();
+
+  tuner::SessionManagerOptions manager_options;
+  manager_options.workers = 2;
+  tuner::SessionManager manager(manager_options);
+  std::vector<tuner::SessionRequest> requests;
+  requests.push_back(request);             // twin sessions share the space
+  requests.push_back(std::move(request));
+  const auto results = manager.run_all(std::move(requests));
+
+  auto expected = tune(33, 90.0);
+  expected.method_name = "optimized";  // the manager names the method
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].run, expected);
+  EXPECT_EQ(results[1].run, expected);
+  EXPECT_EQ(manager.spaces_built(), 1u);
+  EXPECT_EQ(manager.spaces_shared(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiveOptimizersTimesFullAndView, OptimizerProperties,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      const char* name = "DifferentialEvolution";
+      switch (std::get<0>(info.param)) {
+        case 0: name = "RandomSearch"; break;
+        case 1: name = "GeneticAlgorithm"; break;
+        case 2: name = "SimulatedAnnealing"; break;
+        case 3: name = "HillClimber"; break;
+        default: break;
+      }
+      return std::string(name) + (std::get<1>(info.param) ? "_View" : "_Full");
+    });
