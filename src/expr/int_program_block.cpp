@@ -1,0 +1,578 @@
+#include "tunespace/expr/int_program_block.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace tunespace::expr {
+
+using csp::Value;
+
+// Per-lane loops must reach the loop vectorizer: without a directive GCC
+// completely unrolls the constant-trip kLanes loops early and the ops end up
+// as scalar straight-line code.  -fopenmp-simd is added by the build (no
+// OpenMP runtime involved); the pragma is inert when the flag is absent.
+#if defined(__GNUC__) || defined(__clang__)
+#define TUNESPACE_SIMD _Pragma("omp simd")
+#else
+#define TUNESPACE_SIMD
+#endif
+
+namespace {
+
+constexpr std::int64_t kIntMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::uint16_t kNoReg = 0xffff;
+
+/// AST -> three-address lowering with a free-list register allocator.
+/// Operand registers are released *before* the destination is allocated, so
+/// destinations may alias operands; every op reads all its lanes before
+/// writing, which makes that aliasing safe and keeps register pressure at
+/// the expression's live width, not its node count.
+struct Lowerer {
+  const std::vector<std::string>& slots;
+  std::vector<BlockInstr> code;
+  std::vector<std::int64_t> consts;
+  std::vector<csp::IntValueSet> sets;
+  std::vector<std::uint16_t> free_regs;
+  std::uint32_t next_reg = 0;
+
+  explicit Lowerer(const std::vector<std::string>& var_slots) : slots(var_slots) {}
+
+  std::uint16_t alloc() {
+    if (!free_regs.empty()) {
+      const std::uint16_t r = free_regs.back();
+      free_regs.pop_back();
+      return r;
+    }
+    return static_cast<std::uint16_t>(next_reg++);
+  }
+  void release(std::uint16_t r) { free_regs.push_back(r); }
+
+  std::uint16_t emit(BlockOp op, std::uint16_t dst, std::uint16_t a = 0,
+                     std::uint16_t b = 0, std::uint16_t c = 0,
+                     std::int32_t arg = 0) {
+    code.push_back(BlockInstr{op, dst, a, b, c, arg});
+    return dst;
+  }
+
+  std::optional<std::uint16_t> lower_literal(const Value& v) {
+    if (v.is_real() || v.is_str()) return std::nullopt;
+    const std::uint16_t dst = alloc();
+    const std::int32_t idx = static_cast<std::int32_t>(consts.size());
+    consts.push_back(v.as_int());
+    return emit(BlockOp::Broadcast, dst, 0, 0, 0, idx);
+  }
+
+  std::optional<std::uint16_t> lower_membership(std::uint16_t operand,
+                                                const Ast& tuple, bool negated) {
+    if (tuple.kind != AstKind::Tuple) return std::nullopt;
+    std::vector<Value> elements;
+    elements.reserve(tuple.children.size());
+    for (const AstPtr& e : tuple.children) {
+      if (!e || e->kind != AstKind::Literal) return std::nullopt;
+      elements.push_back(e->literal);
+    }
+    csp::IntValueSet set;
+    if (!set.lower(elements)) return std::nullopt;  // real element: lossy
+    const bool bitset = set.dense();
+    const std::int32_t idx = static_cast<std::int32_t>(sets.size());
+    sets.push_back(std::move(set));
+    release(operand);
+    const std::uint16_t dst = alloc();
+    const BlockOp op = negated ? (bitset ? BlockOp::NotInBitset : BlockOp::NotInSorted)
+                               : (bitset ? BlockOp::InBitset : BlockOp::InSorted);
+    return emit(op, dst, operand, 0, 0, idx);
+  }
+
+  std::optional<std::uint16_t> lower_compare(const Ast& node) {
+    // a op1 b op2 c ... lowers to AND over the individual 0/1 comparisons.
+    // The boxed evaluator short-circuits the chain but each link is a plain
+    // bool, so eager AND computes the same truth on non-poisoned lanes.
+    auto lhs = lower(*node.children[0]);
+    if (!lhs) return std::nullopt;
+    std::uint16_t chain = *lhs;
+    bool chain_live = true;
+    std::uint16_t acc = kNoReg;
+    for (std::size_t j = 0; j < node.cmp_ops.size(); ++j) {
+      const CompareOp op = node.cmp_ops[j];
+      std::uint16_t res;
+      if (op == CompareOp::In || op == CompareOp::NotIn) {
+        // Membership is only defined as the final link (the boxed evaluator
+        // raises on anything chained after it).
+        if (j + 1 != node.cmp_ops.size()) return std::nullopt;
+        auto m = lower_membership(chain, *node.children[j + 1],
+                                  op == CompareOp::NotIn);
+        if (!m) return std::nullopt;
+        res = *m;
+        chain_live = false;
+      } else {
+        auto rhs = lower(*node.children[j + 1]);
+        if (!rhs) return std::nullopt;
+        BlockOp cmp;
+        switch (op) {
+          case CompareOp::Lt: cmp = BlockOp::CmpLt; break;
+          case CompareOp::Le: cmp = BlockOp::CmpLe; break;
+          case CompareOp::Gt: cmp = BlockOp::CmpGt; break;
+          case CompareOp::Ge: cmp = BlockOp::CmpGe; break;
+          case CompareOp::Eq: cmp = BlockOp::CmpEq; break;
+          default: cmp = BlockOp::CmpNe; break;
+        }
+        release(chain);
+        res = alloc();  // may alias `chain`, never `rhs` (still live)
+        emit(cmp, res, chain, *rhs);
+        chain = *rhs;  // next link compares against this operand
+      }
+      if (acc == kNoReg) {
+        acc = res;
+      } else {
+        release(acc);
+        release(res);
+        const std::uint16_t next = alloc();
+        emit(BlockOp::And, next, acc, res);
+        acc = next;
+      }
+    }
+    if (chain_live) release(chain);
+    return acc;
+  }
+
+  std::optional<std::uint16_t> lower_call(const Ast& node) {
+    std::vector<std::uint16_t> args;
+    const auto lower_args = [&](std::size_t expect) {
+      if (node.children.size() != expect) return false;
+      for (const AstPtr& a : node.children) {
+        auto r = lower(*a);
+        if (!r) return false;
+        args.push_back(*r);
+      }
+      return true;
+    };
+    if (node.name == "min" || node.name == "max") {
+      if (node.children.empty()) return std::nullopt;
+      for (const AstPtr& a : node.children) {
+        auto r = lower(*a);
+        if (!r) return std::nullopt;
+        args.push_back(*r);
+      }
+      std::uint16_t acc = args[0];
+      const BlockOp op = node.name == "min" ? BlockOp::Min2 : BlockOp::Max2;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        release(acc);
+        release(args[i]);
+        const std::uint16_t next = alloc();
+        emit(op, next, acc, args[i]);
+        acc = next;
+      }
+      return acc;
+    }
+    if (node.name == "abs") {
+      if (!lower_args(1)) return std::nullopt;
+      release(args[0]);
+      return emit(BlockOp::Abs, alloc(), args[0]);
+    }
+    if (node.name == "gcd") {
+      if (!lower_args(2)) return std::nullopt;
+      release(args[0]);
+      release(args[1]);
+      return emit(BlockOp::Gcd, alloc(), args[0], args[1]);
+    }
+    if (node.name == "pow") {
+      if (!lower_args(2)) return std::nullopt;
+      release(args[0]);
+      release(args[1]);
+      return emit(BlockOp::Pow, alloc(), args[0], args[1]);
+    }
+    if (node.name == "int") {
+      if (node.children.size() != 1) return std::nullopt;
+      return lower(*node.children[0]);  // identity on int64 lanes
+    }
+    return std::nullopt;  // float() and unknown calls stay boxed
+  }
+
+  std::optional<std::uint16_t> lower(const Ast& node) {
+    if (next_reg > 0xfff0) return std::nullopt;  // degenerate expression
+    switch (node.kind) {
+      case AstKind::Literal:
+        return lower_literal(node.literal);
+      case AstKind::Var: {
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          if (slots[s] == node.name) {
+            return emit(BlockOp::LoadVar, alloc(), 0, 0, 0,
+                        static_cast<std::int32_t>(s));
+          }
+        }
+        return std::nullopt;  // folded differently than the boxed program
+      }
+      case AstKind::Unary: {
+        if (node.un_op == UnOp::Pos) return lower(*node.children[0]);
+        auto a = lower(*node.children[0]);
+        if (!a) return std::nullopt;
+        release(*a);
+        return emit(node.un_op == UnOp::Neg ? BlockOp::Neg : BlockOp::Not,
+                    alloc(), *a);
+      }
+      case AstKind::Binary: {
+        BlockOp op;
+        switch (node.bin_op) {
+          case BinOp::Add: op = BlockOp::Add; break;
+          case BinOp::Sub: op = BlockOp::Sub; break;
+          case BinOp::Mul: op = BlockOp::Mul; break;
+          case BinOp::FloorDiv: op = BlockOp::FloorDiv; break;
+          case BinOp::Mod: op = BlockOp::Mod; break;
+          case BinOp::Pow: op = BlockOp::Pow; break;
+          case BinOp::TrueDiv: return std::nullopt;  // always produces a real
+          default: return std::nullopt;
+        }
+        auto a = lower(*node.children[0]);
+        if (!a) return std::nullopt;
+        auto b = lower(*node.children[1]);
+        if (!b) return std::nullopt;
+        release(*a);
+        release(*b);
+        return emit(op, alloc(), *a, *b);
+      }
+      case AstKind::Compare:
+        return lower_compare(node);
+      case AstKind::BoolOp: {
+        auto acc = lower(*node.children[0]);
+        if (!acc) return std::nullopt;
+        if (node.children.size() == 1) {
+          release(*acc);
+          return emit(BlockOp::ToBool, alloc(), *acc);
+        }
+        const BlockOp op = node.is_and ? BlockOp::And : BlockOp::Or;
+        std::uint16_t r = *acc;
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+          auto b = lower(*node.children[i]);
+          if (!b) return std::nullopt;
+          release(r);
+          release(*b);
+          const std::uint16_t next = alloc();
+          emit(op, next, r, *b);
+          r = next;
+        }
+        return r;
+      }
+      case AstKind::Call:
+        return lower_call(node);
+      case AstKind::IfElse: {
+        // children = {then, cond, otherwise}; eager in all three, Select
+        // picks per lane.  Lanes the scalar path would not have evaluated
+        // can only add poison, never change non-poisoned truth.
+        auto t = lower(*node.children[0]);
+        if (!t) return std::nullopt;
+        auto c = lower(*node.children[1]);
+        if (!c) return std::nullopt;
+        auto e = lower(*node.children[2]);
+        if (!e) return std::nullopt;
+        release(*t);
+        release(*c);
+        release(*e);
+        return emit(BlockOp::Select, alloc(), *c, *t, *e);
+      }
+      case AstKind::Tuple:
+        return std::nullopt;  // only legal as an `in` rhs (handled above)
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+std::optional<IntProgramBlock> IntProgramBlock::lower(
+    const AstPtr& ast, const std::vector<std::string>& var_slots) {
+  if (!ast) return std::nullopt;
+  Lowerer lw(var_slots);
+  const auto root = lw.lower(*ast);
+  if (!root) return std::nullopt;
+  IntProgramBlock out;
+  out.code_ = std::move(lw.code);
+  out.consts_ = std::move(lw.consts);
+  out.sets_ = std::move(lw.sets);
+  out.num_regs_ = static_cast<std::uint16_t>(lw.next_reg);
+  out.root_ = *root;
+  return out;
+}
+
+void IntProgramBlock::run(const std::int64_t* values,
+                          const std::uint32_t* slot_map,
+                          std::int32_t varying_slot,
+                          const std::int64_t* candidates, std::size_t n,
+                          unsigned char* truth, unsigned char* poison) const {
+  assert(n >= 1 && n <= kLanes);
+  // Pad the candidate slice to full width so every inner loop has a
+  // constant trip count; padding lanes compute (and may poison) but are
+  // never read back.
+  std::int64_t cand[kLanes];
+  for (std::size_t i = 0; i < kLanes; ++i) cand[i] = candidates[i < n ? i : n - 1];
+
+  constexpr std::size_t kInlineRegs = 32;
+  if (num_regs_ <= kInlineRegs) {
+    std::int64_t regs[kInlineRegs * kLanes];
+    run_on(regs, values, slot_map, varying_slot, cand, n, truth, poison);
+    return;
+  }
+  std::vector<std::int64_t> regs(static_cast<std::size_t>(num_regs_) * kLanes);
+  run_on(regs.data(), values, slot_map, varying_slot, cand, n, truth, poison);
+}
+
+void IntProgramBlock::run_on(std::int64_t* regs, const std::int64_t* values,
+                             const std::uint32_t* slot_map,
+                             std::int32_t varying_slot,
+                             const std::int64_t* cand, std::size_t n,
+                             unsigned char* truth,
+                             unsigned char* poison) const {
+  std::int64_t pz[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  for (const BlockInstr& ins : code_) {
+    std::int64_t* d = regs + static_cast<std::size_t>(ins.dst) * kLanes;
+    const std::int64_t* a = regs + static_cast<std::size_t>(ins.a) * kLanes;
+    const std::int64_t* b = regs + static_cast<std::size_t>(ins.b) * kLanes;
+    const std::int64_t* c = regs + static_cast<std::size_t>(ins.c) * kLanes;
+    switch (ins.op) {
+      case BlockOp::Broadcast: {
+        const std::int64_t v = consts_[static_cast<std::size_t>(ins.arg)];
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = v;
+        break;
+      }
+      case BlockOp::LoadVar:
+        if (ins.arg == varying_slot) {
+          TUNESPACE_SIMD
+          for (std::size_t i = 0; i < kLanes; ++i) d[i] = cand[i];
+        } else {
+          const std::int64_t v = values[slot_map[static_cast<std::size_t>(ins.arg)]];
+          TUNESPACE_SIMD
+          for (std::size_t i = 0; i < kLanes; ++i) d[i] = v;
+        }
+        break;
+      case BlockOp::Add:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          const std::uint64_t ua = static_cast<std::uint64_t>(a[i]);
+          const std::uint64_t ub = static_cast<std::uint64_t>(b[i]);
+          const std::uint64_t ur = ua + ub;
+          pz[i] |= static_cast<std::int64_t>((ua ^ ur) & (ub ^ ur)) < 0;
+          d[i] = static_cast<std::int64_t>(ur);
+        }
+        break;
+      case BlockOp::Sub:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          const std::uint64_t ua = static_cast<std::uint64_t>(a[i]);
+          const std::uint64_t ub = static_cast<std::uint64_t>(b[i]);
+          const std::uint64_t ur = ua - ub;
+          pz[i] |= static_cast<std::int64_t>((ua ^ ub) & (ua ^ ur)) < 0;
+          d[i] = static_cast<std::int64_t>(ur);
+        }
+        break;
+      case BlockOp::Mul:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          const __int128 w = static_cast<__int128>(a[i]) * b[i];
+          const std::int64_t lo = static_cast<std::int64_t>(w);
+          pz[i] |= w != lo;
+          d[i] = lo;
+        }
+        break;
+      case BlockOp::FloorDiv:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          const std::int64_t x = a[i], y = b[i];
+          const std::int64_t bad = (y == 0) | ((x == kIntMin) & (y == -1));
+          pz[i] |= bad;
+          const std::int64_t safe = bad ? 1 : y;  // also dodges the % -1 trap
+          std::int64_t q = x / safe;  // Python floors toward negative infinity
+          q -= (x % safe != 0) & ((x < 0) != (safe < 0));
+          d[i] = q;
+        }
+        break;
+      case BlockOp::Mod:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          const std::int64_t x = a[i], y = b[i];
+          const std::int64_t bad = (y == 0) | ((x == kIntMin) & (y == -1));
+          pz[i] |= bad;
+          const std::int64_t safe = bad ? 1 : y;
+          std::int64_t r = x % safe;  // Python: result has the divisor's sign
+          r += ((r != 0) & ((r < 0) != (safe < 0))) ? safe : 0;
+          d[i] = r;
+        }
+        break;
+      case BlockOp::Pow:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          std::int64_t base = a[i], exp = b[i], acc = 1;
+          bool bad = exp < 0;  // boxed path produces a real
+          while (!bad && exp > 0) {
+            if (exp & 1) bad = __builtin_mul_overflow(acc, base, &acc);
+            exp >>= 1;
+            if (!bad && exp > 0) bad = __builtin_mul_overflow(base, base, &base);
+          }
+          pz[i] |= bad;
+          d[i] = acc;
+        }
+        break;
+      case BlockOp::Neg:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          pz[i] |= a[i] == kIntMin;
+          d[i] = static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a[i]));
+        }
+        break;
+      case BlockOp::Not:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] == 0;
+        break;
+      case BlockOp::ToBool:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] != 0;
+        break;
+      case BlockOp::CmpLt:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] < b[i];
+        break;
+      case BlockOp::CmpLe:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] <= b[i];
+        break;
+      case BlockOp::CmpGt:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] > b[i];
+        break;
+      case BlockOp::CmpGe:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] >= b[i];
+        break;
+      case BlockOp::CmpEq:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] == b[i];
+        break;
+      case BlockOp::CmpNe:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] != b[i];
+        break;
+      case BlockOp::And:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = (a[i] != 0) & (b[i] != 0);
+        break;
+      case BlockOp::Or:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = (a[i] != 0) | (b[i] != 0);
+        break;
+      case BlockOp::Select:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] != 0 ? b[i] : c[i];
+        break;
+      case BlockOp::InSorted:
+      case BlockOp::NotInSorted: {
+        const csp::IntValueSet& set = sets_[static_cast<std::size_t>(ins.arg)];
+        const bool want = ins.op == BlockOp::InSorted;
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          const bool found =
+              std::binary_search(set.sorted.begin(), set.sorted.end(), a[i]);
+          d[i] = found == want;
+        }
+        break;
+      }
+      case BlockOp::InBitset:
+      case BlockOp::NotInBitset: {
+        const csp::IntValueSet& set = sets_[static_cast<std::size_t>(ins.arg)];
+        const bool want = ins.op == BlockOp::InBitset;
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          d[i] = set.contains(a[i]) == want;
+        }
+        break;
+      }
+      case BlockOp::Min2:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] < b[i] ? a[i] : b[i];
+        break;
+      case BlockOp::Max2:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) d[i] = a[i] > b[i] ? a[i] : b[i];
+        break;
+      case BlockOp::Abs:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          pz[i] |= a[i] == kIntMin;
+          d[i] = a[i] < 0
+                     ? static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a[i]))
+                     : a[i];
+        }
+        break;
+      case BlockOp::Gcd:
+        TUNESPACE_SIMD
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          // std::gcd is undefined when |operand| is unrepresentable; poison
+          // the lane and feed it zeros so no UB is ever executed.
+          const bool bad = (a[i] == kIntMin) | (b[i] == kIntMin);
+          pz[i] |= bad;
+          d[i] = std::gcd(bad ? 0 : a[i], bad ? 0 : b[i]);
+        }
+        break;
+    }
+  }
+
+  const std::int64_t* root = regs + static_cast<std::size_t>(root_) * kLanes;
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = root[i] != 0;
+    poison[i] = pz[i] != 0;
+  }
+}
+
+std::string IntProgramBlock::disassemble() const {
+  static const char* kNames[] = {
+      "Broadcast", "LoadVar", "Add", "Sub", "Mul", "FloorDiv", "Mod", "Pow",
+      "Neg", "Not", "ToBool", "CmpLt", "CmpLe", "CmpGt", "CmpGe", "CmpEq",
+      "CmpNe", "And", "Or", "Select", "InSorted", "NotInSorted", "InBitset",
+      "NotInBitset", "Min2", "Max2", "Abs", "Gcd"};
+  std::ostringstream ss;
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    const BlockInstr& ins = code_[pc];
+    ss << pc << ": r" << ins.dst << " = "
+       << kNames[static_cast<std::size_t>(ins.op)];
+    switch (ins.op) {
+      case BlockOp::Broadcast:
+        ss << " " << consts_[static_cast<std::size_t>(ins.arg)];
+        break;
+      case BlockOp::LoadVar:
+        ss << " slot" << ins.arg;
+        break;
+      case BlockOp::Neg:
+      case BlockOp::Not:
+      case BlockOp::ToBool:
+      case BlockOp::Abs:
+        ss << " r" << ins.a;
+        break;
+      case BlockOp::Select:
+        ss << " r" << ins.a << " ? r" << ins.b << " : r" << ins.c;
+        break;
+      case BlockOp::InSorted:
+      case BlockOp::NotInSorted:
+      case BlockOp::InBitset:
+      case BlockOp::NotInBitset: {
+        const csp::IntValueSet& set = sets_[static_cast<std::size_t>(ins.arg)];
+        ss << " r" << ins.a << (set.dense() ? " bitset(" : " sorted(");
+        for (std::size_t i = 0; i < set.sorted.size(); ++i) {
+          if (i) ss << ", ";
+          ss << set.sorted[i];
+        }
+        ss << ")";
+        break;
+      }
+      default:
+        ss << " r" << ins.a << ", r" << ins.b;
+        break;
+    }
+    ss << "\n";
+  }
+  ss << "root: r" << root_ << ", regs: " << num_regs_ << "\n";
+  return ss.str();
+}
+
+}  // namespace tunespace::expr

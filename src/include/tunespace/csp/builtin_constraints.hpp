@@ -55,6 +55,12 @@ class ProductConstraint : public Constraint {
   bool satisfied_fast(const std::int64_t* values) const override;
   bool consistent_fast(const std::int64_t* values,
                        const unsigned char* assigned) const override;
+  void satisfied_block(std::int64_t* values, std::uint32_t var,
+                       const std::int64_t* candidates, std::size_t n,
+                       unsigned char* mask) const override;
+  void consistent_block(std::int64_t* values, const unsigned char* assigned,
+                        std::uint32_t var, const std::int64_t* candidates,
+                        std::size_t n, unsigned char* mask) const override;
   std::string describe() const override;
 
   CmpOp op() const { return op_; }
@@ -116,6 +122,12 @@ class SumConstraint : public Constraint {
   bool satisfied_fast(const std::int64_t* values) const override;
   bool consistent_fast(const std::int64_t* values,
                        const unsigned char* assigned) const override;
+  void satisfied_block(std::int64_t* values, std::uint32_t var,
+                       const std::int64_t* candidates, std::size_t n,
+                       unsigned char* mask) const override;
+  void consistent_block(std::int64_t* values, const unsigned char* assigned,
+                        std::uint32_t var, const std::int64_t* candidates,
+                        std::size_t n, unsigned char* mask) const override;
   std::string describe() const override;
 
   CmpOp op() const { return op_; }
@@ -173,6 +185,9 @@ class VarComparison : public Constraint {
   bool preprocess(const std::vector<Domain*>& domains) override;
   bool try_specialize(const std::vector<const Domain*>& domains) override;
   bool satisfied_fast(const std::int64_t* values) const override;
+  void satisfied_block(std::int64_t* values, std::uint32_t var,
+                       const std::int64_t* candidates, std::size_t n,
+                       unsigned char* mask) const override;
   std::string describe() const override;
 
   CmpOp op() const { return op_; }
@@ -194,6 +209,9 @@ class Divisibility : public Constraint {
   bool preprocess(const std::vector<Domain*>& domains) override;
   bool try_specialize(const std::vector<const Domain*>& domains) override;
   bool satisfied_fast(const std::int64_t* values) const override;
+  void satisfied_block(std::int64_t* values, std::uint32_t var,
+                       const std::int64_t* candidates, std::size_t n,
+                       unsigned char* mask) const override;
   std::string describe() const override;
 
  private:
@@ -210,6 +228,9 @@ class InSet : public Constraint {
   bool preprocess(const std::vector<Domain*>& domains) override;
   bool try_specialize(const std::vector<const Domain*>& domains) override;
   bool satisfied_fast(const std::int64_t* values) const override;
+  void satisfied_block(std::int64_t* values, std::uint32_t var,
+                       const std::int64_t* candidates, std::size_t n,
+                       unsigned char* mask) const override;
   std::string describe() const override;
 
  private:
@@ -233,6 +254,12 @@ class AllDifferent : public Constraint {
   bool satisfied_fast(const std::int64_t* values) const override;
   bool consistent_fast(const std::int64_t* values,
                        const unsigned char* assigned) const override;
+  void satisfied_block(std::int64_t* values, std::uint32_t var,
+                       const std::int64_t* candidates, std::size_t n,
+                       unsigned char* mask) const override;
+  void consistent_block(std::int64_t* values, const unsigned char* assigned,
+                        std::uint32_t var, const std::int64_t* candidates,
+                        std::size_t n, unsigned char* mask) const override;
   std::string describe() const override;
 };
 
@@ -248,6 +275,12 @@ class AllEqual : public Constraint {
   bool satisfied_fast(const std::int64_t* values) const override;
   bool consistent_fast(const std::int64_t* values,
                        const unsigned char* assigned) const override;
+  void satisfied_block(std::int64_t* values, std::uint32_t var,
+                       const std::int64_t* candidates, std::size_t n,
+                       unsigned char* mask) const override;
+  void consistent_block(std::int64_t* values, const unsigned char* assigned,
+                        std::uint32_t var, const std::int64_t* candidates,
+                        std::size_t n, unsigned char* mask) const override;
   std::string describe() const override;
 };
 

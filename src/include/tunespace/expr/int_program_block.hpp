@@ -1,0 +1,114 @@
+#pragma once
+// IntProgramBlock: the batched tier of the int64 fast path.
+//
+// IntProgram (expr/int_program.hpp) made each constraint check ~4x cheaper
+// by dropping tagged Values; it still evaluates one (assignment, candidate)
+// pair per dispatch.  During candidate filtering the solver sweeps a whole
+// domain slice against the same partial assignment, so all but one operand
+// of every instruction is loop-invariant.  IntProgramBlock exploits that:
+// it evaluates a fixed-width group of kLanes candidate values per
+// instruction, structure-of-arrays over a flat register file, so the inner
+// loops are constant-trip, branch-free and contiguous — exactly the shape
+// compilers autovectorize.
+//
+// Unlike IntProgram (a 1:1 bytecode lowering that keeps the boxed VM's
+// short-circuit jumps), a block program is lowered straight from the AST to
+// jump-free three-address code: `and`/`or` become eager masked AND/OR over
+// 0/1 lanes, conditional expressions become a per-lane Select, and chained
+// comparisons become an AND of their individual 0/1 comparisons.  The boxed
+// evaluator produces plain bools for BoolOp/Compare nodes, so eager
+// evaluation computes the same truth value whenever no lane escapes.
+//
+// Poison protocol, per lane: any dynamic escape from the int64 type system
+// (overflow, division by zero, negative exponent, the INT64_MIN corners)
+// sets that lane's poison flag instead of branching.  Eager evaluation can
+// poison lanes the scalar path's short-circuiting would have skipped, so the
+// block poison set is a superset of the scalar one; callers replay poisoned
+// lanes through the scalar+boxed oracle (FunctionConstraint::satisfied_fast)
+// lane by lane.  Non-poisoned lanes agree with the scalar tier exactly —
+// enforced by tests/test_int_fastpath.cpp and the differential fuzz wall.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tunespace/csp/int_set.hpp"
+#include "tunespace/expr/ast.hpp"
+
+namespace tunespace::expr {
+
+/// Block-tier opcodes: jump-free three-address code over lane registers.
+enum class BlockOp : std::uint8_t {
+  Broadcast,  ///< dst = consts[arg] in every lane
+  LoadVar,    ///< dst = candidate lanes (arg == varying slot) or broadcast
+  Add, Sub, Mul, FloorDiv, Mod, Pow,
+  Neg, Not, ToBool,
+  CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe,
+  And,     ///< dst = (a != 0) & (b != 0)
+  Or,      ///< dst = (a != 0) | (b != 0)
+  Select,  ///< dst = a != 0 ? b : c   (conditional expression)
+  InSorted, NotInSorted,  ///< membership via binary search in sets[arg]
+  InBitset, NotInBitset,  ///< membership via bit probe in sets[arg]
+  Min2, Max2, Abs, Gcd,
+};
+
+/// One block instruction: opcode, register operands, immediate.
+struct BlockInstr {
+  BlockOp op;
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;  ///< Select only (the `else` register)
+  std::int32_t arg = 0;
+};
+
+/// An expression lowered to lane-parallel three-address code.
+class IntProgramBlock {
+ public:
+  /// Lane-group width.  Matches csp::Constraint::kMaxBlockLanes so the
+  /// solver's candidate chunks map 1:1 onto register lanes.
+  static constexpr std::size_t kLanes = 8;
+
+  IntProgramBlock() = default;
+
+  /// Lower an AST (pass it through fold_constants first so literal subtrees
+  /// collapse).  `var_slots` assigns variable names to program slots — pass
+  /// the boxed Program's var_names() so the scalar tier's slot maps can be
+  /// reused verbatim.  Returns nullopt for any construct whose exact int64
+  /// semantics cannot be expressed lane-parallel (real or string literals,
+  /// true division, float(), unknown calls, membership over non-literal
+  /// tuples or mid-chain, names missing from var_slots); callers keep using
+  /// the scalar tier.
+  static std::optional<IntProgramBlock> lower(
+      const AstPtr& ast, const std::vector<std::string>& var_slots);
+
+  /// Evaluate lanes 0..n-1 (n <= kLanes): every program slot reads the
+  /// broadcast values[slot_map[slot]], except `varying_slot` which reads
+  /// candidates[i] in lane i (pass -1 when no slot varies).  Writes
+  /// truth[i] (root value != 0) and poison[i] for each lane; poisoned lanes'
+  /// truth is meaningless and must be replayed through the scalar oracle.
+  void run(const std::int64_t* values, const std::uint32_t* slot_map,
+           std::int32_t varying_slot, const std::int64_t* candidates,
+           std::size_t n, unsigned char* truth, unsigned char* poison) const;
+
+  const std::vector<BlockInstr>& code() const { return code_; }
+  std::size_t num_regs() const { return num_regs_; }
+
+  /// Human-readable disassembly for debugging.
+  std::string disassemble() const;
+
+ private:
+  void run_on(std::int64_t* regs, const std::int64_t* values,
+              const std::uint32_t* slot_map, std::int32_t varying_slot,
+              const std::int64_t* cand, std::size_t n, unsigned char* truth,
+              unsigned char* poison) const;
+
+  std::vector<BlockInstr> code_;
+  std::vector<std::int64_t> consts_;
+  std::vector<csp::IntValueSet> sets_;
+  std::uint16_t num_regs_ = 0;
+  std::uint16_t root_ = 0;
+};
+
+}  // namespace tunespace::expr

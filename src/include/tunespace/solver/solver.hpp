@@ -29,6 +29,8 @@ struct SolveStats {
   std::uint64_t constraint_checks = 0;  ///< constraint evaluations (all tiers)
   std::uint64_t fast_checks = 0;        ///< subset taken through the int64 fast path
   std::uint64_t prunes = 0;             ///< rejections before full assignment
+  std::uint64_t block_checks = 0;       ///< block-tier constraint dispatches
+  std::uint64_t block_lanes = 0;        ///< candidate lanes covered by those dispatches
   std::uint64_t parallel_tasks = 0;     ///< work-stealing tasks executed (0 = sequential)
   std::uint32_t parallel_workers = 0;   ///< worker threads used (0 = sequential)
   double preprocess_seconds = 0.0;      ///< domain preprocessing time

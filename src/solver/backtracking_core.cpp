@@ -1,6 +1,7 @@
 #include "backtracking_core.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 namespace tunespace::solver::detail {
@@ -139,6 +140,24 @@ SearchPlan build_plan(csp::Problem& problem, const OptimizedOptions& options,
       }
     }
   }
+
+  // Block tier: positions whose variable has an int mirror and at least one
+  // specialized constraint sweep whole lane groups of candidates per
+  // dispatch.  TUNESPACE_BLOCK_EVAL=0 forces the scalar path at runtime
+  // (CI's differential legs and ablation-style experiments use this).
+  const char* block_env = std::getenv("TUNESPACE_BLOCK_EVAL");
+  const bool block_enabled =
+      options.int_fast_path && options.block_eval &&
+      !(block_env && block_env[0] == '0' && block_env[1] == '\0');
+  plan.block_at.assign(n, 0);
+  if (block_enabled) {
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t var = plan.order[p];
+      plan.block_at[p] =
+          plan.var_is_int[var] && (!plan.full_fast_at[p].empty() ||
+                                   !plan.partial_fast_at[p].empty());
+    }
+  }
   return plan;
 }
 
@@ -152,6 +171,8 @@ BacktrackingEngine::BacktrackingEngine(const SearchPlan& plan, std::size_t first
   assigned_.assign(n, 0);
   value_idx_.assign(n, 0);
   row_.resize(n);
+  chunk_begin_.assign(n, kNoChunk);
+  chunk_mask_.assign(n * kBlockLanes, 0);
   if (n == 0 || plan.unsatisfiable || first_lo_ >= first_hi_ || emit_depth_ == 0) {
     exhausted_ = true;
   } else {
@@ -170,6 +191,8 @@ BacktrackingEngine::BacktrackingEngine(const SearchPlan& plan, PrefixSeed seed)
   assigned_.assign(n, 0);
   value_idx_.assign(n, 0);
   row_.resize(n);
+  chunk_begin_.assign(n, kNoChunk);
+  chunk_mask_.assign(n * kBlockLanes, 0);
   if (n == 0 || plan.unsatisfiable || prefix_len >= n) {
     exhausted_ = true;
     return;
@@ -196,51 +219,71 @@ bool BacktrackingEngine::next() {
     const std::size_t var = plan.order[p_];
     const Domain& dom = plan.domains[var];
     const std::size_t limit = p_ == base_ ? first_hi_ : dom.size();
+    const bool blocked = plan.block_at[p_] != 0;
     bool descended = false;
     while (value_idx_[p_] < limit) {
       const std::size_t vi = value_idx_[p_]++;
-      if (plan.var_is_int[var]) int_values_[var] = plan.int_values[var][vi];
-      // Boxed Values are only materialized for variables the boxed tier
-      // actually reads; all-integer problems skip this copy entirely.
-      if (plan.var_needs_boxed[var]) values_[var] = dom[vi];
       assigned_[var] = 1;
       ++nodes_;
       bool ok = true;
-      for (const Constraint* c : plan.full_fast_at[p_]) {
-        ++checks_;
-        ++fast_checks_;
-        if (!c->satisfied_fast(int_values_.data())) {
-          ok = false;
-          break;
+      if (blocked) {
+        // Block tier: the lane-group verdicts for this position are computed
+        // once per kBlockLanes candidates and consumed from the cached mask.
+        // The mask stays valid for the whole sweep of this position (the
+        // assignment above p_ cannot change without descending back into it,
+        // which invalidates the chunk).
+        if (chunk_begin_[p_] == kNoChunk || vi < chunk_begin_[p_] ||
+            vi - chunk_begin_[p_] >= kBlockLanes) {
+          compute_chunk(p_, vi, limit);
         }
-      }
-      if (ok) {
-        for (const Constraint* c : plan.full_at[p_]) {
-          ++checks_;
-          if (!c->satisfied(values_.data())) {
-            ok = false;
-            break;
-          }
+        ok = chunk_mask_[p_ * kBlockLanes + (vi - chunk_begin_[p_])] != 0;
+        if (ok) {
+          // compute_chunk() used the assignment slots as lane scratch;
+          // rewrite them with this candidate for the descent below.
+          int_values_[var] = plan.int_values[var][vi];
+          if (plan.var_needs_boxed[var]) values_[var] = dom[vi];
         }
-      }
-      if (ok) {
-        for (const Constraint* c : plan.partial_fast_at[p_]) {
+      } else {
+        if (plan.var_is_int[var]) int_values_[var] = plan.int_values[var][vi];
+        // Boxed Values are only materialized for variables the boxed tier
+        // actually reads; all-integer problems skip this copy entirely.
+        if (plan.var_needs_boxed[var]) values_[var] = dom[vi];
+        for (const Constraint* c : plan.full_fast_at[p_]) {
           ++checks_;
           ++fast_checks_;
-          if (!c->consistent_fast(int_values_.data(), assigned_.data())) {
+          if (!c->satisfied_fast(int_values_.data())) {
             ok = false;
-            ++prunes_;
             break;
           }
         }
-      }
-      if (ok) {
-        for (const Constraint* c : plan.partial_at[p_]) {
-          ++checks_;
-          if (!c->consistent(values_.data(), assigned_.data())) {
-            ok = false;
-            ++prunes_;
-            break;
+        if (ok) {
+          for (const Constraint* c : plan.full_at[p_]) {
+            ++checks_;
+            if (!c->satisfied(values_.data())) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          for (const Constraint* c : plan.partial_fast_at[p_]) {
+            ++checks_;
+            ++fast_checks_;
+            if (!c->consistent_fast(int_values_.data(), assigned_.data())) {
+              ok = false;
+              ++prunes_;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          for (const Constraint* c : plan.partial_at[p_]) {
+            ++checks_;
+            if (!c->consistent(values_.data(), assigned_.data())) {
+              ok = false;
+              ++prunes_;
+              break;
+            }
           }
         }
       }
@@ -255,6 +298,7 @@ bool BacktrackingEngine::next() {
       }
       ++p_;
       value_idx_[p_] = 0;
+      chunk_begin_[p_] = kNoChunk;  // new parent assignment: stale lane masks
       descended = true;
       break;
     }
@@ -266,6 +310,76 @@ bool BacktrackingEngine::next() {
     }
     --p_;
     assigned_[plan.order[p_]] = 0;
+  }
+}
+
+void BacktrackingEngine::compute_chunk(std::size_t p, std::size_t vi0,
+                                       std::size_t limit) {
+  const SearchPlan& plan = *plan_;
+  const std::size_t var = plan.order[p];
+  const std::size_t m = std::min(kBlockLanes, limit - vi0);
+  unsigned char* mask = &chunk_mask_[p * kBlockLanes];
+  for (std::size_t i = 0; i < kBlockLanes; ++i) mask[i] = i < m ? 1 : 0;
+  chunk_begin_[p] = vi0;
+  const std::int64_t* cand = plan.int_values[var].data() + vi0;
+
+  const auto alive = [&]() {
+    std::uint64_t a = 0;
+    for (std::size_t i = 0; i < m; ++i) a += mask[i] != 0;
+    return a;
+  };
+
+  // Tier order and effort accounting mirror the scalar sweep per candidate:
+  // a lane is charged one check per constraint it is still alive for, full
+  // tiers run before partial tiers, and a lane killed by a constraint is
+  // never charged for the ones after it.
+  for (const Constraint* c : plan.full_fast_at[p]) {
+    const std::uint64_t a = alive();
+    if (a == 0) return;
+    checks_ += a;
+    fast_checks_ += a;
+    ++block_checks_;
+    block_lanes_ += a;
+    c->satisfied_block(int_values_.data(), static_cast<std::uint32_t>(var),
+                       cand, m, mask);
+  }
+  if (!plan.full_at[p].empty()) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!mask[i]) continue;
+      values_[var] = plan.domains[var][vi0 + i];
+      for (const Constraint* c : plan.full_at[p]) {
+        ++checks_;
+        if (!c->satisfied(values_.data())) {
+          mask[i] = 0;
+          break;
+        }
+      }
+    }
+  }
+  for (const Constraint* c : plan.partial_fast_at[p]) {
+    const std::uint64_t before = alive();
+    if (before == 0) return;
+    checks_ += before;
+    fast_checks_ += before;
+    ++block_checks_;
+    block_lanes_ += before;
+    c->consistent_block(int_values_.data(), assigned_.data(),
+                        static_cast<std::uint32_t>(var), cand, m, mask);
+    prunes_ += before - alive();
+  }
+  if (!plan.partial_at[p].empty()) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!mask[i]) continue;
+      values_[var] = plan.domains[var][vi0 + i];
+      for (const Constraint* c : plan.partial_at[p]) {
+        ++checks_;
+        if (!c->consistent(values_.data(), assigned_.data())) {
+          mask[i] = 0;
+          ++prunes_;
+          break;
+        }
+      }
+    }
   }
 }
 

@@ -46,6 +46,7 @@ struct SearchPlan {
   std::vector<std::vector<std::int64_t>> int_values;   ///< per int var: domain mirror
   std::vector<unsigned char> var_is_int;               ///< domain is int/bool only
   std::vector<unsigned char> var_needs_boxed;          ///< boxed tier reads this var
+  std::vector<unsigned char> block_at;                 ///< block tier on at position
   bool unsatisfiable = false;  ///< proven empty during preprocessing
 };
 
@@ -98,8 +99,24 @@ class BacktrackingEngine {
   std::uint64_t constraint_checks() const { return checks_; }
   std::uint64_t fast_checks() const { return fast_checks_; }
   std::uint64_t prunes() const { return prunes_; }
+  std::uint64_t block_checks() const { return block_checks_; }
+  std::uint64_t block_lanes() const { return block_lanes_; }
 
  private:
+  /// One candidate lane group per block-enabled position (matches the
+  /// Constraint block contract and expr::IntProgramBlock).
+  static constexpr std::size_t kBlockLanes = csp::Constraint::kMaxBlockLanes;
+  /// chunk_begin_ sentinel: no valid lane-group mask cached at a position.
+  static constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
+  /// Evaluate the lane group [vi0, min(vi0 + kBlockLanes, limit)) of search
+  /// position `p` against the current partial assignment, filling
+  /// chunk_mask_.  Charges checks_/fast_checks_/prunes_ exactly as the
+  /// scalar per-candidate sweep would (lanes count as individual checks;
+  /// dead lanes stop being charged), so solver stats are independent of
+  /// whether the block tier is on.
+  void compute_chunk(std::size_t p, std::size_t vi0, std::size_t limit);
+
   const SearchPlan* plan_;
   std::size_t first_lo_, first_hi_;
   std::size_t base_ = 0;        ///< backtracking floor (prefix length)
@@ -109,9 +126,12 @@ class BacktrackingEngine {
   std::vector<unsigned char> assigned_;
   std::vector<std::size_t> value_idx_;
   std::vector<std::uint32_t> row_;
+  std::vector<std::size_t> chunk_begin_;  ///< per position: first lane index
+  std::vector<unsigned char> chunk_mask_; ///< per position: kBlockLanes verdicts
   std::size_t p_ = 0;
   bool exhausted_ = false;
   std::uint64_t nodes_ = 0, checks_ = 0, fast_checks_ = 0, prunes_ = 0;
+  std::uint64_t block_checks_ = 0, block_lanes_ = 0;
 };
 
 }  // namespace tunespace::solver::detail

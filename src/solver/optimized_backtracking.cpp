@@ -23,6 +23,8 @@ SolveResult OptimizedBacktracking::solve(csp::Problem& problem) const {
   result.stats.constraint_checks = engine.constraint_checks();
   result.stats.fast_checks = engine.fast_checks();
   result.stats.prunes += engine.prunes();  // += : preprocessing counted some
+  result.stats.block_checks = engine.block_checks();
+  result.stats.block_lanes = engine.block_lanes();
   result.stats.search_seconds = timer.seconds();
   return result;
 }

@@ -64,6 +64,8 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
     result.stats.constraint_checks = engine.constraint_checks();
     result.stats.fast_checks = engine.fast_checks();
     result.stats.prunes += engine.prunes();
+    result.stats.block_checks = engine.block_checks();
+    result.stats.block_lanes = engine.block_lanes();
     result.stats.parallel_tasks = 1;
     result.stats.parallel_workers = 1;
     result.stats.search_seconds = timer.seconds();
@@ -101,6 +103,8 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
     result.stats.constraint_checks += expander.constraint_checks();
     result.stats.fast_checks += expander.fast_checks();
     result.stats.prunes += expander.prunes();
+    result.stats.block_checks += expander.block_checks();
+    result.stats.block_lanes += expander.block_lanes();
     break;
   }
   const std::size_t num_tasks = prefixes.size() / depth;
@@ -123,6 +127,7 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
     SolutionSet solutions;
     std::vector<Segment> segments;
     std::uint64_t nodes = 0, checks = 0, fast_checks = 0, prunes = 0;
+    std::uint64_t block_checks = 0, block_lanes = 0;
   };
 
   detail::WorkStealingScheduler scheduler(num_tasks, workers, parallel_.steal);
@@ -141,6 +146,8 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
     shard.checks += engine.constraint_checks();
     shard.fast_checks += engine.fast_checks();
     shard.prunes += engine.prunes();
+    shard.block_checks += engine.block_checks();
+    shard.block_lanes += engine.block_lanes();
   });
   result.stats.parallel_workers = static_cast<std::uint32_t>(scheduler.workers());
 
@@ -153,6 +160,8 @@ SolveResult ParallelBacktracking::solve(csp::Problem& problem) const {
     result.stats.constraint_checks += shard.checks;
     result.stats.fast_checks += shard.fast_checks;
     result.stats.prunes += shard.prunes;
+    result.stats.block_checks += shard.block_checks;
+    result.stats.block_lanes += shard.block_lanes;
   }
   std::sort(segments.begin(), segments.end(),
             [](const Segment& a, const Segment& b) { return a.rank < b.rank; });

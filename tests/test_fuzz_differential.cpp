@@ -20,9 +20,12 @@
 #include <sstream>
 
 #include "support/spec_gen.hpp"
+#include "tunespace/expr/function_constraint.hpp"
 #include "tunespace/expr/interpreter.hpp"
 #include "tunespace/expr/parser.hpp"
+#include "tunespace/solver/optimized_backtracking.hpp"
 #include "tunespace/tuner/pipeline.hpp"
+#include "tunespace/util/rng.hpp"
 #include "tunespace/util/timer.hpp"
 
 using namespace tunespace;
@@ -156,6 +159,143 @@ TEST(FuzzDifferential, AllEnginesMatchOracleOverRandomSpecs) {
             << wall.seconds() << "s)\n";
   // The wall cap exists for the nightly job; the default run must cover
   // every seed.
+  if (wall_cap == 0) {
+    EXPECT_EQ(completed, count);
+  }
+}
+
+// Block-tier wall, constraint level: for every specialized constraint of
+// every random spec, sweep domain slices through satisfied_block in ragged
+// chunks and require lane-for-lane agreement with the scalar fast tier
+// (whose poison protocol ends at the boxed oracle) AND with the tree
+// interpreter over the unlowered expression (EvalError => invalid).  This is
+// the mask-level counterpart of the row-level engine wall above.
+TEST(FuzzDifferential, BlockMasksMatchScalarAndOracleLaneForLane) {
+  const std::uint64_t base = env_u64("TUNESPACE_FUZZ_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("TUNESPACE_FUZZ_SEED_COUNT", 50);
+  const std::uint64_t wall_cap = env_u64("TUNESPACE_FUZZ_WALL_SECONDS", 0);
+
+  util::WallTimer wall;
+  std::uint64_t completed = 0, specialized = 0, lanes = 0;
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    if (wall_cap > 0 && wall.seconds() > static_cast<double>(wall_cap)) break;
+
+    const tuner::TuningProblem spec = testsupport::random_spec(seed);
+    const auto& params = spec.params();
+    util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+
+    for (const auto& text : spec.constraints()) {
+      expr::FunctionConstraint c(expr::parse(text));
+      std::vector<std::uint32_t> indices;
+      std::vector<csp::Domain> storage;
+      storage.reserve(c.scope().size());
+      for (const auto& name : c.scope()) {
+        std::size_t p = 0;
+        while (p < params.size() && params[p].name != name) ++p;
+        ASSERT_LT(p, params.size()) << text;
+        indices.push_back(static_cast<std::uint32_t>(p));
+        storage.emplace_back(params[p].values);
+      }
+      c.bind(indices);
+      std::vector<const csp::Domain*> scope_domains;
+      for (const auto& d : storage) scope_domains.push_back(&d);
+      if (!c.try_specialize(scope_domains)) continue;  // boxed-only
+      ++specialized;
+
+      for (int rep = 0; rep < 6; ++rep) {
+        // Random full assignment, then sweep a random scope variable's
+        // domain through the block entry point in ragged chunks.
+        std::vector<std::int64_t> values(params.size());
+        for (std::size_t p = 0; p < params.size(); ++p) {
+          values[p] =
+              params[p].values[rng.index(params[p].values.size())].as_int();
+        }
+        const std::uint32_t var = indices[rng.index(indices.size())];
+        const auto& dom = params[var].values;
+        const std::size_t chunk = 1 + rng.index(csp::Constraint::kMaxBlockLanes);
+        for (std::size_t start = 0; start < dom.size(); start += chunk) {
+          const std::size_t n = std::min(chunk, dom.size() - start);
+          std::int64_t candidates[csp::Constraint::kMaxBlockLanes];
+          unsigned char mask[csp::Constraint::kMaxBlockLanes];
+          unsigned char expect[csp::Constraint::kMaxBlockLanes];
+          for (std::size_t i = 0; i < n; ++i) {
+            candidates[i] = dom[start + i].as_int();
+            mask[i] = 1;
+            values[var] = candidates[i];
+            const bool scalar = c.satisfied_fast(values.data());
+            bool oracle;
+            try {
+              oracle = expr::eval_bool(
+                  *c.expression(), [&](const std::string& name) -> csp::Value {
+                    for (std::size_t p = 0; p < params.size(); ++p) {
+                      if (params[p].name == name) return csp::Value(values[p]);
+                    }
+                    throw expr::EvalError("unknown variable " + name);
+                  });
+            } catch (const expr::EvalError&) {
+              oracle = false;  // raising configurations are invalid
+            }
+            ASSERT_EQ(scalar, oracle) << text << " seed " << seed;
+            expect[i] = scalar ? 1 : 0;
+          }
+          c.satisfied_block(values.data(), var, candidates, n, mask);
+          for (std::size_t i = 0; i < n; ++i) {
+            ++lanes;
+            ASSERT_EQ(mask[i] != 0, expect[i] != 0)
+                << text << " seed " << seed << " lane " << i << " candidate "
+                << candidates[i]
+                << "\n  reproduce with: TUNESPACE_FUZZ_SEED_BASE=" << seed
+                << " TUNESPACE_FUZZ_SEED_COUNT=1 ./test_fuzz_differential";
+          }
+        }
+      }
+    }
+    ++completed;
+  }
+  std::cout << "[fuzz] block tier: " << completed << "/" << count << " seeds, "
+            << specialized << " specialized constraints, " << lanes
+            << " lanes verified (" << wall.seconds() << "s)\n";
+  if (wall_cap == 0) {
+    EXPECT_EQ(completed, count);
+  }
+}
+
+// Block-tier wall, solver level: enabling the block evaluator must change
+// nothing observable — same rows AND the same effort counters, because lanes
+// are charged as individual fast checks.
+TEST(FuzzDifferential, BlockOnOffRowsAndEffortIdentical) {
+  const std::uint64_t base = env_u64("TUNESPACE_FUZZ_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("TUNESPACE_FUZZ_SEED_COUNT", 50);
+  const std::uint64_t wall_cap = env_u64("TUNESPACE_FUZZ_WALL_SECONDS", 0);
+
+  util::WallTimer wall;
+  std::uint64_t completed = 0;
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    if (wall_cap > 0 && wall.seconds() > static_cast<double>(wall_cap)) break;
+
+    const tuner::TuningProblem spec = testsupport::random_spec(seed);
+    csp::Problem p_on =
+        tuner::build_problem(spec, tuner::PipelineOptions::optimized());
+    csp::Problem p_off =
+        tuner::build_problem(spec, tuner::PipelineOptions::optimized());
+    solver::OptimizedOptions off;
+    off.block_eval = false;
+
+    const auto on = solver::OptimizedBacktracking().solve(p_on);
+    const auto scalar = solver::OptimizedBacktracking(off).solve(p_off);
+    ASSERT_EQ(scalar.stats.block_checks, 0u) << "seed " << seed;
+    ASSERT_EQ(on.solutions.sorted_rows(), scalar.solutions.sorted_rows())
+        << "seed " << seed;
+    ASSERT_EQ(on.stats.nodes, scalar.stats.nodes) << "seed " << seed;
+    ASSERT_EQ(on.stats.constraint_checks, scalar.stats.constraint_checks)
+        << "seed " << seed;
+    ASSERT_EQ(on.stats.fast_checks, scalar.stats.fast_checks)
+        << "seed " << seed;
+    ASSERT_EQ(on.stats.prunes, scalar.stats.prunes) << "seed " << seed;
+    ++completed;
+  }
+  std::cout << "[fuzz] block on/off: " << completed << "/" << count
+            << " seeds identical (" << wall.seconds() << "s)\n";
   if (wall_cap == 0) {
     EXPECT_EQ(completed, count);
   }

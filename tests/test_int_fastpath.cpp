@@ -9,7 +9,9 @@
 // promotion to real, are the reference semantics).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <optional>
 
@@ -19,6 +21,7 @@
 #include "tunespace/expr/compiler.hpp"
 #include "tunespace/expr/function_constraint.hpp"
 #include "tunespace/expr/int_program.hpp"
+#include "tunespace/expr/int_program_block.hpp"
 #include "tunespace/expr/interpreter.hpp"
 #include "tunespace/expr/parser.hpp"
 #include "tunespace/solver/optimized_backtracking.hpp"
@@ -528,6 +531,363 @@ TEST(SolverFastPath, MixedTypeProblemsStayCorrect) {
   ASSERT_EQ(on.solutions.size(), boxed.solutions.size());
   for (std::size_t v = 0; v < on.solutions.num_vars(); ++v) {
     EXPECT_EQ(on.solutions.column(v), boxed.solutions.column(v));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block tier: IntProgramBlock VM, constraint block entry points, solver
+// integration.  The contract under test (constraint.hpp): n <= kMaxBlockLanes,
+// mask is AND-accumulated, dead lanes stay dead, values[var] is scratch, and
+// the block poison set is a superset of the scalar one with non-poisoned
+// lanes agreeing exactly.
+// ---------------------------------------------------------------------------
+
+TEST(IntProgramBlockVM, LaneForLaneAgreementWithScalarOnRandomExpressions) {
+  util::Rng rng(20260808);
+  std::size_t lowered_count = 0, lanes_checked = 0, scalar_poison_lanes = 0;
+
+  for (int iter = 0; iter < 1500; ++iter) {
+    const AstPtr ast = random_int_expr(rng, rng.uniform_int(1, 4));
+    Program prog;
+    try {
+      prog = compile(ast);
+    } catch (const CompileError&) {
+      continue;
+    }
+    auto scalar = IntProgram::lower(prog);
+    if (!scalar) continue;
+    auto block = IntProgramBlock::lower(fold_constants(ast), prog.var_names());
+    if (!block) continue;
+    ++lowered_count;
+
+    const std::size_t nvars = prog.var_names().size();
+    std::vector<std::int64_t> values(std::max<std::size_t>(nvars, 1), 0);
+    std::vector<std::uint32_t> slots(nvars);
+    for (std::size_t s = 0; s < nvars; ++s) slots[s] = static_cast<std::uint32_t>(s);
+    const auto draw = [&]() -> std::int64_t {
+      return rng.uniform_int(0, 12) == 0 ? rng.uniform_int(-3, 3) * 2000000000LL
+                                         : rng.uniform_int(-9, 64);
+    };
+
+    for (int rep = 0; rep < 4; ++rep) {
+      for (auto& v : values) v = draw();
+      const std::int32_t varying =
+          nvars == 0 ? -1 : rng.uniform_int(0, static_cast<int>(nvars) - 1);
+      // Ragged tails (n < kLanes) get the same scrutiny as full groups.
+      const std::size_t n = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<int>(IntProgramBlock::kLanes)));
+      std::int64_t candidates[IntProgramBlock::kLanes] = {0};
+      for (std::size_t i = 0; i < n; ++i) candidates[i] = draw();
+
+      unsigned char truth[IntProgramBlock::kLanes] = {0};
+      unsigned char poison[IntProgramBlock::kLanes] = {0};
+      block->run(values.data(), slots.data(), varying, candidates, n, truth,
+                 poison);
+
+      for (std::size_t i = 0; i < n; ++i) {
+        ++lanes_checked;
+        if (varying >= 0) values[static_cast<std::size_t>(varying)] = candidates[i];
+        std::int64_t r = 0;
+        if (!scalar->run(values.data(), slots.data(), &r)) {
+          // A scalar-tier escape must never be missed by the block tier.
+          EXPECT_NE(poison[i], 0) << ast->to_string() << " lane " << i;
+          ++scalar_poison_lanes;
+        } else if (!poison[i]) {
+          // Both tiers committed: identical truth value.
+          EXPECT_EQ(truth[i] != 0, r != 0) << ast->to_string() << " lane " << i;
+        }
+        // Block-poisoned while scalar committed is legal: eager And/Or/Select
+        // evaluates branches short-circuiting would have skipped, and the
+        // caller replays such lanes through the scalar oracle anyway.
+      }
+    }
+  }
+  // The sweep must exercise the machinery, not vacuously pass.
+  EXPECT_GT(lowered_count, 400u);
+  EXPECT_GT(lanes_checked, 10000u);
+  EXPECT_GT(scalar_poison_lanes, 50u);
+}
+
+TEST(IntProgramBlockVM, AllLanesPoisonWhenBroadcastDivisorIsZero) {
+  const AstPtr ast = parse("x % y == 0");
+  const Program prog = compile(ast);
+  auto block = IntProgramBlock::lower(fold_constants(ast), prog.var_names());
+  ASSERT_TRUE(block.has_value());
+
+  std::int32_t x_slot = -1;
+  std::vector<std::uint32_t> slots;
+  std::vector<std::int64_t> values;
+  for (std::size_t s = 0; s < prog.var_names().size(); ++s) {
+    slots.push_back(static_cast<std::uint32_t>(s));
+    values.push_back(0);  // y broadcasts the poisonous divisor 0
+    if (prog.var_names()[s] == "x") x_slot = static_cast<std::int32_t>(s);
+  }
+  ASSERT_GE(x_slot, 0);
+
+  const std::int64_t candidates[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  unsigned char truth[IntProgramBlock::kLanes];
+  unsigned char poison[IntProgramBlock::kLanes];
+  block->run(values.data(), slots.data(), x_slot, candidates,
+             IntProgramBlock::kLanes, truth, poison);
+  for (std::size_t i = 0; i < IntProgramBlock::kLanes; ++i) {
+    EXPECT_NE(poison[i], 0) << "lane " << i;
+  }
+}
+
+TEST(IntProgramBlockVM, MixedPoisonBlockIsolatesTheEscapingLane) {
+  const AstPtr ast = parse("24 // x >= 0");
+  const Program prog = compile(ast);
+  auto scalar = IntProgram::lower(prog);
+  ASSERT_TRUE(scalar.has_value());
+  auto block = IntProgramBlock::lower(fold_constants(ast), prog.var_names());
+  ASSERT_TRUE(block.has_value());
+
+  const std::uint32_t slots[] = {0};
+  std::int64_t candidates[] = {-2, -1, 0, 1, 2, 3, 4, 6};  // lane 2 divides by 0
+  unsigned char truth[IntProgramBlock::kLanes];
+  unsigned char poison[IntProgramBlock::kLanes];
+  std::int64_t dummy = 0;
+  block->run(&dummy, slots, 0, candidates, IntProgramBlock::kLanes, truth,
+             poison);
+  for (std::size_t i = 0; i < IntProgramBlock::kLanes; ++i) {
+    if (i == 2) {
+      EXPECT_NE(poison[i], 0);
+      continue;
+    }
+    EXPECT_EQ(poison[i], 0) << "lane " << i;
+    std::int64_t r = 0;
+    ASSERT_TRUE(scalar->run(&candidates[i], slots, &r));
+    EXPECT_EQ(truth[i] != 0, r != 0) << "lane " << i;
+  }
+}
+
+namespace {
+
+/// Minimal fast-path constraint with no block overrides: pins down the
+/// base-class scalar-sweep defaults for satisfied_block/consistent_block.
+class CongruenceConstraint : public csp::Constraint {
+ public:
+  CongruenceConstraint() : Constraint({"a", "b"}) {}
+  bool satisfied(const Value* values) const override {
+    return values[indices()[0]].as_int() % 3 != values[indices()[1]].as_int() % 3;
+  }
+  bool try_specialize(const std::vector<const csp::Domain*>&) override {
+    return true;
+  }
+  bool satisfied_fast(const std::int64_t* values) const override {
+    return values[indices()[0]] % 3 != values[indices()[1]] % 3;
+  }
+  std::string describe() const override { return "a % 3 != b % 3"; }
+};
+
+}  // namespace
+
+TEST(BuiltinBlockTier, DefaultBlockEntryPointsSweepTheScalarTier) {
+  CongruenceConstraint c;
+  c.bind({0, 1});
+  std::int64_t values[2] = {0, 5};
+  const std::int64_t candidates[] = {1, 2, 3, 4, 5};
+  // Lanes 0 and 3 start dead and must stay dead; live lanes AND the verdict.
+  unsigned char mask[] = {0, 1, 1, 0, 1};
+  c.satisfied_block(values, 0, candidates, 5, mask);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const unsigned char expect =
+        (i == 0 || i == 3) ? 0 : (candidates[i] % 3 != 5 % 3);
+    EXPECT_EQ(mask[i], expect) << "lane " << i;
+  }
+  // consistent_block with only `var` assigned: the default full-check-once-
+  // assigned semantics of consistent_fast prune nothing.
+  unsigned char mask2[] = {1, 1, 1, 1, 1};
+  const unsigned char assigned[] = {1, 0};
+  c.consistent_block(values, assigned, 0, candidates, 5, mask2);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(mask2[i], 1) << "lane " << i;
+}
+
+TEST(BuiltinBlockTier, AllBuiltinsMatchScalarSweepsOverRaggedChunks) {
+  csp::Domain d1 = csp::Domain::range(1, 12);
+  csp::Domain d2 = csp::Domain::powers(1, 16);
+  const std::vector<const csp::Domain*> domains{&d1, &d2};
+
+  std::vector<csp::ConstraintPtr> constraints;
+  constraints.push_back(
+      std::make_unique<csp::MaxProduct>(48, std::vector<std::string>{"a", "b"}));
+  constraints.push_back(
+      std::make_unique<csp::MinSum>(6, std::vector<std::string>{"a", "b"}));
+  constraints.push_back(
+      std::make_unique<csp::VarComparison>("a", csp::CmpOp::Le, "b"));
+  constraints.push_back(std::make_unique<csp::Divisibility>("a", "b"));
+  constraints.push_back(
+      std::make_unique<csp::AllDifferent>(std::vector<std::string>{"a", "b"}));
+  constraints.push_back(
+      std::make_unique<csp::AllEqual>(std::vector<std::string>{"a", "b"}));
+  constraints.push_back(std::make_unique<csp::InSet>(
+      "a", std::vector<Value>{Value(2), Value(3), Value(5), Value(8)}));
+
+  std::vector<std::int64_t> cands;
+  for (const Value& v : d1.values()) cands.push_back(v.as_int());
+
+  for (auto& c : constraints) {
+    const bool unary = c->scope().size() == 1;
+    c->bind(unary ? std::vector<std::uint32_t>{0}
+                  : std::vector<std::uint32_t>{0, 1});
+    const auto scope_domains =
+        unary ? std::vector<const csp::Domain*>{&d1} : domains;
+    c->prepare(scope_domains);
+    ASSERT_TRUE(c->try_specialize(scope_domains)) << c->describe();
+
+    for (const Value& vb : d2.values()) {
+      // Chunk size 5 over 12 candidates: two full-ish groups + ragged tail.
+      for (std::size_t start = 0; start < cands.size(); start += 5) {
+        const std::size_t n = std::min<std::size_t>(5, cands.size() - start);
+        std::int64_t values[2] = {0, vb.as_int()};
+        unsigned char mask[csp::Constraint::kMaxBlockLanes];
+        unsigned char expect[csp::Constraint::kMaxBlockLanes];
+
+        // satisfied_block vs a scalar satisfied_fast sweep (some dead lanes).
+        for (std::size_t i = 0; i < n; ++i) {
+          mask[i] = i % 3 != 0;
+          values[0] = cands[start + i];
+          expect[i] = mask[i] && c->satisfied_fast(values);
+        }
+        c->satisfied_block(values, 0, cands.data() + start, n, mask);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(mask[i] != 0, expect[i] != 0)
+              << c->describe() << " b=" << vb.to_string() << " lane " << i;
+        }
+
+        // consistent_block vs a scalar consistent_fast sweep, both with the
+        // partner assigned and with it still open.
+        for (const bool partner_assigned : {true, false}) {
+          const unsigned char assigned[2] = {
+              1, static_cast<unsigned char>(partner_assigned ? 1 : 0)};
+          for (std::size_t i = 0; i < n; ++i) {
+            mask[i] = 1;
+            values[0] = cands[start + i];
+            expect[i] = c->consistent_fast(values, assigned);
+          }
+          c->consistent_block(values, assigned, 0, cands.data() + start, n,
+                              mask);
+          for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(mask[i] != 0, expect[i] != 0)
+                << c->describe() << " b=" << vb.to_string()
+                << " assigned=" << partner_assigned << " lane " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FunctionConstraintBlockTier, SpecializesAndAgreesThroughPoisonFallback) {
+  FunctionConstraint c(parse("x % y == 0"));
+  c.bind({0, 1});
+  csp::Domain dx = csp::Domain::range(0, 8);
+  csp::Domain dy = csp::Domain::range(0, 4);  // includes the poisonous 0
+  ASSERT_TRUE(c.try_specialize({&dx, &dy}));
+  EXPECT_TRUE(c.block_specialized());
+
+  std::vector<std::int64_t> xs;
+  for (const Value& v : dx.values()) xs.push_back(v.as_int());
+  for (std::int64_t y = 0; y <= 4; ++y) {
+    for (std::size_t start = 0; start < xs.size(); start += 5) {
+      const std::size_t n = std::min<std::size_t>(5, xs.size() - start);
+      std::int64_t values[2] = {0, y};
+      unsigned char mask[csp::Constraint::kMaxBlockLanes];
+      unsigned char expect[csp::Constraint::kMaxBlockLanes];
+      for (std::size_t i = 0; i < n; ++i) {
+        mask[i] = 1;
+        values[0] = xs[start + i];
+        expect[i] = c.satisfied_fast(values) ? 1 : 0;
+      }
+      c.satisfied_block(values, 0, xs.data() + start, n, mask);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(mask[i] != 0, expect[i] != 0)
+            << "y=" << y << " lane " << i << " x=" << xs[start + i];
+      }
+    }
+  }
+}
+
+TEST(SolverBlockTier, OnAndOffProduceIdenticalRowsAndEffortCounters) {
+  csp::Problem p_on = make_tuning_problem();
+  csp::Problem p_off = make_tuning_problem();
+  solver::OptimizedOptions off;
+  off.block_eval = false;
+
+  const auto on = solver::OptimizedBacktracking().solve(p_on);
+  const auto scalar = solver::OptimizedBacktracking(off).solve(p_off);
+  EXPECT_GT(on.stats.block_checks, 0u);
+  EXPECT_GT(on.stats.block_lanes, on.stats.block_checks);  // multi-lane groups
+  EXPECT_EQ(scalar.stats.block_checks, 0u);
+  EXPECT_EQ(scalar.stats.block_lanes, 0u);
+
+  ASSERT_EQ(on.solutions.size(), scalar.solutions.size());
+  for (std::size_t v = 0; v < on.solutions.num_vars(); ++v) {
+    EXPECT_EQ(on.solutions.column(v), scalar.solutions.column(v))
+        << "column " << v;
+  }
+  // The block tier is an execution strategy, never a search change: the
+  // per-candidate effort accounting is identical (lanes count as individual
+  // fast checks).
+  EXPECT_EQ(on.stats.nodes, scalar.stats.nodes);
+  EXPECT_EQ(on.stats.constraint_checks, scalar.stats.constraint_checks);
+  EXPECT_EQ(on.stats.fast_checks, scalar.stats.fast_checks);
+  EXPECT_EQ(on.stats.prunes, scalar.stats.prunes);
+}
+
+TEST(SolverBlockTier, EnvToggleForcesScalarPath) {
+  setenv("TUNESPACE_BLOCK_EVAL", "0", 1);
+  csp::Problem p = make_tuning_problem();
+  const auto result = solver::OptimizedBacktracking().solve(p);
+  unsetenv("TUNESPACE_BLOCK_EVAL");
+  EXPECT_GT(result.solutions.size(), 0u);
+  EXPECT_EQ(result.stats.block_checks, 0u);
+  EXPECT_EQ(result.stats.block_lanes, 0u);
+}
+
+TEST(SolverBlockTier, ParallelEngineAccumulatesBlockCounters) {
+  csp::Problem p_seq = make_tuning_problem();
+  csp::Problem p_par = make_tuning_problem();
+  const auto seq = solver::OptimizedBacktracking().solve(p_seq);
+  const auto par = solver::ParallelBacktracking(2).solve(p_par);
+  EXPECT_TRUE(seq.solutions.same_solutions(par.solutions));
+  EXPECT_GT(par.stats.block_checks, 0u);
+  EXPECT_GE(par.stats.block_lanes, par.stats.block_checks);
+}
+
+TEST(SolverBlockTier, RandomProblemsBlockOnOffEquivalence) {
+  util::Rng rng(4242);
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<AstPtr> exprs;
+    const int num_constraints = rng.uniform_int(1, 3);
+    for (int c = 0; c < num_constraints; ++c) {
+      exprs.push_back(random_int_expr(rng, rng.uniform_int(1, 3)));
+    }
+    const auto build = [&] {
+      csp::Problem p;
+      p.add_variable("x", csp::Domain::range(0, 9));
+      p.add_variable("y", csp::Domain::range(1, 8));
+      p.add_variable("z", csp::Domain::powers(1, 32));
+      for (const auto& e : exprs) {
+        if (variables(*e).empty()) continue;
+        p.add_constraint(std::make_unique<FunctionConstraint>(e));
+      }
+      return p;
+    };
+    csp::Problem p_on = build();
+    csp::Problem p_off = build();
+    solver::OptimizedOptions off;
+    off.block_eval = false;
+    const auto on = solver::OptimizedBacktracking().solve(p_on);
+    const auto scalar = solver::OptimizedBacktracking(off).solve(p_off);
+    ASSERT_EQ(on.solutions.size(), scalar.solutions.size()) << iter;
+    for (std::size_t v = 0; v < on.solutions.num_vars(); ++v) {
+      ASSERT_EQ(on.solutions.column(v), scalar.solutions.column(v)) << iter;
+    }
+    ASSERT_EQ(on.stats.nodes, scalar.stats.nodes) << iter;
+    ASSERT_EQ(on.stats.constraint_checks, scalar.stats.constraint_checks)
+        << iter;
+    ASSERT_EQ(on.stats.fast_checks, scalar.stats.fast_checks) << iter;
   }
 }
 
