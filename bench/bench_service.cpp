@@ -1,0 +1,230 @@
+// Tuning-service benchmark: ask/tell request throughput of the TuningService
+// front end, in-process and over the loopback wire protocol, emitted as
+// BENCH_service.json.
+//
+// Every session is replayed three ways with identical options — the plain
+// run_tuning closed loop, the in-process TuningService ask/tell surface, and
+// a TCP client against a loopback ServiceServer — and all three TuningRuns
+// must be *bit-identical*; an identity mismatch is a hard failure regardless
+// of flags.  The throughput numbers (service requests per second for both
+// transports, plus the wire amplification factor) are informational.
+//
+// CI gate:  bench_service --min-rps <x>
+// exits non-zero when the in-process request throughput drops below <x>.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tunespace/tuner/server.hpp"
+#include "tunespace/tuner/service.hpp"
+#include "tunespace/tuner/service_client.hpp"
+#include "tunespace/util/timer.hpp"
+
+using namespace tunespace;
+
+namespace {
+
+constexpr std::size_t kSessions = 8;
+const char* kOptimizers[] = {"random-sampling", "genetic-algorithm",
+                             "simulated-annealing", "hill-climbing",
+                             "differential-evolution"};
+
+tuner::OpenSessionRequest session_request(std::size_t i) {
+  tuner::OpenSessionRequest request;
+  request.kernel = "hotspot";
+  request.optimizer = kOptimizers[i % 5];
+  request.seed = i + 1;
+  request.budget_seconds = 120.0;
+  // Fixed construction charge: the identity check compares virtual
+  // timelines bit-for-bit across transports.
+  request.fixed_construction_seconds = 5.0;
+  return request;
+}
+
+tuner::RunSummary summarize(const tuner::TuningRun& run) {
+  tuner::RunSummary summary;
+  summary.method_name = run.method_name;
+  summary.construction_seconds = run.construction_seconds;
+  summary.budget_seconds = run.budget_seconds;
+  summary.best_gflops = run.best_gflops;
+  summary.evaluations = run.evaluations;
+  for (const auto& point : run.trajectory) {
+    summary.trajectory.push_back({point.time_seconds, point.best_gflops,
+                                  static_cast<std::uint64_t>(point.evaluations)});
+  }
+  return summary;
+}
+
+/// Drive every session through any object exposing the service's ask/tell
+/// calls (TuningService or ServiceClient); returns the closed runs and
+/// counts each open/suggest/report/close as one request.
+template <typename Api>
+std::vector<tuner::RunSummary> drive_sessions(Api& api, std::uint64_t& requests) {
+  const auto* kernel = tuner::find_service_kernel("hotspot");
+  std::vector<tuner::RunSummary> runs;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const auto opened = api.open(session_request(i));
+    requests++;
+    while (true) {
+      const auto ask = api.suggest({opened.session_id});
+      requests++;
+      if (ask.finished) break;
+      csp::Config config;
+      config.reserve(ask.config.size());
+      for (const auto& entry : ask.config) config.push_back(entry.value);
+      api.report({opened.session_id,
+                  kernel->model->gflops(opened.info.param_names, config), -1.0});
+      requests++;
+    }
+    runs.push_back(api.close({opened.session_id}).run);
+    requests++;
+  }
+  return runs;
+}
+
+/// ServiceClient adapter with the same call shapes as TuningService.
+struct WireApi {
+  tuner::ServiceClient& client;
+  tuner::OpenSessionResponse open(const tuner::OpenSessionRequest& r) {
+    return client.open(r);
+  }
+  tuner::SuggestResponse suggest(const tuner::SuggestRequest& r) {
+    return client.suggest(r.session_id);
+  }
+  tuner::ReportResponse report(const tuner::ReportRequest& r) {
+    return client.report(r);
+  }
+  tuner::CloseSessionResponse close(const tuner::CloseSessionRequest& r) {
+    return client.close_session(r.session_id);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double gate_rps = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-rps") == 0 && i + 1 < argc) {
+      gate_rps = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--min-rps <x>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::section("Tuning service: ask/tell throughput, in-process and wire");
+
+  // Reference: the same sessions through the plain closed loop.
+  const auto* kernel = tuner::find_service_kernel("hotspot");
+  std::vector<tuner::RunSummary> reference;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const auto request = session_request(i);
+    auto optimizer = tuner::make_optimizer(request.optimizer);
+    tuner::TuningOptions options;
+    options.budget_seconds = request.budget_seconds;
+    options.seed = request.seed;
+    options.overhead_per_request = request.overhead_per_request;
+    options.fixed_construction_seconds = request.fixed_construction_seconds;
+    reference.push_back(summarize(tuner::run_tuning(
+        kernel->spec, tuner::optimized_method(), *kernel->model, *optimizer,
+        options)));
+  }
+
+  // In-process service.
+  std::uint64_t inprocess_requests = 0;
+  util::WallTimer timer;
+  std::vector<tuner::RunSummary> inprocess;
+  {
+    tuner::TuningService service;
+    inprocess = drive_sessions(service, inprocess_requests);
+  }
+  const double inprocess_seconds = timer.seconds();
+
+  // The same sessions over loopback TCP.
+  std::uint64_t wire_requests = 0;
+  std::vector<tuner::RunSummary> wire;
+  timer.reset();
+  double wire_seconds = 0;
+  {
+    tuner::TuningService service;
+    tuner::ServiceServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    tuner::ServiceServer server(service, server_options);
+    server.start();
+    tuner::ServiceClientOptions client_options;
+    client_options.port = server.port();
+    tuner::ServiceClient client(client_options);
+    WireApi api{client};
+    timer.reset();  // exclude server/client setup
+    wire = drive_sessions(api, wire_requests);
+    wire_seconds = timer.seconds();
+    server.stop();
+  }
+
+  bool identical = true;
+  std::uint64_t evaluations = 0;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    evaluations += reference[i].evaluations;
+    if (!(inprocess[i] == reference[i]) || !(wire[i] == reference[i])) {
+      identical = false;
+      std::fprintf(stderr,
+                   "[service] session %zu diverged: reference best %.4f "
+                   "(%llu evals), in-process best %.4f (%llu evals), wire "
+                   "best %.4f (%llu evals)\n",
+                   i, reference[i].best_gflops,
+                   static_cast<unsigned long long>(reference[i].evaluations),
+                   inprocess[i].best_gflops,
+                   static_cast<unsigned long long>(inprocess[i].evaluations),
+                   wire[i].best_gflops,
+                   static_cast<unsigned long long>(wire[i].evaluations));
+    }
+  }
+
+  const double inprocess_rps =
+      inprocess_seconds > 0 ? static_cast<double>(inprocess_requests) /
+                                  inprocess_seconds
+                            : 0;
+  const double wire_rps =
+      wire_seconds > 0 ? static_cast<double>(wire_requests) / wire_seconds : 0;
+  const double wire_amplification =
+      wire_rps > 0 ? inprocess_rps / wire_rps : 0;
+
+  std::printf(
+      "%zu sessions, %llu evaluations: in-process %llu requests in %.4fs "
+      "(%.0f req/s), wire %llu requests in %.4fs (%.0f req/s, %.1fx "
+      "amplification), identical %s\n",
+      kSessions, static_cast<unsigned long long>(evaluations),
+      static_cast<unsigned long long>(inprocess_requests), inprocess_seconds,
+      inprocess_rps, static_cast<unsigned long long>(wire_requests),
+      wire_seconds, wire_rps, wire_amplification, identical ? "yes" : "NO");
+
+  if (std::FILE* f = std::fopen("BENCH_service.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"service\",\n");
+    std::fprintf(f, "  \"fast_mode\": %s,\n", bench::fast_mode() ? "true" : "false");
+    std::fprintf(f, "  \"sessions\": %zu,\n", kSessions);
+    std::fprintf(f, "  \"evaluations\": %llu,\n",
+                 static_cast<unsigned long long>(evaluations));
+    std::fprintf(f, "  \"inprocess_requests_per_second\": %.1f,\n", inprocess_rps);
+    std::fprintf(f, "  \"wire_requests_per_second\": %.1f,\n", wire_rps);
+    std::fprintf(f, "  \"wire_amplification\": %.2f,\n", wire_amplification);
+    std::fprintf(f, "  \"identical\": %s\n", identical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+  if (!identical) {
+    std::fprintf(stderr, "[service] FAIL: transports are not bit-identical\n");
+    return 1;
+  }
+  if (gate_rps > 0 && inprocess_rps < gate_rps) {
+    std::fprintf(stderr,
+                 "[service] FAIL: in-process throughput %.0f req/s below the "
+                 "--min-rps gate of %.0f\n",
+                 inprocess_rps, gate_rps);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+// POSIX TCP plumbing shared by the service server (server.hpp) and the
+// blocking client (service_client.hpp): socket setup with the usual
+// pitfalls handled (SIGPIPE suppression, partial send/recv, EINTR,
+// ephemeral-port discovery, connect retry across server startup), plus the
+// wire::ByteStream adapter that lets the framing layer run over a socket.
+// All failures surface as tunespace::ServiceError(kIo).
+
+#include <cstdint>
+#include <string>
+
+#include "tunespace/tuner/protocol.hpp"
+
+namespace tunespace::tuner::net {
+
+/// Create a bound, listening TCP socket on host:port (port 0 picks an
+/// ephemeral port — read it back with local_port).  Throws kIo.
+int listen_tcp(const std::string& host, std::uint16_t port);
+
+/// The locally-bound port of a socket (resolves ephemeral binds).
+std::uint16_t local_port(int fd);
+
+/// Connect to host:port, retrying until `timeout_seconds` elapse — covering
+/// the race where a client starts before the server finished binding.
+/// Throws kIo once the deadline expires.
+int connect_tcp(const std::string& host, std::uint16_t port,
+                double timeout_seconds);
+
+/// accept(2) bounded by a poll timeout; returns -1 on timeout (so accept
+/// loops can observe a stop flag).  Throws kIo on a real error.
+int accept_timeout(int listen_fd, int timeout_ms);
+
+void close_fd(int fd) noexcept;
+
+/// wire::ByteStream over a connected socket.  Does not own the fd.
+class FdStream : public wire::ByteStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  void write_all(const void* data, std::size_t n) override;
+  bool read_all(void* data, std::size_t n) override;
+
+ private:
+  int fd_;
+};
+
+}  // namespace tunespace::tuner::net

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "tunespace/searchspace/searchspace.hpp"
 #include "tunespace/searchspace/view.hpp"
@@ -112,5 +113,13 @@ class DifferentialEvolution : public Optimizer {
  private:
   Params params_;
 };
+
+/// The stable names of the five standard optimizers, in portfolio order.
+std::vector<std::string> optimizer_names();
+
+/// Construct a default-parameter optimizer by its name() string — the
+/// lookup the TuningService uses to honour OpenSessionRequest::optimizer.
+/// Throws ServiceError(kInvalidArgument) for an unknown name.
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name);
 
 }  // namespace tunespace::tuner

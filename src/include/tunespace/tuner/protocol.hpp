@@ -1,0 +1,121 @@
+#pragma once
+// Wire protocol for the tuning service: length-prefixed JSON frames.
+//
+// Framing: each message is a 4-byte big-endian payload length followed by
+// that many bytes of UTF-8 JSON.  Requests are envelopes {"op": "...",
+// ...fields}; responses are {"ok": true, ...fields} on success and
+// {"ok": false, "error": {"code": "...", "message": "..."}} on failure,
+// where code is the stable error_code_name of the ServiceError the request
+// raised.  Operations: ping, open, suggest, report, best, info, stats,
+// close, drain.
+//
+// Everything here is transport-agnostic: framing runs over the abstract
+// ByteStream (a socket in server.hpp / service_client.hpp, an in-memory
+// pipe in tests), and the codecs map api.hpp structs onto util::json
+// documents.  Configurations cross the wire as JSON objects in declared
+// parameter order with exact integers (json::Value keeps int64s intact).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tunespace/tuner/api.hpp"
+#include "tunespace/util/json.hpp"
+
+namespace tunespace::tuner::wire {
+
+/// Upper bound on a frame payload; oversized lengths are a protocol error
+/// (they are far more likely a desynchronized or hostile peer than a real
+/// message).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
+
+/// Blocking byte stream the framing runs over.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  /// Write exactly `n` bytes; throws ServiceError(kIo) on failure.
+  virtual void write_all(const void* data, std::size_t n) = 0;
+  /// Read exactly `n` bytes.  Returns false on clean EOF before the first
+  /// byte; throws ServiceError(kIo) on error or mid-buffer truncation.
+  virtual bool read_all(void* data, std::size_t n) = 0;
+};
+
+/// Send one frame (length prefix + payload).
+void write_frame(ByteStream& stream, std::string_view payload);
+
+/// Receive one frame's payload; nullopt on clean EOF at a frame boundary.
+/// Throws ServiceError(kProtocol) for an oversized length, kIo for
+/// truncation.
+std::optional<std::string> read_frame(ByteStream& stream);
+
+// -- Envelopes ---------------------------------------------------------------
+
+/// {"op": op, ...body members} — body must be an object (or null for none).
+std::string encode_request(const std::string& op, const util::json::Value& body);
+
+/// Split a request frame into (op, whole document).  Throws
+/// ServiceError(kProtocol) when `op` is missing.
+std::pair<std::string, util::json::Value> decode_request(const std::string& frame);
+
+/// {"ok": true, ...body members}.
+std::string encode_ok(const util::json::Value& body);
+
+/// {"ok": false, "error": {"code": name, "message": message}}.
+std::string encode_error(ErrorCode code, const std::string& message);
+
+/// Parse a response frame; returns the document for ok=true and throws the
+/// carried ServiceError for ok=false (kProtocol if the envelope itself is
+/// malformed).
+util::json::Value decode_response(const std::string& frame);
+
+// -- Scalar / config codecs --------------------------------------------------
+
+util::json::Value to_json(const csp::Value& value);
+csp::Value csp_value_from_json(const util::json::Value& value);
+
+/// A configuration as an ordered JSON object {"param": value, ...}.
+util::json::Value config_to_json(const std::vector<NamedValue>& config);
+std::vector<NamedValue> config_from_json(const util::json::Value& value);
+
+// -- api.hpp struct codecs ---------------------------------------------------
+
+util::json::Value to_json(const OpenSessionRequest& request);
+OpenSessionRequest open_session_request_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const SessionInfo& info);
+SessionInfo session_info_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const OpenSessionResponse& response);
+OpenSessionResponse open_session_response_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const SuggestResponse& response);
+SuggestResponse suggest_response_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const ReportRequest& request);
+ReportRequest report_request_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const ReportResponse& response);
+ReportResponse report_response_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const BestResponse& response);
+BestResponse best_response_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const RunSummary& run);
+RunSummary run_summary_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const CloseSessionResponse& response);
+CloseSessionResponse close_session_response_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const ServiceStats& stats);
+ServiceStats service_stats_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const DrainRequest& request);
+DrainRequest drain_request_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const DrainResponse& response);
+DrainResponse drain_response_from_json(const util::json::Value& value);
+
+}  // namespace tunespace::tuner::wire

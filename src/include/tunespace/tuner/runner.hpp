@@ -69,6 +69,10 @@ struct TuningOptions {
 
 /// Run one tuning session: construct the space with `method`, then drive
 /// `optimizer` over it until the virtual budget is exhausted.
+///
+/// Thin shim: builds the space and chains through the SubSpace overload
+/// below onto run_session_loop (session.hpp), the one canonical
+/// stepper-backed session entry point.
 TuningRun run_tuning(const TuningProblem& spec, const Method& method,
                      const PerformanceModel& model, Optimizer& optimizer,
                      const TuningOptions& options);
@@ -78,6 +82,10 @@ TuningRun run_tuning(const TuningProblem& spec, const Method& method,
 /// restrict-per-scenario workflow.  The parent space's measured
 /// construction latency is charged to the virtual clock (the restriction
 /// itself is effectively free); rows in the run are the view's local ids.
+///
+/// Thin shim over run_session_loop (session.hpp): every tuning path —
+/// these overloads, SessionManager workers, Portfolio members and the
+/// TuningService — drives the same SessionStepper ask/tell core.
 TuningRun run_tuning(const searchspace::SubSpace& view, const PerformanceModel& model,
                      Optimizer& optimizer, const TuningOptions& options,
                      const std::string& method_name = "subspace");

@@ -1,0 +1,62 @@
+#pragma once
+// TCP front end for a TuningService: accepts connections and maps
+// length-prefixed JSON frames (protocol.hpp) onto service entry points.
+//
+// One thread per connection; a connection carries any number of requests
+// (sessions are not bound to connections — a client may reconnect and keep
+// driving its session by id, which is what makes the ask/tell surface
+// resumable across client restarts).  Any ServiceError becomes an error
+// frame carrying the stable code; other exceptions map to kInternal.  The
+// "drain" op supports graceful shutdown: stop admissions, optionally wait
+// for live sessions to close, and — with exit_when_drained — release
+// wait() so the hosting binary can stop, persist state and exit.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tunespace/tuner/service.hpp"
+
+namespace tunespace::tuner {
+
+struct ServiceServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  /// Release wait() once a drain request observes the service fully
+  /// drained (the scripted-session / CI smoke workflow).
+  bool exit_when_drained = false;
+};
+
+/// Serves one TuningService over TCP.  start() spawns the accept loop;
+/// stop() (or destruction) closes the listener and joins every thread.
+class ServiceServer {
+ public:
+  explicit ServiceServer(TuningService& service, ServiceServerOptions options = {});
+  ~ServiceServer();
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Bind, listen and start accepting.  Throws ServiceError(kIo).
+  void start();
+
+  /// Block until stop() is called from another thread or — with
+  /// exit_when_drained — a drain completes.
+  void wait();
+
+  /// Bounded wait(); returns true once stopping or drain-exited.  Lets a
+  /// hosting binary interleave the wait with signal-flag polling.
+  bool wait_for(double timeout_seconds);
+
+  /// Stop accepting, close every connection and join all threads
+  /// (idempotent).  Live sessions survive in the service.
+  void stop();
+
+  /// The bound port (resolves an ephemeral request); valid after start().
+  std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tunespace::tuner

@@ -15,10 +15,19 @@
 //                     sharing never changes a session's result — it only
 //                     skips redundant model work.
 //
-//   run_session_loop  the single session-loop core (virtual clock, budget
-//                     and overhead accounting, trajectory recording) that
-//                     the legacy run_tuning overloads, the SessionManager
-//                     workers and the Portfolio members all call.
+//   SessionStepper    the single session core, inverted into a resumable
+//                     ask/tell state machine: suggest() yields the next
+//                     configuration to measure, report() feeds the
+//                     measurement back and advances the virtual clock,
+//                     budget accounting, trajectory and shared-cache
+//                     interaction.  The legacy run_tuning overloads, the
+//                     SessionManager workers, the Portfolio members and the
+//                     TuningService (service.hpp) are all thin drivers over
+//                     it — the session semantics exist exactly once.
+//
+//   run_session_loop  the closed-loop driver over a SessionStepper: asks,
+//                     answers each suggestion with the performance model,
+//                     and returns the finished TuningRun.
 //
 //   SessionManager    schedules many TuningSessions over a worker pool.
 //                     Sessions whose spec + method hash to the same
@@ -40,19 +49,24 @@
 //                     member trajectory are reproducible bit-for-bit
 //                     regardless of thread scheduling.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "tunespace/searchspace/query.hpp"
 #include "tunespace/searchspace/searchspace.hpp"
 #include "tunespace/searchspace/view.hpp"
+#include "tunespace/tuner/api.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/util/timer.hpp"
 
 namespace tunespace::tuner {
 
@@ -78,6 +92,13 @@ class SharedEvalCache {
   std::size_t size() const;      ///< distinct cached measurements
   std::uint64_t hits() const;    ///< lookups served from the cache
   std::uint64_t misses() const;  ///< lookups that fell through to the model
+
+  /// Visit every cached entry (stripe by stripe, under the stripe locks);
+  /// visiting order is unspecified.  Powers the TuningService's eval-cache
+  /// persistence.
+  void for_each(const std::function<void(std::uint64_t space_fingerprint,
+                                         std::uint64_t parent_row,
+                                         double gflops)>& fn) const;
 
  private:
   struct Stripe;
@@ -108,11 +129,137 @@ struct SessionHooks {
   std::function<bool(double now)> stop;
 };
 
+/// A configuration the stepper wants measured.
+struct Suggestion {
+  std::size_t row = 0;           ///< view-local row id
+  std::uint64_t parent_row = 0;  ///< row id in the parent space
+  csp::Config config;            ///< values in declared parameter order
+};
+
+/// The session core inverted into a resumable ask/tell state machine.
+///
+/// A SessionStepper owns one session's virtual clock, budget and overhead
+/// accounting, trajectory, session-local memo and shared-eval-cache
+/// interaction.  The optimizer runs unchanged on a private worker thread;
+/// whenever it requests an evaluation the stepper either satisfies it
+/// internally (session memo, shared cache — both charge the clock exactly
+/// as the closed loop did) or parks the worker and surfaces the
+/// configuration through suggest().  report() feeds the measurement back,
+/// resumes the worker and returns once it parks at the next request (or
+/// finishes), so between any two public calls the machine is quiescent and
+/// every accessor is safe.
+///
+/// Contract (enforced with ServiceError):
+///   - suggest() and report() strictly alternate: report() without an
+///     outstanding suggestion throws kWrongState, as does suggest() while a
+///     report is pending.  Once the session completed, suggest() returns
+///     nullopt (idempotently) and report() throws kSessionFinished.
+///   - Replay is deterministic: driving the stepper with the same view,
+///     optimizer, options and measurement sequence reproduces the same
+///     suggestions and the same TuningRun bit-for-bit — run_session_loop is
+///     exactly such a drive, so an ask/tell replay matches the closed loop.
+///   - A measurement reported for (view, cache_fingerprint) becomes visible
+///     to every other session sharing the cache the moment report() charges
+///     it; later sessions hitting the entry still charge full evaluation
+///     cost, so sharing never changes any session's TuningRun.
+class SessionStepper {
+ public:
+  /// Computes the virtual-clock charge of a measurement (the model's
+  /// evaluation_cost on the library path); also used to charge shared-cache
+  /// hits, which never reach the reporter.
+  using CostFn = std::function<double(double gflops)>;
+
+  /// `optimizer`, `stats` and everything captured by `cost` and `hooks`
+  /// must outlive the stepper.  The constructor runs the optimizer up to
+  /// its first evaluation request (or to completion, for an empty view or
+  /// an exhausted budget).
+  SessionStepper(searchspace::SubSpace view, std::string method_name,
+                 double construction_seconds, Optimizer& optimizer,
+                 const TuningOptions& options, CostFn cost,
+                 SharedEvalCache* shared_cache = nullptr,
+                 std::uint64_t cache_fingerprint = 0,
+                 SessionStats* stats = nullptr, SessionHooks hooks = {});
+  ~SessionStepper();  // cancels a still-live session
+  SessionStepper(const SessionStepper&) = delete;
+  SessionStepper& operator=(const SessionStepper&) = delete;
+
+  /// Next configuration to measure, or nullopt once the session finished
+  /// (budget exhausted or the optimizer swept the space).  Rethrows any
+  /// exception the optimizer escaped with.
+  std::optional<Suggestion> suggest();
+
+  /// Answer the outstanding suggestion: `gflops` is the measurement;
+  /// `measure_seconds` is the wall cost charged to the virtual clock (< 0
+  /// charges cost(gflops), the model path).  Publishes to the shared cache,
+  /// advances the clock, memoizes, and extends the trajectory.
+  void report(double gflops, double measure_seconds = -1.0);
+
+  /// Abort the optimizer and finalize with the partial TuningRun (idempotent).
+  void cancel();
+
+  bool awaiting_report() const { return awaiting_report_; }
+  bool finished() const { return finished_; }
+  double now() const { return clock_.now(); }  ///< session virtual time
+  const searchspace::SubSpace& view() const { return view_; }
+  const std::vector<std::string>& param_names() const { return names_; }
+  /// The run so far (final once finished()); valid between public calls.
+  const TuningRun& run() const { return run_; }
+  /// Move the finished run out; requires finished().
+  TuningRun take_run();
+  /// Best measured configuration so far; nullopt before the first
+  /// improvement.
+  const std::optional<Suggestion>& best() const { return best_; }
+
+ private:
+  struct Reply {
+    double gflops = 0;
+    double cost_seconds = -1;
+  };
+
+  double evaluate(std::size_t row);      // optimizer-facing (worker thread)
+  Reply yield_ask(Suggestion ask);       // park the worker, wait for report
+  void wait_parked(std::unique_lock<std::mutex>& lock);
+  void finalize();                       // join + rethrow a worker error
+
+  searchspace::SubSpace view_;
+  TuningOptions options_;
+  Optimizer* optimizer_;
+  CostFn cost_;
+  SharedEvalCache* shared_cache_;
+  std::uint64_t cache_fingerprint_;
+  SessionStats* stats_;
+  SessionHooks hooks_;
+  std::vector<std::string> names_;
+  util::VirtualClock clock_;
+  util::WallTimer wall_;
+  util::Rng rng_;
+  std::unordered_map<std::size_t, double> memo_;
+  TuningRun run_;
+  std::optional<Suggestion> best_;
+
+  // Rendezvous between the driver (public methods) and the worker thread.
+  // All flags below are guarded by mutex_; outside a public call the worker
+  // is parked in yield_ask or has set done_, so the driver-side reads of
+  // run_/clock_/best_ race with nothing.
+  std::thread worker_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<Suggestion> pending_;  ///< parked ask not yet consumed
+  Reply reply_;
+  bool resume_ = false;
+  std::atomic<bool> abort_{false};
+  bool done_ = false;
+  std::exception_ptr worker_error_;
+  bool awaiting_report_ = false;
+  bool finished_ = false;
+};
+
 /// The single session-loop core: charge `construction_seconds` to a fresh
 /// virtual clock, then drive `optimizer` over `view` until the budget is
-/// exhausted, recording the best-so-far trajectory.  Both run_tuning
-/// overloads, the SessionManager and the Portfolio call this — the
-/// virtual-clock / overhead accounting exists exactly once.
+/// exhausted, recording the best-so-far trajectory.  Since PR 7 this is a
+/// closed-loop driver over SessionStepper — it answers every suggestion
+/// with the performance model — and remains the one entry point the
+/// run_tuning shims, the SessionManager and the Portfolio call.
 ///
 /// `shared_cache` (optional) is consulted before the performance model,
 /// keyed by `cache_fingerprint` and the view's *parent* row ids; cache hits
@@ -197,6 +344,9 @@ class SessionManager {
       SessionStats* stats = nullptr);
 
   const SharedEvalCache& eval_cache() const { return eval_cache_; }
+  /// Mutable cache access for runtimes layered on top (the TuningService
+  /// hands it to its steppers and persists it across restarts).
+  SharedEvalCache& eval_cache() { return eval_cache_; }
   const SessionManagerOptions& options() const { return options_; }
   std::size_t spaces_built() const;   ///< registry misses (fresh builds)
   std::size_t spaces_shared() const;  ///< registry hits (reused spaces)

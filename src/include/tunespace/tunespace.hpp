@@ -51,6 +51,15 @@
 #include "tunespace/tuner/runner.hpp"
 #include "tunespace/tuner/tuning_problem.hpp"
 
+// Tuning as a service: concurrent sessions, the ask/tell service front end
+// and its wire protocol (client and server).
+#include "tunespace/tuner/api.hpp"
+#include "tunespace/tuner/protocol.hpp"
+#include "tunespace/tuner/server.hpp"
+#include "tunespace/tuner/service.hpp"
+#include "tunespace/tuner/service_client.hpp"
+#include "tunespace/tuner/session.hpp"
+
 // Evaluation workloads (Table 2 spaces, synthetic suite).
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/spaces/synthetic.hpp"

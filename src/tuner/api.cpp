@@ -1,0 +1,41 @@
+#include "tunespace/tuner/api.hpp"
+
+#include <array>
+#include <utility>
+
+namespace tunespace {
+
+namespace {
+
+// Wire-stable (code, name) pairs: appending is safe, renaming is not.
+constexpr std::array<std::pair<ErrorCode, const char*>, 11> kCodeNames{{
+    {ErrorCode::kOk, "ok"},
+    {ErrorCode::kInvalidArgument, "invalid_argument"},
+    {ErrorCode::kUnknownSession, "unknown_session"},
+    {ErrorCode::kAdmissionLimit, "admission_limit"},
+    {ErrorCode::kDraining, "draining"},
+    {ErrorCode::kWrongState, "wrong_state"},
+    {ErrorCode::kSessionFinished, "session_finished"},
+    {ErrorCode::kSpaceBuildFailed, "space_build_failed"},
+    {ErrorCode::kProtocol, "protocol"},
+    {ErrorCode::kIo, "io"},
+    {ErrorCode::kInternal, "internal"},
+}};
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  for (const auto& [c, name] : kCodeNames) {
+    if (c == code) return name;
+  }
+  return "internal";
+}
+
+ErrorCode error_code_from_name(std::string_view name) {
+  for (const auto& [code, n] : kCodeNames) {
+    if (name == n) return code;
+  }
+  return ErrorCode::kInternal;
+}
+
+}  // namespace tunespace

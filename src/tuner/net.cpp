@@ -1,0 +1,141 @@
+#include "tunespace/tuner/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace tunespace::tuner::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ServiceError(ErrorCode::kIo, what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ServiceError(ErrorCode::kIo, "bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("listen");
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port,
+                double timeout_seconds) {
+  const sockaddr_in addr = make_addr(host, port);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      errno = err;
+      fail("connect " + host + ":" + std::to_string(port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+int accept_timeout(int listen_fd, int timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return -1;
+    fail("poll");
+  }
+  if (ready == 0) return -1;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return -1;
+    fail("accept");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+void FdStream::write_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool FdStream::read_all(void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw ServiceError(ErrorCode::kIo, "connection closed mid-read");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace tunespace::tuner::net

@@ -6,8 +6,26 @@
 
 #include "tunespace/searchspace/neighbors.hpp"
 #include "tunespace/searchspace/sampling.hpp"
+#include "tunespace/tuner/api.hpp"
 
 namespace tunespace::tuner {
+
+std::vector<std::string> optimizer_names() {
+  return {"random-sampling", "genetic-algorithm", "simulated-annealing",
+          "hill-climbing", "differential-evolution"};
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name) {
+  if (name == "random-sampling") return std::make_unique<RandomSearch>();
+  if (name == "genetic-algorithm") return std::make_unique<GeneticAlgorithm>();
+  if (name == "simulated-annealing") return std::make_unique<SimulatedAnnealing>();
+  if (name == "hill-climbing") return std::make_unique<HillClimber>();
+  if (name == "differential-evolution") {
+    return std::make_unique<DifferentialEvolution>();
+  }
+  throw ServiceError(ErrorCode::kInvalidArgument,
+                     "unknown optimizer '" + name + "'");
+}
 
 using searchspace::NeighborMethod;
 using searchspace::SubSpace;

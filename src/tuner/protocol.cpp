@@ -1,0 +1,437 @@
+#include "tunespace/tuner/protocol.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace tunespace::tuner::wire {
+
+using util::json::Value;
+
+void write_frame(ByteStream& stream, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ServiceError(ErrorCode::kProtocol, "frame payload exceeds 16 MiB");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {static_cast<unsigned char>(n >> 24),
+                             static_cast<unsigned char>(n >> 16),
+                             static_cast<unsigned char>(n >> 8),
+                             static_cast<unsigned char>(n)};
+  stream.write_all(prefix, sizeof prefix);
+  if (n > 0) stream.write_all(payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(ByteStream& stream) {
+  unsigned char prefix[4];
+  if (!stream.read_all(prefix, sizeof prefix)) return std::nullopt;
+  const std::uint32_t n = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                          (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                          (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                          static_cast<std::uint32_t>(prefix[3]);
+  if (n > kMaxFrameBytes) {
+    throw ServiceError(ErrorCode::kProtocol, "frame length exceeds 16 MiB");
+  }
+  std::string payload(n, '\0');
+  if (n > 0 && !stream.read_all(payload.data(), n)) {
+    throw ServiceError(ErrorCode::kIo, "connection closed mid-frame");
+  }
+  return payload;
+}
+
+std::string encode_request(const std::string& op, const Value& body) {
+  Value envelope = Value::object();
+  envelope.set("op", op);
+  for (const auto& [key, value] : body.members()) envelope.set(key, value);
+  return envelope.dump();
+}
+
+std::pair<std::string, Value> decode_request(const std::string& frame) {
+  Value document = Value::parse(frame);
+  const std::string& op = document.at("op").as_string();
+  if (op.empty()) {
+    throw ServiceError(ErrorCode::kProtocol, "request frame carries no op");
+  }
+  return {op, std::move(document)};
+}
+
+std::string encode_ok(const Value& body) {
+  Value envelope = Value::object();
+  envelope.set("ok", true);
+  for (const auto& [key, value] : body.members()) envelope.set(key, value);
+  return envelope.dump();
+}
+
+std::string encode_error(ErrorCode code, const std::string& message) {
+  Value error = Value::object();
+  error.set("code", error_code_name(code));
+  error.set("message", message);
+  Value envelope = Value::object();
+  envelope.set("ok", false);
+  envelope.set("error", std::move(error));
+  return envelope.dump();
+}
+
+Value decode_response(const std::string& frame) {
+  Value document = Value::parse(frame);
+  const Value* ok = document.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    throw ServiceError(ErrorCode::kProtocol, "response frame carries no ok flag");
+  }
+  if (ok->as_bool()) return document;
+  const Value& error = document.at("error");
+  const std::string& message = error.at("message").as_string();
+  throw ServiceError(error_code_from_name(error.at("code").as_string()),
+                     message.empty() ? "remote error" : message);
+}
+
+// ---------------------------------------------------------------------------
+// Scalars and configurations
+// ---------------------------------------------------------------------------
+
+Value to_json(const csp::Value& value) {
+  switch (value.kind()) {
+    case csp::ValueKind::Int: return Value(value.as_int());
+    case csp::ValueKind::Bool: return Value(value.truthy());
+    case csp::ValueKind::Real: return Value(value.as_real());
+    case csp::ValueKind::Str: return Value(value.as_str());
+  }
+  return Value(nullptr);
+}
+
+csp::Value csp_value_from_json(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::Bool: return csp::Value(value.as_bool());
+    case Value::Kind::Int: return csp::Value(value.as_int());
+    case Value::Kind::Double: return csp::Value(value.as_double());
+    case Value::Kind::String: return csp::Value(value.as_string());
+    default:
+      throw ServiceError(ErrorCode::kProtocol,
+                         "parameter values must be scalars");
+  }
+}
+
+Value config_to_json(const std::vector<NamedValue>& config) {
+  Value object = Value::object();
+  for (const auto& entry : config) object.set(entry.name, to_json(entry.value));
+  return object;
+}
+
+std::vector<NamedValue> config_from_json(const Value& value) {
+  std::vector<NamedValue> config;
+  config.reserve(value.members().size());
+  for (const auto& [name, member] : value.members()) {
+    config.push_back({name, csp_value_from_json(member)});
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// api.hpp structs
+// ---------------------------------------------------------------------------
+
+Value to_json(const OpenSessionRequest& request) {
+  Value body = Value::object();
+  body.set("tenant", request.tenant);
+  body.set("kernel", request.kernel);
+  body.set("optimizer", request.optimizer);
+  body.set("method", request.method);
+  body.set("seed", request.seed);
+  body.set("budget_seconds", request.budget_seconds);
+  body.set("overhead_per_request", request.overhead_per_request);
+  body.set("fixed_construction_seconds", request.fixed_construction_seconds);
+  body.set("construction_time_scale", request.construction_time_scale);
+  if (!request.restrictions.empty()) {
+    Value restrictions = Value::object();
+    for (const auto& filter : request.restrictions) {
+      Value values = Value::array();
+      for (const auto& v : filter.values) values.push(to_json(v));
+      restrictions.set(filter.param, std::move(values));
+    }
+    body.set("restrictions", std::move(restrictions));
+  }
+  return body;
+}
+
+OpenSessionRequest open_session_request_from_json(const Value& value) {
+  OpenSessionRequest request;
+  request.tenant = value.at("tenant").as_string();
+  request.kernel = value.at("kernel").as_string();
+  if (const Value* v = value.find("optimizer")) request.optimizer = v->as_string();
+  request.method = value.at("method").as_string();
+  request.seed = value.at("seed").as_uint(request.seed);
+  request.budget_seconds =
+      value.at("budget_seconds").as_double(request.budget_seconds);
+  request.overhead_per_request =
+      value.at("overhead_per_request").as_double(request.overhead_per_request);
+  request.fixed_construction_seconds =
+      value.at("fixed_construction_seconds")
+          .as_double(request.fixed_construction_seconds);
+  request.construction_time_scale =
+      value.at("construction_time_scale").as_double(request.construction_time_scale);
+  for (const auto& [param, values] : value.at("restrictions").members()) {
+    ParamFilter filter;
+    filter.param = param;
+    for (const auto& v : values.items()) {
+      filter.values.push_back(csp_value_from_json(v));
+    }
+    request.restrictions.push_back(std::move(filter));
+  }
+  return request;
+}
+
+Value to_json(const SessionInfo& info) {
+  Value body = Value::object();
+  body.set("session_id", info.session_id);
+  body.set("tenant", info.tenant);
+  body.set("kernel", info.kernel);
+  body.set("optimizer", info.optimizer);
+  body.set("method", info.method);
+  body.set("space_rows", info.space_rows);
+  Value names = Value::array();
+  for (const auto& name : info.param_names) names.push(name);
+  body.set("param_names", std::move(names));
+  body.set("shared_space", info.shared_space);
+  body.set("awaiting_report", info.awaiting_report);
+  body.set("finished", info.finished);
+  body.set("now_seconds", info.now_seconds);
+  body.set("budget_seconds", info.budget_seconds);
+  body.set("best_gflops", info.best_gflops);
+  body.set("evaluations", info.evaluations);
+  body.set("shared_cache_hits", info.shared_cache_hits);
+  body.set("model_evaluations", info.model_evaluations);
+  return body;
+}
+
+SessionInfo session_info_from_json(const Value& value) {
+  SessionInfo info;
+  info.session_id = value.at("session_id").as_uint();
+  info.tenant = value.at("tenant").as_string();
+  info.kernel = value.at("kernel").as_string();
+  info.optimizer = value.at("optimizer").as_string();
+  info.method = value.at("method").as_string();
+  info.space_rows = value.at("space_rows").as_uint();
+  for (const auto& name : value.at("param_names").items()) {
+    info.param_names.push_back(name.as_string());
+  }
+  info.shared_space = value.at("shared_space").as_bool();
+  info.awaiting_report = value.at("awaiting_report").as_bool();
+  info.finished = value.at("finished").as_bool();
+  info.now_seconds = value.at("now_seconds").as_double();
+  info.budget_seconds = value.at("budget_seconds").as_double();
+  info.best_gflops = value.at("best_gflops").as_double();
+  info.evaluations = value.at("evaluations").as_uint();
+  info.shared_cache_hits = value.at("shared_cache_hits").as_uint();
+  info.model_evaluations = value.at("model_evaluations").as_uint();
+  return info;
+}
+
+Value to_json(const OpenSessionResponse& response) {
+  Value body = Value::object();
+  body.set("session_id", response.session_id);
+  body.set("info", to_json(response.info));
+  return body;
+}
+
+OpenSessionResponse open_session_response_from_json(const Value& value) {
+  OpenSessionResponse response;
+  response.session_id = value.at("session_id").as_uint();
+  response.info = session_info_from_json(value.at("info"));
+  return response;
+}
+
+Value to_json(const SuggestResponse& response) {
+  Value body = Value::object();
+  body.set("session_id", response.session_id);
+  body.set("finished", response.finished);
+  if (!response.finished) {
+    body.set("config_id", response.config_id);
+    body.set("parent_row", response.parent_row);
+    body.set("config", config_to_json(response.config));
+  }
+  body.set("now_seconds", response.now_seconds);
+  body.set("evaluations", response.evaluations);
+  return body;
+}
+
+SuggestResponse suggest_response_from_json(const Value& value) {
+  SuggestResponse response;
+  response.session_id = value.at("session_id").as_uint();
+  response.finished = value.at("finished").as_bool();
+  response.config_id = value.at("config_id").as_uint();
+  response.parent_row = value.at("parent_row").as_uint();
+  response.config = config_from_json(value.at("config"));
+  response.now_seconds = value.at("now_seconds").as_double();
+  response.evaluations = value.at("evaluations").as_uint();
+  return response;
+}
+
+Value to_json(const ReportRequest& request) {
+  Value body = Value::object();
+  body.set("session_id", request.session_id);
+  body.set("gflops", request.gflops);
+  body.set("measure_seconds", request.measure_seconds);
+  return body;
+}
+
+ReportRequest report_request_from_json(const Value& value) {
+  ReportRequest request;
+  request.session_id = value.at("session_id").as_uint();
+  request.gflops = value.at("gflops").as_double();
+  request.measure_seconds =
+      value.at("measure_seconds").as_double(request.measure_seconds);
+  return request;
+}
+
+Value to_json(const ReportResponse& response) {
+  Value body = Value::object();
+  body.set("session_id", response.session_id);
+  body.set("improved", response.improved);
+  body.set("finished", response.finished);
+  body.set("best_gflops", response.best_gflops);
+  body.set("now_seconds", response.now_seconds);
+  body.set("evaluations", response.evaluations);
+  return body;
+}
+
+ReportResponse report_response_from_json(const Value& value) {
+  ReportResponse response;
+  response.session_id = value.at("session_id").as_uint();
+  response.improved = value.at("improved").as_bool();
+  response.finished = value.at("finished").as_bool();
+  response.best_gflops = value.at("best_gflops").as_double();
+  response.now_seconds = value.at("now_seconds").as_double();
+  response.evaluations = value.at("evaluations").as_uint();
+  return response;
+}
+
+Value to_json(const BestResponse& response) {
+  Value body = Value::object();
+  body.set("session_id", response.session_id);
+  body.set("best_gflops", response.best_gflops);
+  body.set("config", config_to_json(response.config));
+  body.set("now_seconds", response.now_seconds);
+  body.set("evaluations", response.evaluations);
+  body.set("finished", response.finished);
+  return body;
+}
+
+BestResponse best_response_from_json(const Value& value) {
+  BestResponse response;
+  response.session_id = value.at("session_id").as_uint();
+  response.best_gflops = value.at("best_gflops").as_double();
+  response.config = config_from_json(value.at("config"));
+  response.now_seconds = value.at("now_seconds").as_double();
+  response.evaluations = value.at("evaluations").as_uint();
+  response.finished = value.at("finished").as_bool();
+  return response;
+}
+
+Value to_json(const RunSummary& run) {
+  Value body = Value::object();
+  body.set("method_name", run.method_name);
+  body.set("construction_seconds", run.construction_seconds);
+  body.set("budget_seconds", run.budget_seconds);
+  body.set("best_gflops", run.best_gflops);
+  body.set("evaluations", run.evaluations);
+  Value trajectory = Value::array();
+  for (const auto& point : run.trajectory) {
+    Value entry = Value::object();
+    entry.set("time_seconds", point.time_seconds);
+    entry.set("best_gflops", point.best_gflops);
+    entry.set("evaluations", point.evaluations);
+    trajectory.push(std::move(entry));
+  }
+  body.set("trajectory", std::move(trajectory));
+  return body;
+}
+
+RunSummary run_summary_from_json(const Value& value) {
+  RunSummary run;
+  run.method_name = value.at("method_name").as_string();
+  run.construction_seconds = value.at("construction_seconds").as_double();
+  run.budget_seconds = value.at("budget_seconds").as_double();
+  run.best_gflops = value.at("best_gflops").as_double();
+  run.evaluations = value.at("evaluations").as_uint();
+  for (const auto& entry : value.at("trajectory").items()) {
+    run.trajectory.push_back({entry.at("time_seconds").as_double(),
+                              entry.at("best_gflops").as_double(),
+                              entry.at("evaluations").as_uint()});
+  }
+  return run;
+}
+
+Value to_json(const CloseSessionResponse& response) {
+  Value body = Value::object();
+  body.set("session_id", response.session_id);
+  body.set("run", to_json(response.run));
+  return body;
+}
+
+CloseSessionResponse close_session_response_from_json(const Value& value) {
+  CloseSessionResponse response;
+  response.session_id = value.at("session_id").as_uint();
+  response.run = run_summary_from_json(value.at("run"));
+  return response;
+}
+
+Value to_json(const ServiceStats& stats) {
+  Value body = Value::object();
+  body.set("live_sessions", stats.live_sessions);
+  body.set("total_opened", stats.total_opened);
+  body.set("total_closed", stats.total_closed);
+  body.set("total_rejected", stats.total_rejected);
+  body.set("draining", stats.draining);
+  body.set("cache_entries", stats.cache_entries);
+  body.set("cache_hits", stats.cache_hits);
+  body.set("cache_misses", stats.cache_misses);
+  body.set("spaces_built", stats.spaces_built);
+  body.set("spaces_shared", stats.spaces_shared);
+  return body;
+}
+
+ServiceStats service_stats_from_json(const Value& value) {
+  ServiceStats stats;
+  stats.live_sessions = value.at("live_sessions").as_uint();
+  stats.total_opened = value.at("total_opened").as_uint();
+  stats.total_closed = value.at("total_closed").as_uint();
+  stats.total_rejected = value.at("total_rejected").as_uint();
+  stats.draining = value.at("draining").as_bool();
+  stats.cache_entries = value.at("cache_entries").as_uint();
+  stats.cache_hits = value.at("cache_hits").as_uint();
+  stats.cache_misses = value.at("cache_misses").as_uint();
+  stats.spaces_built = value.at("spaces_built").as_uint();
+  stats.spaces_shared = value.at("spaces_shared").as_uint();
+  return stats;
+}
+
+Value to_json(const DrainRequest& request) {
+  Value body = Value::object();
+  body.set("wait", request.wait);
+  body.set("timeout_seconds", request.timeout_seconds);
+  return body;
+}
+
+DrainRequest drain_request_from_json(const Value& value) {
+  DrainRequest request;
+  request.wait = value.at("wait").as_bool();
+  request.timeout_seconds =
+      value.at("timeout_seconds").as_double(request.timeout_seconds);
+  return request;
+}
+
+Value to_json(const DrainResponse& response) {
+  Value body = Value::object();
+  body.set("draining", response.draining);
+  body.set("drained", response.drained);
+  body.set("live_sessions", response.live_sessions);
+  return body;
+}
+
+DrainResponse drain_response_from_json(const Value& value) {
+  DrainResponse response;
+  response.draining = value.at("draining").as_bool();
+  response.drained = value.at("drained").as_bool();
+  response.live_sessions = value.at("live_sessions").as_uint();
+  return response;
+}
+
+}  // namespace tunespace::tuner::wire

@@ -13,17 +13,19 @@ double TuningRun::best_at(double time) const {
   return best;
 }
 
-// Both overloads delegate to run_session_loop (session.cpp): the virtual
-// clock, budget and overhead accounting exist exactly once, shared with the
-// SessionManager workers and the Portfolio members.
+// Both overloads are thin shims over the one canonical stepper-backed entry
+// point, run_session_loop (session.cpp): the spec overload only adds space
+// construction, then chains through the view overload.  The virtual clock,
+// budget and overhead accounting live exactly once, in SessionStepper,
+// shared with the SessionManager workers, the Portfolio members and the
+// TuningService.
 
 TuningRun run_tuning(const TuningProblem& spec, const Method& method,
                      const PerformanceModel& model, Optimizer& optimizer,
                      const TuningOptions& options) {
   // Construction: real measured latency, charged to the virtual clock.
   searchspace::SearchSpace space(spec, method);
-  return run_session_loop(space, method.name, space.construction_seconds(),
-                          model, optimizer, options);
+  return run_tuning(space, model, optimizer, options, method.name);
 }
 
 TuningRun run_tuning(const searchspace::SubSpace& view, const PerformanceModel& model,

@@ -1,0 +1,217 @@
+#include "tunespace/tuner/server.hpp"
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <thread>
+
+#include "tunespace/tuner/net.hpp"
+#include "tunespace/tuner/protocol.hpp"
+
+namespace tunespace::tuner {
+
+using util::json::Value;
+
+struct ServiceServer::Impl {
+  TuningService& service;
+  ServiceServerOptions options;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::thread accept_thread;
+
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool stopping = false;
+  bool drain_exit = false;
+  std::list<Conn> conns;
+
+  explicit Impl(TuningService& s, ServiceServerOptions o)
+      : service(s), options(std::move(o)) {}
+
+  std::string dispatch(const std::string& op, const Value& body,
+                       bool& exit_after_reply) {
+    if (op == "ping") {
+      Value reply = Value::object();
+      reply.set("pong", true);
+      return wire::encode_ok(reply);
+    }
+    if (op == "open") {
+      return wire::encode_ok(wire::to_json(
+          service.open(wire::open_session_request_from_json(body))));
+    }
+    if (op == "suggest") {
+      return wire::encode_ok(wire::to_json(
+          service.suggest({body.at("session_id").as_uint()})));
+    }
+    if (op == "report") {
+      return wire::encode_ok(
+          wire::to_json(service.report(wire::report_request_from_json(body))));
+    }
+    if (op == "best") {
+      return wire::encode_ok(
+          wire::to_json(service.best({body.at("session_id").as_uint()})));
+    }
+    if (op == "info") {
+      return wire::encode_ok(
+          wire::to_json(service.info(body.at("session_id").as_uint())));
+    }
+    if (op == "stats") {
+      return wire::encode_ok(wire::to_json(service.stats()));
+    }
+    if (op == "close") {
+      return wire::encode_ok(
+          wire::to_json(service.close({body.at("session_id").as_uint()})));
+    }
+    if (op == "drain") {
+      const DrainRequest request = wire::drain_request_from_json(body);
+      service.begin_drain();
+      if (request.wait) service.wait_drained(request.timeout_seconds);
+      DrainResponse response;
+      response.draining = service.draining();
+      response.drained = service.drained();
+      response.live_sessions = service.stats().live_sessions;
+      // Signal only after the reply frame is on the wire (serve_connection
+      // raises drain_exit), or stop() could shut the socket down under the
+      // in-flight drain response.
+      exit_after_reply = response.drained && options.exit_when_drained;
+      return wire::encode_ok(wire::to_json(response));
+    }
+    throw ServiceError(ErrorCode::kProtocol, "unknown op '" + op + "'");
+  }
+
+  std::string handle_frame(const std::string& frame, bool& exit_after_reply) {
+    try {
+      const auto [op, body] = wire::decode_request(frame);
+      return dispatch(op, body, exit_after_reply);
+    } catch (const ServiceError& e) {
+      return wire::encode_error(e.code(), e.what());
+    } catch (const std::exception& e) {
+      return wire::encode_error(ErrorCode::kInternal, e.what());
+    }
+  }
+
+  void serve_connection(int fd, const std::shared_ptr<std::atomic<bool>>& done) {
+    net::FdStream stream(fd);
+    try {
+      while (auto frame = wire::read_frame(stream)) {
+        bool exit_after_reply = false;
+        wire::write_frame(stream, handle_frame(*frame, exit_after_reply));
+        if (exit_after_reply) {
+          std::lock_guard<std::mutex> lock(mutex);
+          drain_exit = true;
+          cv.notify_all();
+        }
+      }
+    } catch (const std::exception&) {
+      // Peer went away or desynchronized: drop the connection.  Sessions
+      // survive in the service and a reconnect can resume them by id.
+    }
+    done->store(true);
+  }
+
+  void reap_finished() {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->finished->load()) {
+        it->thread.join();
+        net::close_fd(it->fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void accept_loop() {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping) return;
+      }
+      reap_finished();
+      int fd = -1;
+      try {
+        fd = net::accept_timeout(listen_fd, 100);
+      } catch (const std::exception&) {
+        return;  // listener closed under us (stop())
+      }
+      if (fd < 0) continue;
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      std::lock_guard<std::mutex> lock(mutex);
+      if (stopping) {
+        net::close_fd(fd);
+        return;
+      }
+      Conn conn;
+      conn.fd = fd;
+      conn.finished = done;
+      conn.thread = std::thread([this, fd, done] { serve_connection(fd, done); });
+      conns.push_back(std::move(conn));
+    }
+  }
+};
+
+ServiceServer::ServiceServer(TuningService& service, ServiceServerOptions options)
+    : impl_(std::make_unique<Impl>(service, std::move(options))) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+void ServiceServer::start() {
+  impl_->listen_fd = net::listen_tcp(impl_->options.host, impl_->options.port);
+  impl_->bound_port = net::local_port(impl_->listen_fd);
+  impl_->started = true;
+  impl_->accept_thread = std::thread([impl = impl_.get()] { impl->accept_loop(); });
+}
+
+void ServiceServer::wait() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->cv.wait(lock, [this] { return impl_->stopping || impl_->drain_exit; });
+}
+
+bool ServiceServer::wait_for(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  return impl_->cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return impl_->stopping || impl_->drain_exit; });
+}
+
+void ServiceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopping) return;
+    impl_->stopping = true;
+    impl_->cv.notify_all();
+  }
+  if (impl_->listen_fd >= 0) {
+    ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  }
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  net::close_fd(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  // Unblock every connection reader, then join.
+  std::list<Impl::Conn> conns;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    conns.swap(impl_->conns);
+  }
+  for (auto& conn : conns) ::shutdown(conn.fd, SHUT_RDWR);
+  for (auto& conn : conns) {
+    conn.thread.join();
+    net::close_fd(conn.fd);
+  }
+}
+
+std::uint16_t ServiceServer::port() const { return impl_->bound_port; }
+
+}  // namespace tunespace::tuner

@@ -90,8 +90,253 @@ std::uint64_t SharedEvalCache::misses() const {
   return total;
 }
 
+void SharedEvalCache::for_each(
+    const std::function<void(std::uint64_t, std::uint64_t, double)>& fn) const {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    for (const auto& [key, gflops] : stripe->map) {
+      fn(key.fingerprint, key.row, gflops);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
-// The session loop core
+// SessionStepper: the session core as a resumable ask/tell state machine
+// ---------------------------------------------------------------------------
+//
+// The optimizers are push-style (they call ctx.evaluate in a loop), so the
+// inversion runs the optimizer unchanged on a private worker thread and
+// turns each un-memoized, un-cached evaluation request into a rendezvous:
+// the worker parks in yield_ask and the request surfaces through suggest();
+// report() delivers the measurement and resumes the worker until it parks
+// at the next request or returns.  Every public call leaves the worker
+// parked or finished (the quiescence invariant), so the driver-side reads
+// of the clock, run and best-so-far never race — the mutex hand-offs at
+// each park/resume establish the ordering.
+
+namespace {
+
+/// Thrown through the optimizer's run() to unwind it on cancel(); never
+/// escapes the worker function.
+struct AbortStepper {};
+
+}  // namespace
+
+SessionStepper::SessionStepper(searchspace::SubSpace view,
+                               std::string method_name,
+                               double construction_seconds, Optimizer& optimizer,
+                               const TuningOptions& options, CostFn cost,
+                               SharedEvalCache* shared_cache,
+                               std::uint64_t cache_fingerprint,
+                               SessionStats* stats, SessionHooks hooks)
+    : view_(std::move(view)),
+      options_(options),
+      optimizer_(&optimizer),
+      cost_(std::move(cost)),
+      shared_cache_(shared_cache),
+      cache_fingerprint_(cache_fingerprint),
+      stats_(stats),
+      hooks_(std::move(hooks)),
+      rng_(options.seed) {
+  run_.method_name = std::move(method_name);
+  run_.budget_seconds = options_.budget_seconds;
+  const double charged = options_.fixed_construction_seconds >= 0
+                             ? options_.fixed_construction_seconds
+                             : construction_seconds;
+  run_.construction_seconds = charged;
+  clock_.advance(charged * options_.construction_time_scale);
+
+  names_.reserve(view_.num_params());
+  for (std::size_t p = 0; p < view_.num_params(); ++p) {
+    names_.push_back(view_.param_name(p));
+  }
+
+  if (clock_.now() >= options_.budget_seconds || view_.empty()) {
+    done_ = true;  // budget consumed before the first configuration
+    finalize();
+    return;
+  }
+
+  worker_ = std::thread([this] {
+    try {
+      EvalContext ctx{
+          view_,
+          /*evaluate=*/[this](std::size_t row) { return evaluate(row); },
+          /*exhausted=*/
+          [this] {
+            return abort_.load(std::memory_order_relaxed) ||
+                   clock_.now() >= options_.budget_seconds ||
+                   (hooks_.stop && hooks_.stop(clock_.now()));
+          },
+          &rng_};
+      optimizer_->run(ctx);
+    } catch (const AbortStepper&) {
+      // cancel() unwinding the optimizer: not an error.
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      worker_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+    cv_.notify_all();
+  });
+
+  // Run the optimizer up to its first evaluation request (or completion) so
+  // the machine is quiescent when the constructor returns.
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_parked(lock);
+  if (done_) {
+    lock.unlock();
+    finalize();
+  }
+}
+
+SessionStepper::~SessionStepper() {
+  // Swallow a pending optimizer error: destruction is not a query.
+  try {
+    cancel();
+  } catch (...) {
+  }
+}
+
+void SessionStepper::wait_parked(std::unique_lock<std::mutex>& lock) {
+  cv_.wait(lock, [this] { return pending_.has_value() || done_; });
+}
+
+double SessionStepper::evaluate(std::size_t row) {
+  if (hooks_.before_request) hooks_.before_request(clock_.now());
+  clock_.advance(options_.overhead_per_request);
+  const auto it = memo_.find(row);
+  if (it != memo_.end()) return it->second;  // memoized: overhead only
+  if (clock_.now() >= options_.budget_seconds) return 0.0;
+  // Cross-session sharing: the measurements are deterministic per
+  // (space, model) fingerprint, so a cached value is bit-identical to a
+  // fresh one and sharing only skips measurement work — the virtual
+  // timeline (full evaluation cost) and the evaluation count are charged
+  // either way, keeping a session's TuningRun independent of who measured
+  // first.
+  const std::uint64_t parent_row = view_.parent_row(row);
+  double perf;
+  double cost_seconds;
+  const std::optional<double> cached =
+      shared_cache_ ? shared_cache_->lookup(cache_fingerprint_, parent_row)
+                    : std::nullopt;
+  if (cached) {
+    perf = *cached;
+    cost_seconds = cost_(perf);
+    if (stats_) stats_->shared_cache_hits++;
+  } else {
+    const Reply reply = yield_ask({row, parent_row, view_.config(row)});
+    perf = reply.gflops;
+    cost_seconds = reply.cost_seconds >= 0 ? reply.cost_seconds : cost_(perf);
+    if (stats_) stats_->model_evaluations++;
+    if (shared_cache_) {
+      shared_cache_->insert(cache_fingerprint_, parent_row, perf);
+    }
+  }
+  clock_.advance(cost_seconds);
+  memo_.emplace(row, perf);
+  run_.evaluations++;
+  if (perf > run_.best_gflops) {
+    run_.best_gflops = perf;
+    run_.trajectory.push_back({clock_.now(), perf, run_.evaluations});
+    best_ = Suggestion{row, parent_row, view_.config(row)};
+  }
+  if (hooks_.on_eval) hooks_.on_eval(row, perf, clock_.now());
+  return perf;
+}
+
+SessionStepper::Reply SessionStepper::yield_ask(Suggestion ask) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (abort_.load(std::memory_order_relaxed)) throw AbortStepper{};
+  pending_ = std::move(ask);
+  cv_.notify_all();
+  cv_.wait(lock, [this] {
+    return resume_ || abort_.load(std::memory_order_relaxed);
+  });
+  if (abort_.load(std::memory_order_relaxed)) throw AbortStepper{};
+  resume_ = false;
+  return reply_;
+}
+
+std::optional<Suggestion> SessionStepper::suggest() {
+  if (finished_) return std::nullopt;
+  if (awaiting_report_) {
+    throw ServiceError(ErrorCode::kWrongState,
+                       "suggest() while a report is outstanding");
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wait_parked(lock);
+    if (pending_) {
+      awaiting_report_ = true;
+      return *pending_;
+    }
+  }
+  finalize();  // the optimizer returned: budget exhausted or space swept
+  return std::nullopt;
+}
+
+void SessionStepper::report(double gflops, double measure_seconds) {
+  if (finished_) {
+    throw ServiceError(ErrorCode::kSessionFinished,
+                       "report() on a finished session");
+  }
+  if (!awaiting_report_) {
+    throw ServiceError(ErrorCode::kWrongState,
+                       "report() without an outstanding suggestion");
+  }
+  bool completed = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    reply_ = {gflops, measure_seconds};
+    pending_.reset();
+    resume_ = true;
+    awaiting_report_ = false;
+    cv_.notify_all();
+    wait_parked(lock);  // resume until the next ask (or completion)
+    completed = done_ && !pending_;
+  }
+  if (completed) finalize();
+}
+
+void SessionStepper::cancel() {
+  if (finished_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    abort_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+  awaiting_report_ = false;
+  // The partial run is the requested outcome; an optimizer error surfacing
+  // during teardown is reported to no one.
+  try {
+    finalize();
+  } catch (...) {
+  }
+}
+
+void SessionStepper::finalize() {
+  if (finished_) return;
+  if (worker_.joinable()) worker_.join();
+  finished_ = true;
+  if (stats_) stats_->session_seconds = wall_.seconds();
+  if (worker_error_) {
+    std::exception_ptr error = worker_error_;
+    worker_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+TuningRun SessionStepper::take_run() {
+  if (!finished_) {
+    throw ServiceError(ErrorCode::kWrongState, "take_run() before completion");
+  }
+  return std::move(run_);
+}
+
+// ---------------------------------------------------------------------------
+// The session loop: a closed-loop driver over the stepper
 // ---------------------------------------------------------------------------
 
 TuningRun run_session_loop(const searchspace::SubSpace& view,
@@ -102,82 +347,14 @@ TuningRun run_session_loop(const searchspace::SubSpace& view,
                            SharedEvalCache* shared_cache,
                            std::uint64_t cache_fingerprint, SessionStats* stats,
                            const SessionHooks& hooks) {
-  TuningRun run;
-  run.method_name = method_name;
-  run.budget_seconds = options.budget_seconds;
-  const double charged = options.fixed_construction_seconds >= 0
-                             ? options.fixed_construction_seconds
-                             : construction_seconds;
-  run.construction_seconds = charged;
-
-  util::WallTimer wall;
-  util::VirtualClock clock;
-  clock.advance(charged * options.construction_time_scale);
-  if (clock.now() >= options.budget_seconds || view.empty()) {
-    if (stats) stats->session_seconds = wall.seconds();
-    return run;  // budget consumed before the first configuration
+  SessionStepper stepper(
+      view, method_name, construction_seconds, optimizer, options,
+      [&model](double gflops) { return model.evaluation_cost(gflops); },
+      shared_cache, cache_fingerprint, stats, hooks);
+  while (std::optional<Suggestion> ask = stepper.suggest()) {
+    stepper.report(model.gflops(stepper.param_names(), ask->config));
   }
-
-  std::vector<std::string> names;
-  names.reserve(view.num_params());
-  for (std::size_t p = 0; p < view.num_params(); ++p) {
-    names.push_back(view.param_name(p));
-  }
-
-  util::Rng rng(options.seed);
-  // Session-local memo: re-requesting a row costs overhead only, exactly as
-  // a real tuner loop that keeps its own result log.
-  std::unordered_map<std::size_t, double> memo;
-
-  EvalContext ctx{
-      view,
-      /*evaluate=*/
-      [&](std::size_t row) -> double {
-        if (hooks.before_request) hooks.before_request(clock.now());
-        clock.advance(options.overhead_per_request);
-        auto it = memo.find(row);
-        if (it != memo.end()) return it->second;  // memoized: overhead only
-        if (clock.now() >= options.budget_seconds) return 0.0;
-        // Cross-session sharing: the deterministic models make a cached
-        // measurement bit-identical to a fresh one, so the shared cache only
-        // skips model work — the virtual timeline (full evaluation cost) and
-        // the evaluation count are charged either way.
-        const std::uint64_t parent_row = view.parent_row(row);
-        double perf;
-        std::optional<double> cached =
-            shared_cache ? shared_cache->lookup(cache_fingerprint, parent_row)
-                         : std::nullopt;
-        if (cached) {
-          perf = *cached;
-          if (stats) stats->shared_cache_hits++;
-        } else {
-          const csp::Config config = view.config(row);
-          perf = model.gflops(names, config);
-          if (stats) stats->model_evaluations++;
-          if (shared_cache) {
-            shared_cache->insert(cache_fingerprint, parent_row, perf);
-          }
-        }
-        clock.advance(model.evaluation_cost(perf));
-        memo.emplace(row, perf);
-        run.evaluations++;
-        if (perf > run.best_gflops) {
-          run.best_gflops = perf;
-          run.trajectory.push_back({clock.now(), perf, run.evaluations});
-        }
-        if (hooks.on_eval) hooks.on_eval(row, perf, clock.now());
-        return perf;
-      },
-      /*exhausted=*/
-      [&]() {
-        return clock.now() >= options.budget_seconds ||
-               (hooks.stop && hooks.stop(clock.now()));
-      },
-      &rng};
-
-  optimizer.run(ctx);
-  if (stats) stats->session_seconds = wall.seconds();
-  return run;
+  return stepper.take_run();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,152 @@
+// tunespace_client: scripted ask/tell session against a tunespace_serve.
+//
+//   tunespace_client [--host H] [--port P] [--kernel NAME]
+//                    [--optimizer NAME] [--budget S] [--seed N]
+//                    [--tenant NAME] [--min-cache-hits N] [--drain]
+//
+// Opens one session, answers every suggestion with the kernel's local
+// performance model (the client links the library, so it owns the same
+// deterministic surface the in-process tuner uses), and closes the session
+// printing the run summary.  --drain then asks the server to drain and
+// waits until it quiesces — the graceful-shutdown path the CI smoke job
+// exercises.  --min-cache-hits fails the run unless the service served at
+// least that many shared-cache hits, which is how the smoke job proves a
+// warm restart actually reused the persisted eval cache.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tunespace/tuner/service.hpp"
+#include "tunespace/tuner/service_client.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--kernel NAME] "
+               "[--optimizer NAME] [--budget S] [--seed N] [--tenant NAME] "
+               "[--min-cache-hits N] [--drain]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tunespace::tuner;
+
+  ServiceClientOptions client_options;
+  client_options.port = 7971;
+  OpenSessionRequest open_request;
+  open_request.kernel = "gemm";
+  open_request.budget_seconds = 3.0;
+  open_request.fixed_construction_seconds = 0.5;
+  bool drain = false;
+  long long min_cache_hits = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      client_options.host = next();
+    } else if (arg == "--port") {
+      client_options.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--kernel") {
+      open_request.kernel = next();
+    } else if (arg == "--optimizer") {
+      open_request.optimizer = next();
+    } else if (arg == "--budget") {
+      open_request.budget_seconds = std::atof(next());
+    } else if (arg == "--seed") {
+      open_request.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--tenant") {
+      open_request.tenant = next();
+    } else if (arg == "--min-cache-hits") {
+      min_cache_hits = std::atoll(next());
+    } else if (arg == "--drain") {
+      drain = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    const ServiceKernel* kernel = find_service_kernel(open_request.kernel);
+    if (kernel == nullptr) {
+      std::fprintf(stderr, "tunespace_client: unknown kernel '%s'\n",
+                   open_request.kernel.c_str());
+      return 1;
+    }
+
+    ServiceClient client(client_options);
+    if (!client.ping()) {
+      std::fprintf(stderr, "tunespace_client: server did not answer ping\n");
+      return 1;
+    }
+
+    const auto opened = client.open(open_request);
+    std::printf("opened session %llu over %s (%llu rows, optimizer %s)\n",
+                static_cast<unsigned long long>(opened.session_id),
+                opened.info.kernel.c_str(),
+                static_cast<unsigned long long>(opened.info.space_rows),
+                opened.info.optimizer.c_str());
+
+    // The ask/tell loop: measure every suggestion with the local model.
+    const std::vector<std::string>& names = opened.info.param_names;
+    std::uint64_t measured = 0;
+    while (true) {
+      const auto suggestion = client.suggest(opened.session_id);
+      if (suggestion.finished) break;
+      tunespace::csp::Config config;
+      config.reserve(suggestion.config.size());
+      for (const auto& entry : suggestion.config) config.push_back(entry.value);
+      const double gflops = kernel->model->gflops(names, config);
+      client.report({opened.session_id, gflops, -1.0});
+      measured++;
+    }
+
+    const auto closed = client.close_session(opened.session_id);
+    std::printf("session %llu finished: best %.3f GFLOP/s, %llu evaluations "
+                "(%llu reported by this client), %zu trajectory points\n",
+                static_cast<unsigned long long>(closed.session_id),
+                closed.run.best_gflops,
+                static_cast<unsigned long long>(closed.run.evaluations),
+                static_cast<unsigned long long>(measured),
+                closed.run.trajectory.size());
+
+    if (min_cache_hits >= 0) {
+      const auto stats = client.stats();
+      std::printf("service cache: %llu entries, %llu hits\n",
+                  static_cast<unsigned long long>(stats.cache_entries),
+                  static_cast<unsigned long long>(stats.cache_hits));
+      if (stats.cache_hits < static_cast<std::uint64_t>(min_cache_hits)) {
+        std::fprintf(stderr,
+                     "tunespace_client: expected >= %lld shared-cache hits, "
+                     "saw %llu — warm start did not take\n",
+                     min_cache_hits,
+                     static_cast<unsigned long long>(stats.cache_hits));
+        return 1;
+      }
+    }
+
+    if (drain) {
+      const auto drained = client.drain({true, 30.0});
+      std::printf("drain: draining=%d drained=%d live=%llu\n",
+                  drained.draining ? 1 : 0, drained.drained ? 1 : 0,
+                  static_cast<unsigned long long>(drained.live_sessions));
+      if (!drained.drained) {
+        std::fprintf(stderr, "tunespace_client: drain did not complete\n");
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tunespace_client: %s\n", e.what());
+    return 1;
+  }
+}

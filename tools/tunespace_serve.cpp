@@ -1,0 +1,102 @@
+// tunespace_serve: host a TuningService over TCP.
+//
+//   tunespace_serve [--host H] [--port P] [--state-dir DIR]
+//                   [--max-sessions N] [--max-per-tenant N]
+//                   [--max-evals N] [--exit-when-drained]
+//
+// Prints one "listening on H:P" line once the socket is bound (scripts and
+// the CI smoke job key on it), then serves until SIGINT/SIGTERM or — with
+// --exit-when-drained — until a client completes a drain.  With a state
+// directory, space snapshots and the shared eval cache persist across
+// restarts, so a relaunched server warm-starts.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tunespace/tuner/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--state-dir DIR] "
+               "[--max-sessions N] [--max-per-tenant N] [--max-evals N] "
+               "[--exit-when-drained]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tunespace::tuner;
+
+  TuningServiceOptions service_options;
+  ServiceServerOptions server_options;
+  server_options.port = 7971;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      server_options.host = next();
+    } else if (arg == "--port") {
+      server_options.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--state-dir") {
+      service_options.state_dir = next();
+    } else if (arg == "--max-sessions") {
+      service_options.limits.max_live_sessions =
+          static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-per-tenant") {
+      service_options.limits.max_sessions_per_tenant =
+          static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-evals") {
+      service_options.limits.max_evaluations_per_session =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--exit-when-drained") {
+      server_options.exit_when_drained = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    TuningService service(service_options);
+    ServiceServer server(service, server_options);
+    server.start();
+    std::printf("tunespace_serve listening on %s:%u\n",
+                server_options.host.c_str(), server.port());
+    std::fflush(stdout);
+
+    while (!g_stop.load()) {
+      if (server.wait_for(0.1)) break;
+    }
+    server.stop();
+    service.begin_drain();  // reject stragglers while state is saved
+    service.save_state();
+    const auto stats = service.stats();
+    std::printf("tunespace_serve exiting: %llu opened, %llu closed, "
+                "%llu cache entries\n",
+                static_cast<unsigned long long>(stats.total_opened),
+                static_cast<unsigned long long>(stats.total_closed),
+                static_cast<unsigned long long>(stats.cache_entries));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tunespace_serve: %s\n", e.what());
+    return 1;
+  }
+}
