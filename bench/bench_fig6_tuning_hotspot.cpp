@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 #include "tunespace/util/stats.hpp"
 #include "tunespace/util/table.hpp"
 
@@ -56,7 +57,8 @@ int main() {
       options.budget_seconds = budget;
       options.seed = 100 + static_cast<std::uint64_t>(rep);
       options.construction_time_scale = construction_scale;
-      auto run = tuner::run_tuning(rw.spec, method, model, optimizer, options);
+      auto run = tuner::run_session(
+          tuner::make_session_request(rw.spec, method, model, optimizer, options));
       best25.push_back(run.best_at(checkpoints[0]));
       best50.push_back(run.best_at(checkpoints[1]));
       best100.push_back(run.best_at(checkpoints[2]));
@@ -82,7 +84,8 @@ int main() {
     options.budget_seconds = budget;
     options.seed = 100;
     options.construction_time_scale = construction_scale;
-    auto run = tuner::run_tuning(rw.spec, method, model, optimizer, options);
+    auto run = tuner::run_session(
+          tuner::make_session_request(rw.spec, method, model, optimizer, options));
     std::vector<double> curve;
     for (int i = 1; i <= 24; ++i) {
       curve.push_back(run.best_at(budget * i / 24.0));

@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 #include "tunespace/util/stats.hpp"
 #include "tunespace/util/table.hpp"
 
@@ -39,7 +40,8 @@ int main() {
       options.budget_seconds = budget;
       options.seed = 200 + static_cast<std::uint64_t>(rep);
       options.construction_time_scale = construction_scale;
-      auto run = tuner::run_tuning(rw.spec, method, model, optimizer, options);
+      auto run = tuner::run_session(
+          tuner::make_session_request(rw.spec, method, model, optimizer, options));
       best25.push_back(run.best_at(0.25 * budget));
       best50.push_back(run.best_at(0.5 * budget));
       best100.push_back(run.best_at(budget));
@@ -62,7 +64,8 @@ int main() {
     options.budget_seconds = budget;
     options.seed = 200;
     options.construction_time_scale = construction_scale;
-    auto run = tuner::run_tuning(rw.spec, method, model, optimizer, options);
+    auto run = tuner::run_session(
+          tuner::make_session_request(rw.spec, method, model, optimizer, options));
     std::vector<double> curve;
     for (int i = 1; i <= 24; ++i) curve.push_back(run.best_at(budget * i / 24.0));
     std::cout << "  " << method.name << std::string(12 - method.name.size(), ' ')

@@ -53,8 +53,13 @@ tuner::RunSummary summarize(const tuner::TuningRun& run) {
   summary.evaluations = run.evaluations;
   for (const auto& point : run.trajectory) {
     summary.trajectory.push_back({point.time_seconds, point.best_gflops,
-                                  static_cast<std::uint64_t>(point.evaluations)});
+                                  static_cast<std::uint64_t>(point.evaluations),
+                                  point.measurement});
   }
+  summary.objectives = run.objectives;
+  summary.best_score = run.best_score;
+  summary.best = run.best;
+  summary.front = run.front;
   return summary;
 }
 
@@ -102,6 +107,114 @@ struct WireApi {
   }
 };
 
+/// Multi-objective leg: one two-objective session replayed through the
+/// closed loop, the in-process service and the v2 wire (objective maps in
+/// both directions), with the same bit-identity hard-fail as the scalar
+/// legs.
+struct MultiObjectiveReport {
+  bool identical = true;
+  std::size_t pareto_front_size = 0;
+  double perf_per_watt_improvement = 0;  ///< vs the scalar session-0 incumbent
+};
+
+tuner::OpenSessionRequest multi_objective_request() {
+  tuner::OpenSessionRequest request = session_request(0);  // seed 1, random
+  request.objectives = tuner::ObjectiveSpec::perf_and_power(1.0, 1.0);
+  return request;
+}
+
+/// Drive the two-objective session through any ask/tell api, answering
+/// with the model's full measurement vector.
+template <typename Api>
+tuner::RunSummary drive_multi_objective(Api& api) {
+  const auto* kernel = tuner::find_service_kernel("hotspot");
+  const auto opened = api.open(multi_objective_request());
+  while (true) {
+    const auto ask = api.suggest({opened.session_id});
+    if (ask.finished) break;
+    csp::Config config;
+    config.reserve(ask.config.size());
+    for (const auto& entry : ask.config) config.push_back(entry.value);
+    tuner::ReportRequest report;
+    report.session_id = opened.session_id;
+    report.measurement =
+        kernel->model->measure(opened.info.param_names, config);
+    report.gflops = report.measurement.gflops;
+    api.report(report);
+  }
+  return api.close({opened.session_id}).run;
+}
+
+MultiObjectiveReport run_multi_objective_leg(
+    const tuner::RunSummary& scalar_reference) {
+  MultiObjectiveReport report;
+  const auto* kernel = tuner::find_service_kernel("hotspot");
+  const auto request = multi_objective_request();
+
+  // Closed-loop reference.
+  auto optimizer = tuner::make_optimizer(request.optimizer);
+  tuner::TuningOptions options;
+  options.budget_seconds = request.budget_seconds;
+  options.seed = request.seed;
+  options.overhead_per_request = request.overhead_per_request;
+  options.fixed_construction_seconds = request.fixed_construction_seconds;
+  options.objectives = request.objectives;
+  const tuner::Method method = tuner::optimized_method();
+  const auto reference_run = tuner::run_session(tuner::make_session_request(
+      kernel->spec, method, *kernel->model, *optimizer, options));
+  report.pareto_front_size = reference_run.pareto().size();
+  const auto reference = summarize(reference_run);
+
+  // In-process and wire replays.
+  tuner::RunSummary inprocess;
+  {
+    tuner::TuningService service;
+    inprocess = drive_multi_objective(service);
+  }
+  tuner::RunSummary over_wire;
+  {
+    tuner::TuningService service;
+    tuner::ServiceServerOptions server_options;
+    server_options.port = 0;
+    tuner::ServiceServer server(service, server_options);
+    server.start();
+    tuner::ServiceClientOptions client_options;
+    client_options.port = server.port();
+    tuner::ServiceClient client(client_options);
+    WireApi api{client};
+    over_wire = drive_multi_objective(api);
+    server.stop();
+  }
+  if (!(inprocess == reference) || !(over_wire == reference)) {
+    report.identical = false;
+    std::fprintf(stderr,
+                 "[service] multi-objective session diverged: reference "
+                 "score %.6f, in-process score %.6f, wire score %.6f\n",
+                 reference.best_score, inprocess.best_score,
+                 over_wire.best_score);
+  }
+
+  // Efficiency gain of power-aware tuning over the scalar incumbent of the
+  // same (optimizer, seed) session; the scalar run masks watts, so its
+  // incumbent is re-measured at its front row.
+  if (!scalar_reference.front.empty() && !reference.front.empty() &&
+      reference.best.watts > 0) {
+    std::vector<std::string> names;
+    names.reserve(kernel->spec.params().size());
+    for (const auto& param : kernel->spec.params()) names.push_back(param.name);
+    const searchspace::SearchSpace space(kernel->spec);
+    const auto scalar_best = kernel->model->measure(
+        names, space.config(static_cast<std::size_t>(
+                   scalar_reference.front[0].parent_row)));
+    if (scalar_best.watts > 0) {
+      report.perf_per_watt_improvement =
+          (reference.best.gflops / reference.best.watts) /
+          (scalar_best.gflops / scalar_best.watts);
+    }
+  }
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,9 +241,9 @@ int main(int argc, char** argv) {
     options.seed = request.seed;
     options.overhead_per_request = request.overhead_per_request;
     options.fixed_construction_seconds = request.fixed_construction_seconds;
-    reference.push_back(summarize(tuner::run_tuning(
-        kernel->spec, tuner::optimized_method(), *kernel->model, *optimizer,
-        options)));
+    const tuner::Method method = tuner::optimized_method();
+    reference.push_back(summarize(tuner::run_session(tuner::make_session_request(
+        kernel->spec, method, *kernel->model, *optimizer, options))));
   }
 
   // In-process service.
@@ -201,6 +314,13 @@ int main(int argc, char** argv) {
       inprocess_rps, static_cast<unsigned long long>(wire_requests),
       wire_seconds, wire_rps, wire_amplification, identical ? "yes" : "NO");
 
+  const MultiObjectiveReport mo = run_multi_objective_leg(reference[0]);
+  std::printf(
+      "multi-objective: identical %s, Pareto front %zu points, "
+      "perf-per-watt improvement %.3fx over throughput-only tuning\n",
+      mo.identical ? "yes" : "NO", mo.pareto_front_size,
+      mo.perf_per_watt_improvement);
+
   if (std::FILE* f = std::fopen("BENCH_service.json", "w")) {
     std::fprintf(f, "{\n  \"bench\": \"service\",\n");
     std::fprintf(f, "  \"fast_mode\": %s,\n", bench::fast_mode() ? "true" : "false");
@@ -210,12 +330,18 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"inprocess_requests_per_second\": %.1f,\n", inprocess_rps);
     std::fprintf(f, "  \"wire_requests_per_second\": %.1f,\n", wire_rps);
     std::fprintf(f, "  \"wire_amplification\": %.2f,\n", wire_amplification);
+    std::fprintf(f,
+                 "  \"multi_objective\": {\"identical\": %s, "
+                 "\"pareto_front_size\": %zu, "
+                 "\"perf_per_watt_improvement\": %.4f},\n",
+                 mo.identical ? "true" : "false", mo.pareto_front_size,
+                 mo.perf_per_watt_improvement);
     std::fprintf(f, "  \"identical\": %s\n", identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
   }
 
-  if (!identical) {
+  if (!identical || !mo.identical) {
     std::fprintf(stderr, "[service] FAIL: transports are not bit-identical\n");
     return 1;
   }

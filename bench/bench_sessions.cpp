@@ -13,6 +13,7 @@
 //
 // CI gate:  bench_sessions --min-speedup <x>
 // exits non-zero when the aggregate speedup drops below <x>.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +71,82 @@ struct CaseReport {
   }
 };
 
+/// Multi-objective leg: the same isolated-vs-managed identity under a
+/// two-objective (maximize gflops, minimize watts) session set, plus the
+/// Pareto-front yield and the efficiency gain of power-aware tuning over
+/// the throughput-only incumbent.
+struct MultiObjectiveReport {
+  bool identical = true;
+  std::size_t pareto_front_size = 0;          ///< largest front in the set
+  double perf_per_watt_improvement = 0;       ///< vector vs scalar incumbent
+};
+
+MultiObjectiveReport run_multi_objective(const spaces::RealWorldSpace& rw,
+                                         std::size_t sessions,
+                                         const tuner::PerformanceModel& model) {
+  MultiObjectiveReport report;
+  tuner::TuningOptions vector_options = session_options(1);
+  vector_options.objectives = tuner::ObjectiveSpec::perf_and_power(1.0, 1.0);
+
+  std::vector<tuner::TuningRun> isolated(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto optimizer = make_optimizer(i);
+    tuner::TuningOptions options = vector_options;
+    options.seed = i + 1;
+    const tuner::Method method = tuner::optimized_method();
+    isolated[i] = tuner::run_session(
+        tuner::make_session_request(rw.spec, method, model, *optimizer, options));
+    report.pareto_front_size =
+        std::max(report.pareto_front_size, isolated[i].pareto().size());
+  }
+
+  std::vector<tuner::SessionRequest> requests(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    requests[i].spec = rw.spec;
+    requests[i].model = std::shared_ptr<const tuner::PerformanceModel>(
+        &model, [](const tuner::PerformanceModel*) {});
+    requests[i].make_optimizer = [i] { return make_optimizer(i); };
+    requests[i].options = vector_options;
+    requests[i].options.seed = i + 1;
+  }
+  tuner::SessionManager manager;
+  const auto managed = manager.run_all(std::move(requests));
+  for (std::size_t i = 0; i < sessions; ++i) {
+    if (!(managed[i].run == isolated[i])) {
+      report.identical = false;
+      std::fprintf(stderr,
+                   "[sessions] %s multi-objective session %zu diverged: "
+                   "managed score %.6f vs isolated score %.6f\n",
+                   rw.name.c_str(), i, managed[i].run.best_score,
+                   isolated[i].best_score);
+    }
+  }
+
+  // Efficiency gain: re-tune session 0 throughput-only, then compare
+  // GFLOP/s-per-watt of the two incumbents (the scalar run masks watts, so
+  // its incumbent is re-measured at its front row).
+  tuner::TuningOptions scalar_options = session_options(1);
+  const auto scalar_optimizer = make_optimizer(0);
+  const tuner::Method method = tuner::optimized_method();
+  const auto scalar = tuner::run_session(tuner::make_session_request(
+      rw.spec, method, model, *scalar_optimizer, scalar_options));
+  if (!scalar.front.empty() && !isolated[0].front.empty()) {
+    std::vector<std::string> names;
+    names.reserve(rw.spec.params().size());
+    for (const auto& param : rw.spec.params()) names.push_back(param.name);
+    const searchspace::SearchSpace space(rw.spec);
+    const auto scalar_measured = model.measure(
+        names, space.config(static_cast<std::size_t>(scalar.front[0].parent_row)));
+    const tuner::Measurement& vector_best = isolated[0].best;
+    if (scalar_measured.watts > 0 && vector_best.watts > 0) {
+      const double scalar_ppw = scalar_measured.gflops / scalar_measured.watts;
+      const double vector_ppw = vector_best.gflops / vector_best.watts;
+      report.perf_per_watt_improvement = vector_ppw / scalar_ppw;
+    }
+  }
+  return report;
+}
+
 CaseReport run_case(const spaces::RealWorldSpace& rw, std::size_t sessions,
                     const tuner::PerformanceModel& model) {
   CaseReport report;
@@ -82,8 +159,8 @@ CaseReport run_case(const spaces::RealWorldSpace& rw, std::size_t sessions,
   for (std::size_t i = 0; i < sessions; ++i) {
     const auto optimizer = make_optimizer(i);
     const tuner::Method method = tuner::optimized_method();
-    isolated[i] = tuner::run_tuning(rw.spec, method, model, *optimizer,
-                                    session_options(i + 1));
+    isolated[i] = tuner::run_session(tuner::make_session_request(
+        rw.spec, method, model, *optimizer, session_options(i + 1)));
   }
   report.isolated_seconds = timer.seconds();
 
@@ -174,6 +251,13 @@ int main(int argc, char** argv) {
       "%.0f cache hits/s\n",
       total_isolated, total_shared, aggregate_speedup, hits_per_second);
 
+  const auto mo = run_multi_objective(spaces::hotspot(), 4, hotspot_model);
+  std::printf(
+      "multi-objective: identical %s, Pareto front %zu points, "
+      "perf-per-watt improvement %.3fx over throughput-only tuning\n",
+      mo.identical ? "yes" : "NO", mo.pareto_front_size,
+      mo.perf_per_watt_improvement);
+
   if (std::FILE* f = std::fopen("BENCH_sessions.json", "w")) {
     std::fprintf(f, "{\n  \"bench\": \"sessions\",\n");
     std::fprintf(f, "  \"fast_mode\": %s,\n", bench::fast_mode() ? "true" : "false");
@@ -182,6 +266,12 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"aggregate_speedup\": %.2f,\n", aggregate_speedup);
     std::fprintf(f, "  \"cache_hits_per_second\": %.1f,\n", hits_per_second);
     std::fprintf(f, "  \"identical\": %s,\n", all_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"multi_objective\": {\"identical\": %s, "
+                 "\"pareto_front_size\": %zu, "
+                 "\"perf_per_watt_improvement\": %.4f},\n",
+                 mo.identical ? "true" : "false", mo.pareto_front_size,
+                 mo.perf_per_watt_improvement);
     std::fprintf(f, "  \"cases\": [\n");
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const CaseReport& r = reports[i];
@@ -203,7 +293,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write BENCH_sessions.json\n");
   }
 
-  if (!all_identical) {
+  if (!all_identical || !mo.identical) {
     std::fprintf(stderr,
                  "FAIL: a managed session diverged from its isolated "
                  "counterpart (see above)\n");

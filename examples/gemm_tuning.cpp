@@ -6,6 +6,7 @@
 
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 #include "tunespace/util/table.hpp"
 
 using namespace tunespace;
@@ -27,7 +28,8 @@ int main() {
   util::Table table({"optimizer", "best GFLOP/s", "evaluations",
                      "time of best find"});
   auto report = [&](tuner::Optimizer& optimizer) {
-    auto run = tuner::run_tuning(rw.spec, optimized, model, optimizer, options);
+    auto run = tuner::run_session(
+        tuner::make_session_request(rw.spec, optimized, model, optimizer, options));
     const double best_time =
         run.trajectory.empty() ? 0.0 : run.trajectory.back().time_seconds;
     table.add_row({optimizer.name(), util::fmt_double(run.best_gflops, 5),

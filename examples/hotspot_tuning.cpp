@@ -5,6 +5,7 @@
 
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 #include "tunespace/util/table.hpp"
 
 using namespace tunespace;
@@ -28,7 +29,8 @@ int main() {
   // included deliberately, that construction latency is the point.
   for (const auto& method : tuner::construction_methods(false)) {
     tuner::RandomSearch optimizer;
-    auto run = tuner::run_tuning(rw.spec, method, model, optimizer, options);
+    auto run = tuner::run_session(
+          tuner::make_session_request(rw.spec, method, model, optimizer, options));
     table.add_row({method.name,
                    util::fmt_seconds(run.construction_seconds *
                                      options.construction_time_scale),

@@ -1,0 +1,118 @@
+// Multi-objective tuning end to end: tune Hotspot for throughput AND power
+// with two strategies — weighted scalarization (one knob: the watts weight)
+// and NSGA-II non-dominated selection — then apply a power cap to each
+// Pareto front to read off "the fastest configuration under N watts".
+//
+// Also demonstrates (and verifies, exiting non-zero on failure) the
+// compatibility contract of the measurement redesign: a default-objective
+// session driven through the vector-first stack reproduces the legacy
+// scalar results bit for bit — same trajectory, best_score identical to
+// best_gflops, watts masked out.
+#include <iostream>
+
+#include "tunespace/spaces/realworld.hpp"
+#include "tunespace/tuner/session.hpp"
+#include "tunespace/util/table.hpp"
+
+using namespace tunespace;
+
+namespace {
+
+/// The fastest front point whose power draw stays under `watts_cap`
+/// (nullptr when the whole front is above the cap).
+const tuner::ParetoPoint* fastest_under_cap(
+    const std::vector<tuner::ParetoPoint>& front, double watts_cap) {
+  const tuner::ParetoPoint* pick = nullptr;
+  for (const auto& point : front) {
+    if (point.measurement.watts > watts_cap) continue;
+    if (pick == nullptr || point.measurement.gflops > pick->measurement.gflops) {
+      pick = &point;
+    }
+  }
+  return pick;
+}
+
+}  // namespace
+
+int main() {
+  const auto rw = spaces::hotspot();
+  tuner::HotspotModel model;
+  const tuner::Method method = tuner::optimized_method();
+
+  tuner::TuningOptions options;
+  options.budget_seconds = 120.0;
+  options.seed = 11;
+  options.fixed_construction_seconds = 5.0;
+
+  // --- Compatibility: the scalar path is bit-identical through the
+  // vector-first stack.  A default ObjectiveSpec IS the legacy contract, so
+  // every derived scalar coincides with the measured gflops exactly, and a
+  // replay reproduces the run bit for bit.
+  tuner::RandomSearch scalar_opt;
+  const auto scalar = tuner::run_session(
+      tuner::make_session_request(rw.spec, method, model, scalar_opt, options));
+  tuner::RandomSearch replay_opt;
+  const auto replay = tuner::run_session(
+      tuner::make_session_request(rw.spec, method, model, replay_opt, options));
+  bool compatible = replay == scalar && scalar.objectives.is_single() &&
+                    scalar.best_score == scalar.best_gflops &&  // bit-exact
+                    scalar.best.watts == 0.0;  // unmeasured => masked
+  for (const auto& point : scalar.trajectory) {
+    compatible = compatible && point.measurement.gflops == point.best_gflops;
+  }
+  if (!compatible) {
+    std::cerr << "FAIL: the scalar path diverged from the legacy contract\n";
+    return 1;
+  }
+  std::cout << "scalar compatibility: " << scalar.evaluations
+            << " evaluations, best " << util::fmt_double(scalar.best_gflops, 2)
+            << " GFLOP/s, replay bit-identical\n\n";
+
+  // --- Two-objective tuning: maximize gflops, minimize watts.
+  options.objectives = tuner::ObjectiveSpec::perf_and_power(1.0, 1.0);
+
+  tuner::RandomSearch weighted_opt;  // weighted scalarization drives any
+                                     // single-objective optimizer unchanged
+  const auto weighted = tuner::run_session(
+      tuner::make_session_request(rw.spec, method, model, weighted_opt, options));
+
+  auto nsga2_opt = tuner::make_optimizer("nsga2");
+  const auto nsga2 = tuner::run_session(
+      tuner::make_session_request(rw.spec, method, model, *nsga2_opt, options));
+
+  util::Table table({"strategy", "best score", "incumbent GFLOP/s",
+                     "incumbent W", "GFLOP/s/W", "front size"});
+  for (const auto& entry :
+       {std::make_pair("weighted scalarization", &weighted),
+        std::make_pair("nsga2", &nsga2)}) {
+    const auto& run = *entry.second;
+    table.add_row(
+        {entry.first, util::fmt_double(run.best_score, 3),
+         util::fmt_double(run.best.gflops, 2),
+         util::fmt_double(run.best.watts, 1),
+         util::fmt_double(run.best.watts > 0 ? run.best.gflops / run.best.watts
+                                             : 0.0,
+                          3),
+         std::to_string(run.pareto().size())});
+  }
+  std::cout << "two-objective tuning (maximize GFLOP/s, minimize W):\n";
+  table.print(std::cout);
+
+  // --- A power cap is a query against the front, not a new tuning run:
+  // pick the fastest non-dominated configuration under the cap.
+  const double cap_watts = 150.0;
+  std::cout << "\nfastest configuration under a " << cap_watts << " W cap:\n";
+  for (const auto& entry :
+       {std::make_pair("weighted scalarization", &weighted),
+        std::make_pair("nsga2", &nsga2)}) {
+    const auto front = entry.second->pareto();
+    if (const auto* pick = fastest_under_cap(front, cap_watts)) {
+      std::cout << "  " << entry.first << ": row " << pick->parent_row << ", "
+                << util::fmt_double(pick->measurement.gflops, 2) << " GFLOP/s at "
+                << util::fmt_double(pick->measurement.watts, 1) << " W\n";
+    } else {
+      std::cout << "  " << entry.first << ": no front point under the cap\n";
+    }
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "tunespace/csp/value.hpp"
+#include "tunespace/tuner/objective.hpp"
 
 namespace tunespace {
 
@@ -41,6 +42,7 @@ enum class ErrorCode : std::uint8_t {
   kProtocol,          ///< malformed frame or JSON payload
   kIo,                ///< socket or state-file I/O failure
   kInternal,          ///< anything that escaped the categories above
+  kUnsupportedVersion,  ///< client requested a protocol version > server's
 };
 
 /// Stable wire identifier of a code (e.g. "admission_limit").
@@ -98,6 +100,10 @@ struct OpenSessionRequest {
   double construction_time_scale = 1.0;
   /// Conjunction of per-parameter restrictions applied to the shared space.
   std::vector<ParamFilter> restrictions;
+  /// Objective set of the session; the default is the legacy single
+  /// objective (maximize gflops), which is also what a v1 envelope with no
+  /// objectives field means.
+  ObjectiveSpec objectives{};
 
   friend bool operator==(const OpenSessionRequest&,
                          const OpenSessionRequest&) = default;
@@ -121,6 +127,9 @@ struct SessionInfo {
   std::uint64_t evaluations = 0;
   std::uint64_t shared_cache_hits = 0;   ///< evals served by the shared cache
   std::uint64_t model_evaluations = 0;   ///< evals that reached the reporter
+  ObjectiveSpec objectives{};   ///< the session's objective set
+  double best_score = 0;      ///< scalarized score of the incumbent
+  Measurement best{};           ///< incumbent objective vector
 
   friend bool operator==(const SessionInfo&, const SessionInfo&) = default;
 };
@@ -154,13 +163,17 @@ struct SuggestResponse {
   friend bool operator==(const SuggestResponse&, const SuggestResponse&) = default;
 };
 
-/// Report the measurement of the outstanding suggestion.
+/// Report the measurement of the outstanding suggestion.  v2 clients fill
+/// `measurement` (the full objective vector, mirrored into `gflops`); v1
+/// clients fill only `gflops`, which the service widens to a gflops-only
+/// vector.  When both are set, `measurement` wins.
 struct ReportRequest {
   std::uint64_t session_id = 0;
   double gflops = 0;
   /// Measured benchmark wall seconds to charge to the virtual clock; < 0
   /// charges the session model's simulated evaluation cost instead.
   double measure_seconds = -1.0;
+  Measurement measurement{};  ///< full objective vector (all-zero = unset)
 
   friend bool operator==(const ReportRequest&, const ReportRequest&) = default;
 };
@@ -172,6 +185,8 @@ struct ReportResponse {
   double best_gflops = 0;
   double now_seconds = 0;
   std::uint64_t evaluations = 0;
+  double best_score = 0;         ///< scalarized score of the incumbent
+  Measurement best{};              ///< incumbent objective vector
 
   friend bool operator==(const ReportResponse&, const ReportResponse&) = default;
 };
@@ -190,6 +205,8 @@ struct BestResponse {
   double now_seconds = 0;
   std::uint64_t evaluations = 0;
   bool finished = false;
+  double best_score = 0;  ///< scalarized score of the incumbent
+  Measurement best{};       ///< incumbent objective vector
 
   friend bool operator==(const BestResponse&, const BestResponse&) = default;
 };
@@ -200,6 +217,7 @@ struct RunPoint {
   double time_seconds = 0;
   double best_gflops = 0;
   std::uint64_t evaluations = 0;
+  Measurement measurement{};  ///< incumbent objective vector
 
   friend bool operator==(const RunPoint&, const RunPoint&) = default;
 };
@@ -212,6 +230,10 @@ struct RunSummary {
   double best_gflops = 0;
   std::uint64_t evaluations = 0;
   std::vector<RunPoint> trajectory;
+  ObjectiveSpec objectives{};  ///< the session's objective set
+  double best_score = 0;     ///< scalarized score of the incumbent
+  Measurement best{};          ///< incumbent objective vector
+  std::vector<ParetoPoint> front;  ///< non-dominated set, evaluation order
 
   friend bool operator==(const RunSummary&, const RunSummary&) = default;
 };

@@ -18,10 +18,32 @@
 #include <vector>
 
 #include "tunespace/csp/problem.hpp"
+#include "tunespace/tuner/objective.hpp"
 
 namespace tunespace::tuner {
 
+/// A deterministic power surface over configurations: the driver-level
+/// power-rail read (nouveau's iccsense subdev in real deployments) sampled
+/// while the throughput benchmark runs.  Models that can measure power
+/// derive from this *in addition to* PerformanceModel; measure() then fills
+/// Measurement::watts automatically.
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+
+  /// Simulated average power draw (watts, lower is better) of a
+  /// configuration.  Deterministic, like the throughput surfaces.
+  virtual double watts(const std::vector<std::string>& names,
+                       const csp::Config& config) const = 0;
+};
+
 /// A deterministic performance surface over configurations.
+///
+/// measure() is the primary entry point of the tuning stack: it returns the
+/// full objective vector of one simulated benchmark run (throughput always;
+/// power when the model also implements PowerModel).  gflops() remains the
+/// surface definition each concrete model provides; the default measure()
+/// adapts it, so legacy scalar models keep working unchanged.
 class PerformanceModel {
  public:
   virtual ~PerformanceModel() = default;
@@ -32,43 +54,70 @@ class PerformanceModel {
   virtual double gflops(const std::vector<std::string>& names,
                         const csp::Config& config) const = 0;
 
+  /// One simulated benchmark run: the full measurement vector this model
+  /// can produce.  The default adapts gflops() and, when the model is also
+  /// a PowerModel, samples watts() during the same (virtual) benchmark —
+  /// one atomic measurement, one clock charge.
+  virtual Measurement measure(const std::vector<std::string>& names,
+                              const csp::Config& config) const;
+
+  /// The Measurement components this model can measure ("gflops", plus
+  /// "watts" for PowerModel surfaces).  Part of fingerprint(): caches never
+  /// mix vectors of different shapes.
+  std::vector<std::string> objective_names() const;
+
   /// Simulated wall-clock cost (seconds) of benchmarking one configuration:
   /// a fixed compile/launch overhead plus time inversely proportional to
-  /// throughput.  Charged to the virtual clock by the tuning runner.
+  /// throughput.  Power is sampled while the benchmark runs, so measuring
+  /// it adds no cost.  Charged to the virtual clock by the tuning runner.
   virtual double evaluation_cost(double gflops) const;
 
   /// Stable identity of the performance surface, used to key the shared
   /// evaluation cache: two models may share cached measurements iff their
-  /// fingerprints match.  Defaults to a hash of name(); models carrying
-  /// extra state (e.g. SyntheticModel's seed) must mix it in.
+  /// fingerprints match.  Defaults to a hash of name() mixed with the
+  /// objective set (objective_names()), so a model that grows a new
+  /// measured component never collides with its scalar ancestor; models
+  /// carrying extra state (e.g. SyntheticModel's seed) must mix it in.
   virtual std::uint64_t fingerprint() const;
 };
 
-/// Hotspot thermal-simulation kernel surface (paper §2 / §5.3.3).
-class HotspotModel : public PerformanceModel {
+/// Hotspot thermal-simulation kernel surface (paper §2 / §5.3.3), with a
+/// deterministic power landscape (wide blocks and deep temporal tiling burn
+/// more power than their throughput return).
+class HotspotModel : public PerformanceModel, public PowerModel {
  public:
   std::string name() const override { return "hotspot"; }
   double gflops(const std::vector<std::string>& names,
                 const csp::Config& config) const override;
+  double watts(const std::vector<std::string>& names,
+               const csp::Config& config) const override;
 };
 
-/// CLBlast-style GEMM surface (paper §5.3.5).
-class GemmModel : public PerformanceModel {
+/// CLBlast-style GEMM surface (paper §5.3.5), with a deterministic power
+/// landscape (vector width and shared-memory staging trade watts for
+/// throughput).
+class GemmModel : public PerformanceModel, public PowerModel {
  public:
   std::string name() const override { return "gemm"; }
   double gflops(const std::vector<std::string>& names,
                 const csp::Config& config) const override;
+  double watts(const std::vector<std::string>& names,
+               const csp::Config& config) const override;
 };
 
 /// Generic surface for arbitrary spaces: a deterministic multimodal mix of
 /// per-parameter preferences and pairwise interactions seeded by the
-/// parameter names, used by examples and tests.
-class SyntheticModel : public PerformanceModel {
+/// parameter names, used by examples and tests.  Also carries a synthetic
+/// power landscape (a second, differently-seeded mix), so any catalog
+/// kernel supports two-objective sessions.
+class SyntheticModel : public PerformanceModel, public PowerModel {
  public:
   explicit SyntheticModel(std::uint64_t seed = 42) : seed_(seed) {}
   std::string name() const override { return "synthetic"; }
   double gflops(const std::vector<std::string>& names,
                 const csp::Config& config) const override;
+  double watts(const std::vector<std::string>& names,
+               const csp::Config& config) const override;
   std::uint64_t fingerprint() const override;
 
  private:

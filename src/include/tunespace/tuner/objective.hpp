@@ -1,0 +1,109 @@
+#pragma once
+// Multi-objective measurement vocabulary: the Measurement vector, objective
+// directions/weights, weighted scalarization, Pareto dominance and the
+// Pareto-front point record.
+//
+// Real kernel measurements are vectors — throughput *and* the power rail
+// sampled while the benchmark ran (see the nouveau iccsense read API the
+// deployed tuner would front) — so the measurement API is vector-first:
+// PerformanceModel::measure returns a Measurement, sessions carry an
+// ObjectiveSpec describing which components they optimize, and everything
+// scalar (best_gflops, the optimizers' fitness) is derived by weighted
+// scalarization.  The single-objective default (maximize gflops, weight 1)
+// scalarizes to exactly the measured gflops, which is what keeps legacy
+// scalar sessions bit-identical to their pre-redesign runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tunespace::tuner {
+
+/// One simulated kernel measurement.  Components a session's ObjectiveSpec
+/// does not name are *unmeasured* and masked to zero before they enter any
+/// session state (trajectory, Pareto front, shared eval cache) — a session
+/// only ever records what it asked to measure, which keeps closed-loop,
+/// ask/tell and wire replays of the same session bit-identical even when
+/// some transports cannot carry the full vector.
+struct Measurement {
+  double gflops = 0;  ///< throughput (higher is better)
+  double watts = 0;   ///< average power draw; 0 = unmeasured
+
+  friend bool operator==(const Measurement&, const Measurement&) = default;
+};
+
+/// Optimization direction of one objective.
+enum class Direction : std::uint8_t {
+  kMaximize = 0,
+  kMinimize = 1,
+};
+
+/// One named objective with its direction and scalarization weight.
+struct Objective {
+  std::string name;  ///< a Measurement component: "gflops" or "watts"
+  Direction direction = Direction::kMaximize;
+  double weight = 1.0;
+
+  friend bool operator==(const Objective&, const Objective&) = default;
+};
+
+/// The objective set of a session: which Measurement components count, in
+/// which direction, and with which weights under weighted scalarization.
+///
+/// Default-constructed spec IS the single-objective legacy contract
+/// (maximize gflops, weight 1), so an absent wire field, a default
+/// TuningOptions and a pre-redesign caller all mean the same thing.
+struct ObjectiveSpec {
+  std::vector<Objective> objectives{{"gflops", Direction::kMaximize, 1.0}};
+
+  /// The legacy single-objective spec (maximize gflops, weight 1).
+  static ObjectiveSpec single();
+  /// Two-objective perf + power spec: maximize gflops (weight
+  /// `gflops_weight`), minimize watts (weight `watts_weight`).
+  static ObjectiveSpec perf_and_power(double gflops_weight = 1.0,
+                                      double watts_weight = 1.0);
+
+  /// True iff this is exactly the legacy single-objective spec, i.e. the
+  /// session's state degenerates to the scalar gflops contract.
+  bool is_single() const;
+  std::size_t size() const { return objectives.size(); }
+
+  /// The named component of a measurement (0 for unknown names, so an
+  /// objective a model cannot measure simply contributes nothing).
+  static double component(const Measurement& m, const std::string& name);
+
+  /// Keep only the components this spec names; everything else is zeroed.
+  Measurement mask(const Measurement& m) const;
+
+  /// Weighted scalarization (higher is better): sum of weight * component,
+  /// negated for minimized objectives.  For single() this is exactly
+  /// m.gflops, preserving scalar-session bit-identity.
+  double scalarize(const Measurement& m) const;
+
+  /// Pareto dominance under this spec: `a` is no worse than `b` in every
+  /// objective (per its direction) and strictly better in at least one.
+  bool dominates(const Measurement& a, const Measurement& b) const;
+  /// Weak dominance: no worse in every objective (equal vectors qualify).
+  bool dominates_or_equal(const Measurement& a, const Measurement& b) const;
+
+  /// Stable identity of the objective set (names, directions, weights),
+  /// mixed into eval-cache keys so sessions only share measurements taken
+  /// under the same objective set.
+  std::uint64_t fingerprint() const;
+
+  friend bool operator==(const ObjectiveSpec&, const ObjectiveSpec&) = default;
+};
+
+/// One member of a run's Pareto front: a non-dominated measurement with the
+/// configuration row and virtual time it was found at.
+struct ParetoPoint {
+  std::uint64_t row = 0;         ///< view-local row id
+  std::uint64_t parent_row = 0;  ///< row id in the parent space
+  Measurement measurement{};
+  double time_seconds = 0;       ///< virtual time of the evaluation
+  std::uint64_t evaluations = 0; ///< session evaluation count at that time
+
+  friend bool operator==(const ParetoPoint&, const ParetoPoint&) = default;
+};
+
+}  // namespace tunespace::tuner

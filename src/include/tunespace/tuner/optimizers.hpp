@@ -19,6 +19,7 @@
 
 #include "tunespace/searchspace/searchspace.hpp"
 #include "tunespace/searchspace/view.hpp"
+#include "tunespace/tuner/objective.hpp"
 #include "tunespace/util/rng.hpp"
 
 namespace tunespace::tuner {
@@ -26,12 +27,22 @@ namespace tunespace::tuner {
 /// Evaluation services handed to an optimizer by the runner.
 struct EvalContext {
   searchspace::SubSpace space;
-  /// Evaluate a configuration; returns its performance (higher is better).
-  /// Re-evaluating a row returns the cached result at no budget cost.
+  /// Evaluate a configuration; returns its scalarized objective value
+  /// (higher is better; exactly the measured gflops for single-objective
+  /// sessions).  Re-evaluating a row returns the cached result at no
+  /// budget cost beyond the per-request overhead.
   std::function<double(std::size_t row)> evaluate;
   /// True once the tuning budget is exhausted; optimizers must return soon.
   std::function<bool()> exhausted;
   util::Rng* rng;
+  /// Full objective vector of a configuration — the vector-aware sibling of
+  /// evaluate(), with identical budget/memo semantics (both feed the same
+  /// session core).  May be null in hand-rolled contexts; multi-objective
+  /// optimizers must fall back to wrapping evaluate() into the gflops
+  /// component.
+  std::function<Measurement(std::size_t row)> measure{};
+  /// The session's objective set; null means the legacy single objective.
+  const ObjectiveSpec* objectives = nullptr;
 };
 
 /// Search strategy interface.
@@ -114,7 +125,31 @@ class DifferentialEvolution : public Optimizer {
   Params params_;
 };
 
-/// The stable names of the five standard optimizers, in portfolio order.
+/// NSGA-II-style non-dominated selection: generational GA whose survivor
+/// and parent selection rank by (non-domination front, crowding distance)
+/// over full Measurement vectors instead of scalar fitness.  Variation
+/// reuses the discrete-space operators of the plain GA (uniform crossover
+/// in value-index space snapped to a valid configuration, Hamming-1
+/// mutation via resolved neighbours).  Deterministic for a fixed Rng:
+/// sorts are stable and ties break by insertion order.  With a single
+/// objective the non-dominated ranking degenerates to sorting by scalar
+/// fitness, so it remains a sound (if plain) portfolio member there.
+class Nsga2 : public Optimizer {
+ public:
+  struct Params {
+    std::size_t population = 20;
+    double mutation_rate = 0.2;
+  };
+  Nsga2() = default;
+  explicit Nsga2(Params params) : params_(params) {}
+  std::string name() const override { return "nsga2"; }
+  void run(EvalContext& ctx) override;
+
+ private:
+  Params params_;
+};
+
+/// The stable names of the six standard optimizers, in portfolio order.
 std::vector<std::string> optimizer_names();
 
 /// Construct a default-parameter optimizer by its name() string — the

@@ -6,8 +6,18 @@
 // ...fields}; responses are {"ok": true, ...fields} on success and
 // {"ok": false, "error": {"code": "...", "message": "..."}} on failure,
 // where code is the stable error_code_name of the ServiceError the request
-// raised.  Operations: ping, open, suggest, report, best, info, stats,
-// close, drain.
+// raised.  Operations: hello, ping, open, suggest, report, best, info,
+// stats, close, drain.
+//
+// Versioning: protocol v2 adds the "hello" negotiation op, an optional "v"
+// field on every request envelope (absent means 1), and objective-map
+// fields ("objectives", "measurement", "best", "best_score", "front") on
+// the session ops.  Compatibility is by construction: v2 readers treat
+// every new field as optional with v1 semantics as the default (a missing
+// objectives field IS the single-objective spec), and v1 readers ignore
+// unknown fields, so a v1 client against a v2 server keeps working without
+// negotiating.  A server rejects only requests whose "v" exceeds its own
+// version, with the typed kUnsupportedVersion error.
 //
 // Everything here is transport-agnostic: framing runs over the abstract
 // ByteStream (a socket in server.hpp / service_client.hpp, an in-memory
@@ -31,6 +41,30 @@ namespace tunespace::tuner::wire {
 /// (they are far more likely a desynchronized or hostile peer than a real
 /// message).
 inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
+
+/// The wire protocol version this build speaks.  History:
+///   1 — PR 7: scalar gflops measurements, no negotiation.
+///   2 — objective vectors (Measurement maps, ObjectiveSpec, Pareto front)
+///       and the "hello" negotiation op.
+inline constexpr int kProtocolVersion = 2;
+
+/// The "hello" negotiation op: the client announces the highest version it
+/// speaks; the server answers with the version the connection will use
+/// (min(client max, server version)) plus its own version for diagnostics.
+/// Optional — a client that never sends hello is treated as v1-compatible
+/// field-wise, which v2 servers accept by construction.
+struct HelloRequest {
+  int max_version = kProtocolVersion;
+
+  friend bool operator==(const HelloRequest&, const HelloRequest&) = default;
+};
+
+struct HelloResponse {
+  int version = 1;                         ///< negotiated for this connection
+  int server_version = kProtocolVersion;   ///< what the server speaks
+
+  friend bool operator==(const HelloResponse&, const HelloResponse&) = default;
+};
 
 /// Blocking byte stream the framing runs over.
 class ByteStream {
@@ -80,7 +114,27 @@ csp::Value csp_value_from_json(const util::json::Value& value);
 util::json::Value config_to_json(const std::vector<NamedValue>& config);
 std::vector<NamedValue> config_from_json(const util::json::Value& value);
 
+// -- Objective codecs --------------------------------------------------------
+
+/// {"gflops": x, "watts": y} — zero components are written too, so the
+/// object is the full vector, not a sparse map.
+util::json::Value to_json(const Measurement& measurement);
+Measurement measurement_from_json(const util::json::Value& value);
+
+/// [{"name": ..., "direction": "maximize"|"minimize", "weight": ...}, ...]
+util::json::Value to_json(const ObjectiveSpec& spec);
+ObjectiveSpec objective_spec_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const ParetoPoint& point);
+ParetoPoint pareto_point_from_json(const util::json::Value& value);
+
 // -- api.hpp struct codecs ---------------------------------------------------
+
+util::json::Value to_json(const HelloRequest& request);
+HelloRequest hello_request_from_json(const util::json::Value& value);
+
+util::json::Value to_json(const HelloResponse& response);
+HelloResponse hello_response_from_json(const util::json::Value& value);
 
 util::json::Value to_json(const OpenSessionRequest& request);
 OpenSessionRequest open_session_request_from_json(const util::json::Value& value);

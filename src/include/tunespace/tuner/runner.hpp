@@ -19,11 +19,15 @@
 
 namespace tunespace::tuner {
 
-/// One point of the best-so-far trajectory.
+/// One point of the best-so-far trajectory.  Improvements are judged by the
+/// session's scalarized score; `measurement` is the incumbent's full
+/// objective vector and `best_gflops` its throughput component (for scalar
+/// sessions the two gflops values coincide, preserving the legacy shape).
 struct TrajectoryPoint {
   double time_seconds = 0;   ///< virtual time of the improvement
-  double best_gflops = 0;    ///< best performance found up to that time
+  double best_gflops = 0;    ///< incumbent throughput up to that time
   std::size_t evaluations = 0;
+  Measurement measurement{};   ///< incumbent objective vector
 
   friend bool operator==(const TrajectoryPoint&, const TrajectoryPoint&) = default;
 };
@@ -33,12 +37,30 @@ struct TuningRun {
   std::string method_name;
   double construction_seconds = 0;  ///< measured, charged to the clock
   double budget_seconds = 0;
-  double best_gflops = 0;
+  double best_gflops = 0;           ///< incumbent's throughput component
   std::size_t evaluations = 0;
   std::vector<TrajectoryPoint> trajectory;
+  ObjectiveSpec objectives{};  ///< the objective set the session optimized
+  double best_score = 0;     ///< scalarized score of the incumbent
+  Measurement best{};          ///< full objective vector of the incumbent
+  /// Non-dominated measurements in evaluation order (insertion order of the
+  /// virtual clock); maintained for scalar sessions too, where it holds
+  /// just the incumbent.  Use pareto() for the canonical sorted view.
+  std::vector<ParetoPoint> front;
 
-  /// Best performance found no later than `time`; 0 before the first eval.
+  /// Best throughput found no later than `time`.  Contract (tested in
+  /// test_tuner): a trajectory point exactly at `time` IS included (the
+  /// improvement happens at that instant), and before the first recorded
+  /// improvement — including any `time` < 0 — the result is 0.  For vector
+  /// runs this is the gflops component of the scalarized incumbent, which
+  /// may be below an earlier gflops reading if another objective paid for
+  /// the trade; use pareto() to see the full front.
   double best_at(double time) const;
+
+  /// The Pareto front in canonical order: descending scalarized score,
+  /// ties broken by ascending view-local row.  Deterministic given the run
+  /// (front insertion order is the virtual-clock evaluation order).
+  std::vector<ParetoPoint> pareto() const;
 
   friend bool operator==(const TuningRun&, const TuningRun&) = default;
 };
@@ -65,14 +87,22 @@ struct TuningOptions {
   /// bit-reproducible — across repeats, thread counts, and between an
   /// isolated run_tuning call and the same session under a SessionManager.
   double fixed_construction_seconds = -1.0;
+  /// Objective set of the session.  Defaults to the legacy single objective
+  /// (maximize gflops); measurements are masked to this set before they
+  /// enter any session state, and improvements are judged by its weighted
+  /// scalarization.
+  ObjectiveSpec objectives{};
 };
 
 /// Run one tuning session: construct the space with `method`, then drive
 /// `optimizer` over it until the virtual budget is exhausted.
 ///
-/// Thin shim: builds the space and chains through the SubSpace overload
-/// below onto run_session_loop (session.hpp), the one canonical
-/// stepper-backed session entry point.
+/// Deprecated entry point: build a SessionRequest (session.hpp,
+/// make_session_request) and call run_session instead — one options struct
+/// for every tuning path.  Removal timeline in CONTRIBUTING.md.
+[[deprecated(
+    "use run_session(SessionRequest) / make_session_request; see "
+    "CONTRIBUTING.md")]]
 TuningRun run_tuning(const TuningProblem& spec, const Method& method,
                      const PerformanceModel& model, Optimizer& optimizer,
                      const TuningOptions& options);
@@ -83,9 +113,12 @@ TuningRun run_tuning(const TuningProblem& spec, const Method& method,
 /// construction latency is charged to the virtual clock (the restriction
 /// itself is effectively free); rows in the run are the view's local ids.
 ///
-/// Thin shim over run_session_loop (session.hpp): every tuning path —
-/// these overloads, SessionManager workers, Portfolio members and the
-/// TuningService — drives the same SessionStepper ask/tell core.
+/// Deprecated entry point: build a SessionRequest (session.hpp,
+/// make_session_request) and call run_session instead.  Removal timeline in
+/// CONTRIBUTING.md.
+[[deprecated(
+    "use run_session(SessionRequest) / make_session_request; see "
+    "CONTRIBUTING.md")]]
 TuningRun run_tuning(const searchspace::SubSpace& view, const PerformanceModel& model,
                      Optimizer& optimizer, const TuningOptions& options,
                      const std::string& method_name = "subspace");

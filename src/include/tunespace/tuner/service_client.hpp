@@ -7,6 +7,12 @@
 // rejections are rethrown as the original tunespace::ServiceError — the
 // stable code survives the wire — so in-process TuningService code and
 // remote-client code handle failures identically.
+//
+// connect() negotiates the protocol version with a "hello" round trip: the
+// connection speaks min(our kProtocolVersion, server's version).  A v1
+// server answers hello with kProtocol (unknown op), which the client treats
+// as "speak v1".  Requests carry a "v" field only when the negotiated
+// version is above 1, so v1 request bytes are unchanged.
 
 #include <cstdint>
 #include <string>
@@ -22,6 +28,10 @@ struct ServiceClientOptions {
   /// connect() retries until this deadline — tolerates a server that is
   /// still binding when the client starts.
   double connect_timeout_seconds = 10.0;
+  /// 0 negotiates via "hello"; a positive value skips negotiation and pins
+  /// the connection to that protocol version (e.g. 1 to emit pure v1 bytes
+  /// against any server).
+  int force_version = 0;
 };
 
 class ServiceClient {
@@ -35,6 +45,10 @@ class ServiceClient {
   void connect(const ServiceClientOptions& options);  ///< throws kIo
   void disconnect() noexcept;
   bool connected() const { return fd_ >= 0; }
+
+  /// Protocol version this connection speaks (negotiated or forced); 0 when
+  /// disconnected.
+  int negotiated_version() const { return version_; }
 
   bool ping();
   OpenSessionResponse open(const OpenSessionRequest& request);
@@ -50,6 +64,7 @@ class ServiceClient {
   util::json::Value call(const std::string& op, const util::json::Value& body);
 
   int fd_ = -1;
+  int version_ = 0;
 };
 
 }  // namespace tunespace::tuner

@@ -25,9 +25,10 @@
 //                     TuningService (service.hpp) are all thin drivers over
 //                     it — the session semantics exist exactly once.
 //
-//   run_session_loop  the closed-loop driver over a SessionStepper: asks,
-//                     answers each suggestion with the performance model,
-//                     and returns the finished TuningRun.
+//   run_session       the closed-loop driver over a SessionStepper: takes
+//                     one SessionRequest, asks, answers each suggestion
+//                     with PerformanceModel::measure, and returns the
+//                     finished TuningRun (trajectory + Pareto front).
 //
 //   SessionManager    schedules many TuningSessions over a worker pool.
 //                     Sessions whose spec + method hash to the same
@@ -72,9 +73,12 @@ namespace tunespace::tuner {
 
 /// Lock-striped cache of kernel measurements shared across concurrent
 /// sessions, keyed by (space fingerprint, parent row id) so sessions tuning
-/// different restrictions of the same space still share.  Values come from
-/// the deterministic performance models, so a hit returns exactly what a
-/// fresh measurement would — sharing is invisible in the results.
+/// different restrictions of the same space still share.  Values are full
+/// Measurement vectors, already masked to the owning session's objective
+/// set; the cache fingerprint mixes that objective set, so sessions only
+/// ever share vectors of the same shape.  Values come from the
+/// deterministic performance models, so a hit returns exactly what a fresh
+/// measurement would — sharing is invisible in the results.
 class SharedEvalCache {
  public:
   explicit SharedEvalCache(std::size_t stripes = 64);
@@ -83,11 +87,11 @@ class SharedEvalCache {
   SharedEvalCache& operator=(const SharedEvalCache&) = delete;
 
   /// Cached measurement for (space, row), if any session has produced it.
-  std::optional<double> lookup(std::uint64_t space_fingerprint,
-                               std::uint64_t parent_row) const;
+  std::optional<Measurement> lookup(std::uint64_t space_fingerprint,
+                                    std::uint64_t parent_row) const;
   /// Publish a measurement (idempotent: later inserts keep the first value).
   void insert(std::uint64_t space_fingerprint, std::uint64_t parent_row,
-              double gflops);
+              const Measurement& measurement);
 
   std::size_t size() const;      ///< distinct cached measurements
   std::uint64_t hits() const;    ///< lookups served from the cache
@@ -98,7 +102,8 @@ class SharedEvalCache {
   /// persistence.
   void for_each(const std::function<void(std::uint64_t space_fingerprint,
                                          std::uint64_t parent_row,
-                                         double gflops)>& fn) const;
+                                         const Measurement& measurement)>& fn)
+      const;
 
  private:
   struct Stripe;
@@ -124,7 +129,10 @@ struct SessionHooks {
   /// virtual time before any budget is charged.
   std::function<void(double now)> before_request;
   /// Observes each completed (non-memoized) evaluation at its virtual time.
-  std::function<void(std::size_t local_row, double gflops, double now)> on_eval;
+  /// `score` is the session's scalarized objective value (exactly the
+  /// measured gflops for single-objective sessions), so the portfolio race
+  /// compares members on one shared axis regardless of objective count.
+  std::function<void(std::size_t local_row, double score, double now)> on_eval;
   /// Extra stop predicate OR-ed into the budget check (shared early stop).
   std::function<bool(double now)> stop;
 };
@@ -165,9 +173,10 @@ struct Suggestion {
 class SessionStepper {
  public:
   /// Computes the virtual-clock charge of a measurement (the model's
-  /// evaluation_cost on the library path); also used to charge shared-cache
-  /// hits, which never reach the reporter.
-  using CostFn = std::function<double(double gflops)>;
+  /// evaluation_cost on the library path — power rides along with the
+  /// throughput benchmark, so the vector costs what the scalar did); also
+  /// used to charge shared-cache hits, which never reach the reporter.
+  using CostFn = std::function<double(const Measurement& measurement)>;
 
   /// `optimizer`, `stats` and everything captured by `cost` and `hooks`
   /// must outlive the stepper.  The constructor runs the optimizer up to
@@ -188,10 +197,17 @@ class SessionStepper {
   /// exception the optimizer escaped with.
   std::optional<Suggestion> suggest();
 
-  /// Answer the outstanding suggestion: `gflops` is the measurement;
+  /// Answer the outstanding suggestion with a full objective vector;
   /// `measure_seconds` is the wall cost charged to the virtual clock (< 0
-  /// charges cost(gflops), the model path).  Publishes to the shared cache,
-  /// advances the clock, memoizes, and extends the trajectory.
+  /// charges cost(measurement), the model path).  The vector is masked to
+  /// the session's ObjectiveSpec before it touches any session state —
+  /// trajectory, Pareto front, memo, shared cache — so a session only ever
+  /// records what it asked to measure.  Publishes to the shared cache,
+  /// advances the clock, memoizes, and extends the trajectory and front.
+  void report(const Measurement& measurement, double measure_seconds = -1.0);
+
+  /// Scalar shim over report(Measurement): a gflops-only measurement, the
+  /// v1 wire shape.  Components beyond gflops are unmeasured (zero).
   void report(double gflops, double measure_seconds = -1.0);
 
   /// Abort the optimizer and finalize with the partial TuningRun (idempotent).
@@ -212,11 +228,18 @@ class SessionStepper {
 
  private:
   struct Reply {
-    double gflops = 0;
+    Measurement measurement{};
     double cost_seconds = -1;
   };
 
-  double evaluate(std::size_t row);      // optimizer-facing (worker thread)
+  // Optimizer-facing (worker thread): the full request flow — overhead,
+  // memo, budget, shared cache or rendezvous, clock charge, trajectory and
+  // Pareto-front upkeep — returning the masked measurement.  evaluate() is
+  // its scalarized view, the fitness the legacy optimizers consume.
+  Measurement measure_row(std::size_t row);
+  double evaluate(std::size_t row);
+  void update_front(std::size_t row, std::uint64_t parent_row,
+                    const Measurement& measurement);
   Reply yield_ask(Suggestion ask);       // park the worker, wait for report
   void wait_parked(std::unique_lock<std::mutex>& lock);
   void finalize();                       // join + rethrow a worker error
@@ -233,7 +256,7 @@ class SessionStepper {
   util::VirtualClock clock_;
   util::WallTimer wall_;
   util::Rng rng_;
-  std::unordered_map<std::size_t, double> memo_;
+  std::unordered_map<std::size_t, Measurement> memo_;
   TuningRun run_;
   std::optional<Suggestion> best_;
 
@@ -254,32 +277,14 @@ class SessionStepper {
   bool finished_ = false;
 };
 
-/// The single session-loop core: charge `construction_seconds` to a fresh
-/// virtual clock, then drive `optimizer` over `view` until the budget is
-/// exhausted, recording the best-so-far trajectory.  Since PR 7 this is a
-/// closed-loop driver over SessionStepper — it answers every suggestion
-/// with the performance model — and remains the one entry point the
-/// run_tuning shims, the SessionManager and the Portfolio call.
-///
-/// `shared_cache` (optional) is consulted before the performance model,
-/// keyed by `cache_fingerprint` and the view's *parent* row ids; cache hits
-/// still charge the model's evaluation cost and count as evaluations, so a
-/// session's TuningRun is bit-identical with and without sharing.
-/// `cache_fingerprint` must identify the (space, model) pair — the
-/// SessionManager mixes SearchSpace::fingerprint() with
-/// PerformanceModel::fingerprint() — so sessions only ever share
-/// measurements of the same surface over the same space.
-TuningRun run_session_loop(const searchspace::SubSpace& view,
-                           const std::string& method_name,
-                           double construction_seconds,
-                           const PerformanceModel& model, Optimizer& optimizer,
-                           const TuningOptions& options,
-                           SharedEvalCache* shared_cache = nullptr,
-                           std::uint64_t cache_fingerprint = 0,
-                           SessionStats* stats = nullptr,
-                           const SessionHooks& hooks = {});
-
-/// One tuning session to schedule on a SessionManager.
+/// One tuning session, for run_session and the SessionManager — the single
+/// options struct every tuning path is phrased in.  Exactly one source of
+/// the space must be set: either `spec` (+ optional `make_method`) for a
+/// fresh construction, or `view` for an already-resolved space or a
+/// restriction of one.  The optimizer likewise comes from either
+/// `make_optimizer` (owning; preferred, and required under a
+/// SessionManager, whose workers need a fresh instance per run) or
+/// `optimizer` (non-owning, for callers holding one).
 struct SessionRequest {
   TuningProblem spec;
   std::shared_ptr<const PerformanceModel> model;
@@ -292,7 +297,76 @@ struct SessionRequest {
   /// default (the optimized method).  Sessions share a space iff their
   /// (spec, method) fingerprints match.
   std::function<Method()> make_method;
+  /// Non-owning method alternative to make_method (Method is move-only, so
+  /// callers holding one lend it instead of wrapping it in a factory); must
+  /// outlive the call and wins over make_method when both are set.
+  const Method* method = nullptr;
+  /// Pre-resolved space (or restriction) to tune over instead of
+  /// constructing one from `spec`; rows in the run are the view's local
+  /// ids.  `restriction` still applies on top when non-trivial.
+  std::optional<searchspace::SubSpace> view;
+  /// Run label when `view` is set (constructed spaces use the method's
+  /// name); empty means "subspace".
+  std::string method_name;
+  /// Construction latency charged to the virtual clock when `view` is set;
+  /// < 0 charges the view's parent-space construction time.  (With `spec`,
+  /// the fresh construction is measured and charged, as always subject to
+  /// TuningOptions::fixed_construction_seconds.)
+  double construction_seconds = -1;
+  /// Non-owning optimizer alternative to make_optimizer; must outlive the
+  /// call.
+  Optimizer* optimizer = nullptr;
+  /// Cross-session measurement sharing (see SharedEvalCache); the
+  /// fingerprint must identify the (space, model, objective-set) triple —
+  /// mix SearchSpace::fingerprint(), PerformanceModel::fingerprint() and
+  /// ObjectiveSpec::fingerprint() — so sessions only ever share
+  /// measurements of the same surface, space and vector shape.  Cache hits
+  /// still charge full evaluation cost and count as evaluations, so a
+  /// session's TuningRun is bit-identical with and without sharing.
+  SharedEvalCache* shared_cache = nullptr;
+  std::uint64_t cache_fingerprint = 0;
+  SessionStats* stats = nullptr;  ///< optional observability sink
+  SessionHooks hooks;             ///< portfolio/lockstep injection points
 };
+
+/// Run one tuning session described by a SessionRequest: resolve the space
+/// (construct from `spec` or adopt `view`), drive the optimizer through a
+/// SessionStepper closed loop answering every suggestion with
+/// model->measure(), and return the finished TuningRun.  This is the one
+/// canonical entry point; the deprecated run_tuning / run_session_loop
+/// shims and the SessionManager workers all phrase themselves as
+/// SessionRequests.
+TuningRun run_session(const SessionRequest& request);
+
+/// Convenience builders for the common shapes.  The returned request
+/// borrows `model`, `optimizer` and (for the view form) the view's parent
+/// space — all must outlive the run_session call.
+SessionRequest make_session_request(const TuningProblem& spec,
+                                    const Method& method,
+                                    const PerformanceModel& model,
+                                    Optimizer& optimizer,
+                                    const TuningOptions& options);
+SessionRequest make_session_request(const searchspace::SubSpace& view,
+                                    const PerformanceModel& model,
+                                    Optimizer& optimizer,
+                                    const TuningOptions& options,
+                                    const std::string& method_name = "subspace");
+
+/// Deprecated spelling of run_session(SessionRequest): kept for one release
+/// as a shim (see CONTRIBUTING.md).  Identical semantics — it builds the
+/// equivalent SessionRequest and forwards.
+[[deprecated(
+    "use run_session(SessionRequest) / make_session_request; see "
+    "CONTRIBUTING.md")]]
+TuningRun run_session_loop(const searchspace::SubSpace& view,
+                           const std::string& method_name,
+                           double construction_seconds,
+                           const PerformanceModel& model, Optimizer& optimizer,
+                           const TuningOptions& options,
+                           SharedEvalCache* shared_cache = nullptr,
+                           std::uint64_t cache_fingerprint = 0,
+                           SessionStats* stats = nullptr,
+                           const SessionHooks& hooks = {});
 
 /// Result of one scheduled session.
 struct SessionResult {
@@ -404,8 +478,9 @@ PortfolioResult run_portfolio(const searchspace::SubSpace& view,
                               const PortfolioOptions& options,
                               SharedEvalCache* shared_cache = nullptr);
 
-/// The standard five-optimizer portfolio (random sampling, genetic
-/// algorithm, simulated annealing, hill climbing, differential evolution).
+/// The standard six-optimizer portfolio (random sampling, genetic
+/// algorithm, simulated annealing, hill climbing, differential evolution,
+/// NSGA-II non-dominated selection).
 std::vector<std::unique_ptr<Optimizer>> default_portfolio();
 
 }  // namespace tunespace::tuner

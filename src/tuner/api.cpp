@@ -8,7 +8,7 @@ namespace tunespace {
 namespace {
 
 // Wire-stable (code, name) pairs: appending is safe, renaming is not.
-constexpr std::array<std::pair<ErrorCode, const char*>, 11> kCodeNames{{
+constexpr std::array<std::pair<ErrorCode, const char*>, 12> kCodeNames{{
     {ErrorCode::kOk, "ok"},
     {ErrorCode::kInvalidArgument, "invalid_argument"},
     {ErrorCode::kUnknownSession, "unknown_session"},
@@ -20,6 +20,7 @@ constexpr std::array<std::pair<ErrorCode, const char*>, 11> kCodeNames{{
     {ErrorCode::kProtocol, "protocol"},
     {ErrorCode::kIo, "io"},
     {ErrorCode::kInternal, "internal"},
+    {ErrorCode::kUnsupportedVersion, "unsupported_version"},
 }};
 
 }  // namespace

@@ -10,9 +10,12 @@ namespace {
 
 /// Deterministic jitter in [1-amp, 1+amp] from a config fingerprint, giving
 /// the surface realistic measurement-like texture without randomness.
+/// `salt` decorrelates textures drawn over the same configuration (the
+/// power rail does not wiggle in lockstep with throughput).
 double jitter(const std::vector<std::string>& names, const csp::Config& config,
-              double amp) {
+              double amp, std::uint64_t salt = 0) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
+  if (salt != 0) h = util::mix64(h, salt);  // salt 0 = the legacy sequence
   const auto mix = [&h](std::uint64_t v) { h = util::mix64(h, v); };
   for (const auto& n : names) mix(std::hash<std::string>{}(n));
   for (const auto& v : config) mix(v.hash());
@@ -39,6 +42,25 @@ double param_or(const std::vector<std::string>& names, const csp::Config& config
   return fallback;
 }
 
+Measurement PerformanceModel::measure(const std::vector<std::string>& names,
+                                      const csp::Config& config) const {
+  // One simulated benchmark run: throughput always, power when the model
+  // fronts a power rail.  Both samples come from the same (virtual) run, so
+  // callers charge the clock once for the whole vector.
+  Measurement m;
+  m.gflops = gflops(names, config);
+  if (const auto* power = dynamic_cast<const PowerModel*>(this)) {
+    m.watts = power->watts(names, config);
+  }
+  return m;
+}
+
+std::vector<std::string> PerformanceModel::objective_names() const {
+  std::vector<std::string> out{"gflops"};
+  if (dynamic_cast<const PowerModel*>(this) != nullptr) out.push_back("watts");
+  return out;
+}
+
 double PerformanceModel::evaluation_cost(double gflops) const {
   // Compile + launch overhead, plus benchmark repetitions whose duration is
   // inversely proportional to throughput (slow variants take longer to
@@ -51,6 +73,16 @@ double PerformanceModel::evaluation_cost(double gflops) const {
 std::uint64_t PerformanceModel::fingerprint() const {
   std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a over the display name
   for (char c : name()) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001B3ULL;
+  // Mix the measurable objective set: a model that grows a new measured
+  // component (e.g. a power rail) must never share cached Measurements with
+  // its scalar ancestor, whose cached vectors lack that component.
+  for (const std::string& objective : objective_names()) {
+    std::uint64_t oh = 0xCBF29CE484222325ULL;
+    for (char c : objective) {
+      oh = (oh ^ static_cast<std::uint64_t>(c)) * 0x100000001B3ULL;
+    }
+    h = util::mix64(h, oh);
+  }
   return h;
 }
 
@@ -91,6 +123,30 @@ double HotspotModel::gflops(const std::vector<std::string>& names,
   return perf * jitter(names, config, 0.05);
 }
 
+double HotspotModel::watts(const std::vector<std::string>& names,
+                           const csp::Config& config) const {
+  const double bsx = param_or(names, config, "block_size_x", 32);
+  const double bsy = param_or(names, config, "block_size_y", 8);
+  const double ttf = param_or(names, config, "temporal_tiling_factor", 1);
+  const double sh_power = param_or(names, config, "sh_power", 0);
+  const double bpsm = param_or(names, config, "blocks_per_sm", 1);
+
+  // Board idle draw plus dynamic power that grows with occupancy faster
+  // than throughput does: wide blocks and deep temporal tiling keep more
+  // SMs switching per unit of useful work, so the power optimum sits at
+  // smaller blocks than the throughput optimum and the Pareto front is
+  // nontrivial.
+  const double threads = bsx * bsy;
+  double draw = 55.0;
+  draw += 95.0 * std::min(threads, 1024.0) / 1024.0;
+  draw += 22.0 * std::log2(1.0 + ttf);
+  // Shared-memory staging trims DRAM traffic, the dominant power sink.
+  if (sh_power > 0) draw *= 0.93;
+  // Extra resident blocks keep the clock gates open.
+  draw *= 1.0 + 0.06 * std::min(bpsm, 4.0);
+  return draw * jitter(names, config, 0.03, 0x9E3779B97F4A7C15ULL);
+}
+
 // ---------------------------------------------------------------------------
 // GEMM
 // ---------------------------------------------------------------------------
@@ -126,6 +182,32 @@ double GemmModel::gflops(const std::vector<std::string>& names,
   return perf * jitter(names, config, 0.06);
 }
 
+double GemmModel::watts(const std::vector<std::string>& names,
+                        const csp::Config& config) const {
+  const double mwg = param_or(names, config, "MWG", 64);
+  const double nwg = param_or(names, config, "NWG", 64);
+  const double kwg = param_or(names, config, "KWG", 16);
+  const double mdimc = param_or(names, config, "MDIMC", 16);
+  const double ndimc = param_or(names, config, "NDIMC", 16);
+  const double vwm = param_or(names, config, "VWM", 2);
+  const double vwn = param_or(names, config, "VWN", 2);
+  const double sa = param_or(names, config, "SA", 1);
+  const double sb = param_or(names, config, "SB", 1);
+
+  // FMA-bound kernel: power tracks issue width.  Wide vectors and big
+  // register tiles push the rail up even past the throughput sweet spot,
+  // while shared-memory staging saves DRAM watts — the perf-per-watt
+  // optimum uses narrower vectors than the raw-throughput optimum.
+  const double threads = mdimc * ndimc;
+  double draw = 70.0;
+  draw += 110.0 * std::min(threads, 512.0) / 512.0;
+  draw += 18.0 * std::log2(1.0 + vwm * vwn);
+  const double tile_bytes = (mwg * kwg + kwg * nwg) * 4.0;
+  draw += 25.0 * std::min(tile_bytes, 49152.0) / 49152.0;
+  draw *= 1.0 - 0.04 * sa - 0.03 * sb;
+  return draw * jitter(names, config, 0.04, 0x9E3779B97F4A7C15ULL);
+}
+
 // ---------------------------------------------------------------------------
 // Synthetic
 // ---------------------------------------------------------------------------
@@ -159,6 +241,28 @@ double SyntheticModel::gflops(const std::vector<std::string>& names,
   }
   const double base = 100.0 * static_cast<double>(d ? d : 1);
   return base * score * ripple * jitter(names, config, 0.04);
+}
+
+double SyntheticModel::watts(const std::vector<std::string>& names,
+                             const csp::Config& config) const {
+  // A second multimodal mix over the same parameters, seeded differently
+  // from the throughput surface so high-gflops configurations are not
+  // automatically high- or low-power.
+  auto name_hash = [this](const std::string& n) {
+    std::uint64_t h = util::mix64(seed_, 0xA5A5A5A5A5A5A5A5ULL);
+    for (char c : n) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001B3ULL;
+    return h;
+  };
+  double load = 1.0;
+  for (std::size_t i = 0; i < names.size() && i < config.size(); ++i) {
+    if (!config[i].is_numeric()) continue;
+    const double x = config[i].as_real();
+    const std::uint64_t h = name_hash(names[i]);
+    const double peak = 1.0 + static_cast<double>(h % 9);
+    load *= 0.75 + 0.25 * log2_bump(std::fabs(x) + 1.0, peak, 2.0);
+  }
+  return (40.0 + 160.0 * load) *
+         jitter(names, config, 0.03, 0x9E3779B97F4A7C15ULL);
 }
 
 std::uint64_t SyntheticModel::fingerprint() const {

@@ -1,0 +1,97 @@
+#include "tunespace/tuner/objective.hpp"
+
+#include "tunespace/util/rng.hpp"
+
+namespace tunespace::tuner {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (char c : s) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001B3ULL;
+  return h;
+}
+
+/// Direction-adjusted value: larger is always better.
+double oriented(const Objective& objective, const Measurement& m) {
+  const double value = ObjectiveSpec::component(m, objective.name);
+  return objective.direction == Direction::kMinimize ? -value : value;
+}
+
+}  // namespace
+
+ObjectiveSpec ObjectiveSpec::single() { return ObjectiveSpec{}; }
+
+ObjectiveSpec ObjectiveSpec::perf_and_power(double gflops_weight,
+                                            double watts_weight) {
+  ObjectiveSpec spec;
+  spec.objectives = {{"gflops", Direction::kMaximize, gflops_weight},
+                     {"watts", Direction::kMinimize, watts_weight}};
+  return spec;
+}
+
+bool ObjectiveSpec::is_single() const {
+  return objectives.size() == 1 && objectives[0].name == "gflops" &&
+         objectives[0].direction == Direction::kMaximize &&
+         objectives[0].weight == 1.0;
+}
+
+double ObjectiveSpec::component(const Measurement& m, const std::string& name) {
+  if (name == "gflops") return m.gflops;
+  if (name == "watts") return m.watts;
+  return 0.0;
+}
+
+Measurement ObjectiveSpec::mask(const Measurement& m) const {
+  Measurement masked;
+  for (const Objective& objective : objectives) {
+    if (objective.name == "gflops") masked.gflops = m.gflops;
+    if (objective.name == "watts") masked.watts = m.watts;
+  }
+  return masked;
+}
+
+double ObjectiveSpec::scalarize(const Measurement& m) const {
+  // The single-objective hot path must reproduce the legacy scalar exactly:
+  // 1.0 * m.gflops would already be bit-exact, but returning the component
+  // directly keeps the contract self-evident.
+  if (objectives.size() == 1 && objectives[0].weight == 1.0 &&
+      objectives[0].direction == Direction::kMaximize) {
+    return component(m, objectives[0].name);
+  }
+  double score = 0;
+  for (const Objective& objective : objectives) {
+    score += objective.weight * oriented(objective, m);
+  }
+  return score;
+}
+
+bool ObjectiveSpec::dominates(const Measurement& a, const Measurement& b) const {
+  bool strictly_better = false;
+  for (const Objective& objective : objectives) {
+    const double av = oriented(objective, a);
+    const double bv = oriented(objective, b);
+    if (av < bv) return false;
+    if (av > bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool ObjectiveSpec::dominates_or_equal(const Measurement& a,
+                                       const Measurement& b) const {
+  for (const Objective& objective : objectives) {
+    if (oriented(objective, a) < oriented(objective, b)) return false;
+  }
+  return true;
+}
+
+std::uint64_t ObjectiveSpec::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const Objective& objective : objectives) {
+    h = fnv1a(h, objective.name);
+    h = util::mix64(h, static_cast<std::uint64_t>(objective.direction));
+    h = util::mix64(h, std::hash<double>{}(objective.weight));
+  }
+  return h;
+}
+
+}  // namespace tunespace::tuner

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "tunespace/searchspace/neighbors.hpp"
@@ -12,7 +13,7 @@ namespace tunespace::tuner {
 
 std::vector<std::string> optimizer_names() {
   return {"random-sampling", "genetic-algorithm", "simulated-annealing",
-          "hill-climbing", "differential-evolution"};
+          "hill-climbing", "differential-evolution", "nsga2"};
 }
 
 std::unique_ptr<Optimizer> make_optimizer(const std::string& name) {
@@ -23,6 +24,7 @@ std::unique_ptr<Optimizer> make_optimizer(const std::string& name) {
   if (name == "differential-evolution") {
     return std::make_unique<DifferentialEvolution>();
   }
+  if (name == "nsga2") return std::make_unique<Nsga2>();
   throw ServiceError(ErrorCode::kInvalidArgument,
                      "unknown optimizer '" + name + "'");
 }
@@ -196,6 +198,148 @@ void DifferentialEvolution::run(EvalContext& ctx) {
       const double fitness = ctx.evaluate(row);
       if (fitness > population[i].fitness) population[i] = {row, fitness};
     }
+  }
+}
+
+void Nsga2::run(EvalContext& ctx) {
+  const SubSpace& space = ctx.space;
+  const std::size_t n = space.size();
+  const std::size_t d = space.num_params();
+  if (n == 0) return;
+  const ObjectiveSpec fallback_spec;  // legacy single objective
+  const ObjectiveSpec& spec = ctx.objectives ? *ctx.objectives : fallback_spec;
+  const auto measure = [&ctx](std::size_t row) {
+    // Hand-rolled contexts may lack the vector channel; the scalar is then
+    // the whole vector (its gflops component).
+    return ctx.measure ? ctx.measure(row) : Measurement{ctx.evaluate(row), 0.0};
+  };
+  const std::size_t pop_size =
+      std::min(std::max<std::size_t>(4, params_.population), n);
+
+  struct Member {
+    std::size_t row = 0;
+    Measurement m;
+    std::size_t rank = 0;
+    double crowding = 0;
+  };
+
+  // Fast non-dominated sort (Deb et al.) + crowding distance.  All sorts
+  // are stable and ties keep insertion order, so the whole pass is a pure
+  // function of the member sequence — determinism comes free.
+  const auto rank_and_crowd = [&spec](std::vector<Member>& members) {
+    const std::size_t k = members.size();
+    std::vector<std::vector<std::size_t>> dominated(k);
+    std::vector<std::size_t> dominators(k, 0);
+    std::vector<std::vector<std::size_t>> fronts(1);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        if (spec.dominates(members[i].m, members[j].m)) {
+          dominated[i].push_back(j);
+        } else if (spec.dominates(members[j].m, members[i].m)) {
+          dominators[i]++;
+        }
+      }
+      if (dominators[i] == 0) {
+        members[i].rank = 0;
+        fronts[0].push_back(i);
+      }
+    }
+    for (std::size_t f = 0; f < fronts.size(); ++f) {
+      std::vector<std::size_t> next;
+      for (std::size_t i : fronts[f]) {
+        for (std::size_t j : dominated[i]) {
+          if (--dominators[j] == 0) {
+            members[j].rank = f + 1;
+            next.push_back(j);
+          }
+        }
+      }
+      if (!next.empty()) fronts.push_back(std::move(next));
+    }
+    const double inf = std::numeric_limits<double>::infinity();
+    for (auto& member : members) member.crowding = 0;
+    for (const auto& front : fronts) {
+      if (front.size() <= 2) {
+        for (std::size_t i : front) members[i].crowding = inf;
+        continue;
+      }
+      for (const Objective& objective : spec.objectives) {
+        std::vector<std::size_t> order(front);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return ObjectiveSpec::component(members[a].m,
+                                                           objective.name) <
+                                  ObjectiveSpec::component(members[b].m,
+                                                           objective.name);
+                         });
+        const double lo =
+            ObjectiveSpec::component(members[order.front()].m, objective.name);
+        const double hi =
+            ObjectiveSpec::component(members[order.back()].m, objective.name);
+        members[order.front()].crowding = inf;
+        members[order.back()].crowding = inf;
+        if (hi <= lo) continue;  // degenerate axis: no spread to reward
+        for (std::size_t s = 1; s + 1 < order.size(); ++s) {
+          members[order[s]].crowding +=
+              (ObjectiveSpec::component(members[order[s + 1]].m,
+                                        objective.name) -
+               ObjectiveSpec::component(members[order[s - 1]].m,
+                                        objective.name)) /
+              (hi - lo);
+        }
+      }
+    }
+  };
+
+  std::vector<Member> population;
+  for (std::size_t row : searchspace::random_sample(space, pop_size, *ctx.rng)) {
+    if (ctx.exhausted()) return;
+    population.push_back({row, measure(row), 0, 0});
+  }
+  rank_and_crowd(population);
+
+  const auto better = [](const Member& a, const Member& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.crowding > b.crowding;
+  };
+  // Binary tournament on (rank, crowding); the first draw wins ties.
+  const auto tournament = [&]() -> const Member& {
+    const Member& a = population[ctx.rng->index(population.size())];
+    const Member& b = population[ctx.rng->index(population.size())];
+    return better(b, a) ? b : a;
+  };
+
+  std::vector<std::uint32_t> child(d);
+  while (!ctx.exhausted()) {
+    std::vector<Member> combined = population;
+    while (combined.size() < 2 * pop_size && !ctx.exhausted()) {
+      const Member& pa = tournament();
+      const Member& pb = tournament();
+      // Variation as in the plain GA: uniform crossover in index space
+      // snapped to a valid configuration, Hamming-1 mutation.
+      for (std::size_t p = 0; p < d; ++p) {
+        child[p] = ctx.rng->chance(0.5) ? space.value_index(pa.row, p)
+                                        : space.value_index(pb.row, p);
+      }
+      std::size_t row = searchspace::snap_to_valid(space, child);
+      if (ctx.rng->chance(params_.mutation_rate)) {
+        auto neigh =
+            searchspace::neighbors_of(space, row, NeighborMethod::Hamming1);
+        if (!neigh.empty()) row = neigh[ctx.rng->index(neigh.size())];
+      }
+      combined.push_back({row, measure(row), 0, 0});
+    }
+    // Environmental selection: survivors by (front, crowding), elitist over
+    // parents + offspring; stable_sort keeps insertion order on exact ties.
+    rank_and_crowd(combined);
+    std::stable_sort(combined.begin(), combined.end(),
+                     [&better](const Member& a, const Member& b) {
+                       return better(a, b);
+                     });
+    combined.resize(std::min(pop_size, combined.size()));
+    population = std::move(combined);
+    rank_and_crowd(population);
   }
 }
 

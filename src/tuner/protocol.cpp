@@ -125,8 +125,108 @@ std::vector<NamedValue> config_from_json(const Value& value) {
 }
 
 // ---------------------------------------------------------------------------
+// Objective vectors and specs (protocol v2)
+// ---------------------------------------------------------------------------
+
+Value to_json(const Measurement& measurement) {
+  Value body = Value::object();
+  body.set("gflops", measurement.gflops);
+  body.set("watts", measurement.watts);
+  return body;
+}
+
+Measurement measurement_from_json(const Value& value) {
+  Measurement measurement;
+  measurement.gflops = value.at("gflops").as_double();
+  measurement.watts = value.at("watts").as_double();
+  return measurement;
+}
+
+Value to_json(const ObjectiveSpec& spec) {
+  Value array = Value::array();
+  for (const auto& objective : spec.objectives) {
+    Value entry = Value::object();
+    entry.set("name", objective.name);
+    entry.set("direction", objective.direction == Direction::kMinimize
+                               ? "minimize"
+                               : "maximize");
+    entry.set("weight", objective.weight);
+    array.push(std::move(entry));
+  }
+  return array;
+}
+
+ObjectiveSpec objective_spec_from_json(const Value& value) {
+  ObjectiveSpec spec;
+  spec.objectives.clear();
+  for (const auto& entry : value.items()) {
+    Objective objective;
+    objective.name = entry.at("name").as_string();
+    objective.direction = entry.at("direction").as_string() == "minimize"
+                              ? Direction::kMinimize
+                              : Direction::kMaximize;
+    objective.weight = entry.at("weight").as_double(objective.weight);
+    spec.objectives.push_back(std::move(objective));
+  }
+  // An empty array is as meaningless as an absent field: both mean v1, the
+  // single-objective default.
+  if (spec.objectives.empty()) spec = ObjectiveSpec{};
+  return spec;
+}
+
+Value to_json(const ParetoPoint& point) {
+  Value body = Value::object();
+  body.set("row", point.row);
+  body.set("parent_row", point.parent_row);
+  body.set("measurement", to_json(point.measurement));
+  body.set("time_seconds", point.time_seconds);
+  body.set("evaluations", point.evaluations);
+  return body;
+}
+
+ParetoPoint pareto_point_from_json(const Value& value) {
+  ParetoPoint point;
+  point.row = value.at("row").as_uint();
+  point.parent_row = value.at("parent_row").as_uint();
+  point.measurement = measurement_from_json(value.at("measurement"));
+  point.time_seconds = value.at("time_seconds").as_double();
+  point.evaluations = value.at("evaluations").as_uint();
+  return point;
+}
+
+// ---------------------------------------------------------------------------
 // api.hpp structs
 // ---------------------------------------------------------------------------
+
+Value to_json(const HelloRequest& request) {
+  Value body = Value::object();
+  body.set("max_version", static_cast<std::int64_t>(request.max_version));
+  return body;
+}
+
+HelloRequest hello_request_from_json(const Value& value) {
+  HelloRequest request;
+  request.max_version = static_cast<int>(
+      value.at("max_version").as_int(request.max_version));
+  return request;
+}
+
+Value to_json(const HelloResponse& response) {
+  Value body = Value::object();
+  body.set("version", static_cast<std::int64_t>(response.version));
+  body.set("server_version",
+           static_cast<std::int64_t>(response.server_version));
+  return body;
+}
+
+HelloResponse hello_response_from_json(const Value& value) {
+  HelloResponse response;
+  response.version =
+      static_cast<int>(value.at("version").as_int(response.version));
+  response.server_version = static_cast<int>(
+      value.at("server_version").as_int(response.server_version));
+  return response;
+}
 
 Value to_json(const OpenSessionRequest& request) {
   Value body = Value::object();
@@ -147,6 +247,11 @@ Value to_json(const OpenSessionRequest& request) {
       restrictions.set(filter.param, std::move(values));
     }
     body.set("restrictions", std::move(restrictions));
+  }
+  // Only the non-default spec crosses the wire: a scalar open keeps its v1
+  // bytes, and an absent field already means single-objective to v2 readers.
+  if (!request.objectives.is_single()) {
+    body.set("objectives", to_json(request.objectives));
   }
   return body;
 }
@@ -175,6 +280,9 @@ OpenSessionRequest open_session_request_from_json(const Value& value) {
     }
     request.restrictions.push_back(std::move(filter));
   }
+  if (const Value* objectives = value.find("objectives")) {
+    request.objectives = objective_spec_from_json(*objectives);
+  }
   return request;
 }
 
@@ -198,6 +306,9 @@ Value to_json(const SessionInfo& info) {
   body.set("evaluations", info.evaluations);
   body.set("shared_cache_hits", info.shared_cache_hits);
   body.set("model_evaluations", info.model_evaluations);
+  body.set("objectives", to_json(info.objectives));
+  body.set("best_score", info.best_score);
+  body.set("best", to_json(info.best));
   return body;
 }
 
@@ -221,6 +332,17 @@ SessionInfo session_info_from_json(const Value& value) {
   info.evaluations = value.at("evaluations").as_uint();
   info.shared_cache_hits = value.at("shared_cache_hits").as_uint();
   info.model_evaluations = value.at("model_evaluations").as_uint();
+  // v1-shape reconstruction: a scalar envelope means the single-objective
+  // spec with the incumbent's vector rebuilt from best_gflops.
+  if (const Value* objectives = value.find("objectives")) {
+    info.objectives = objective_spec_from_json(*objectives);
+  }
+  info.best_score = value.at("best_score").as_double(info.best_gflops);
+  if (const Value* best = value.find("best")) {
+    info.best = measurement_from_json(*best);
+  } else {
+    info.best = Measurement{info.best_gflops, 0.0};
+  }
   return info;
 }
 
@@ -269,6 +391,12 @@ Value to_json(const ReportRequest& request) {
   body.set("session_id", request.session_id);
   body.set("gflops", request.gflops);
   body.set("measure_seconds", request.measure_seconds);
+  // The objective map rides only on vector reports, so scalar reports keep
+  // their v1 bytes; the gflops mirror above stays authoritative for v1
+  // readers either way.
+  if (request.measurement != Measurement{}) {
+    body.set("measurement", to_json(request.measurement));
+  }
   return body;
 }
 
@@ -278,6 +406,9 @@ ReportRequest report_request_from_json(const Value& value) {
   request.gflops = value.at("gflops").as_double();
   request.measure_seconds =
       value.at("measure_seconds").as_double(request.measure_seconds);
+  if (const Value* measurement = value.find("measurement")) {
+    request.measurement = measurement_from_json(*measurement);
+  }
   return request;
 }
 
@@ -289,6 +420,8 @@ Value to_json(const ReportResponse& response) {
   body.set("best_gflops", response.best_gflops);
   body.set("now_seconds", response.now_seconds);
   body.set("evaluations", response.evaluations);
+  body.set("best_score", response.best_score);
+  body.set("best", to_json(response.best));
   return body;
 }
 
@@ -300,6 +433,12 @@ ReportResponse report_response_from_json(const Value& value) {
   response.best_gflops = value.at("best_gflops").as_double();
   response.now_seconds = value.at("now_seconds").as_double();
   response.evaluations = value.at("evaluations").as_uint();
+  response.best_score = value.at("best_score").as_double(response.best_gflops);
+  if (const Value* best = value.find("best")) {
+    response.best = measurement_from_json(*best);
+  } else {
+    response.best = Measurement{response.best_gflops, 0.0};
+  }
   return response;
 }
 
@@ -311,6 +450,8 @@ Value to_json(const BestResponse& response) {
   body.set("now_seconds", response.now_seconds);
   body.set("evaluations", response.evaluations);
   body.set("finished", response.finished);
+  body.set("best_score", response.best_score);
+  body.set("best", to_json(response.best));
   return body;
 }
 
@@ -322,6 +463,12 @@ BestResponse best_response_from_json(const Value& value) {
   response.now_seconds = value.at("now_seconds").as_double();
   response.evaluations = value.at("evaluations").as_uint();
   response.finished = value.at("finished").as_bool();
+  response.best_score = value.at("best_score").as_double(response.best_gflops);
+  if (const Value* best = value.find("best")) {
+    response.best = measurement_from_json(*best);
+  } else {
+    response.best = Measurement{response.best_gflops, 0.0};
+  }
   return response;
 }
 
@@ -338,9 +485,16 @@ Value to_json(const RunSummary& run) {
     entry.set("time_seconds", point.time_seconds);
     entry.set("best_gflops", point.best_gflops);
     entry.set("evaluations", point.evaluations);
+    entry.set("measurement", to_json(point.measurement));
     trajectory.push(std::move(entry));
   }
   body.set("trajectory", std::move(trajectory));
+  body.set("objectives", to_json(run.objectives));
+  body.set("best_score", run.best_score);
+  body.set("best", to_json(run.best));
+  Value front = Value::array();
+  for (const auto& point : run.front) front.push(to_json(point));
+  body.set("front", std::move(front));
   return body;
 }
 
@@ -352,9 +506,30 @@ RunSummary run_summary_from_json(const Value& value) {
   run.best_gflops = value.at("best_gflops").as_double();
   run.evaluations = value.at("evaluations").as_uint();
   for (const auto& entry : value.at("trajectory").items()) {
-    run.trajectory.push_back({entry.at("time_seconds").as_double(),
-                              entry.at("best_gflops").as_double(),
-                              entry.at("evaluations").as_uint()});
+    RunPoint point;
+    point.time_seconds = entry.at("time_seconds").as_double();
+    point.best_gflops = entry.at("best_gflops").as_double();
+    point.evaluations = entry.at("evaluations").as_uint();
+    // v1-shape trajectory entries carry no measurement: the scalar is the
+    // whole vector.
+    if (const Value* measurement = entry.find("measurement")) {
+      point.measurement = measurement_from_json(*measurement);
+    } else {
+      point.measurement = Measurement{point.best_gflops, 0.0};
+    }
+    run.trajectory.push_back(std::move(point));
+  }
+  if (const Value* objectives = value.find("objectives")) {
+    run.objectives = objective_spec_from_json(*objectives);
+  }
+  run.best_score = value.at("best_score").as_double(run.best_gflops);
+  if (const Value* best = value.find("best")) {
+    run.best = measurement_from_json(*best);
+  } else {
+    run.best = Measurement{run.best_gflops, 0.0};
+  }
+  for (const auto& entry : value.at("front").items()) {
+    run.front.push_back(pareto_point_from_json(entry));
   }
   return run;
 }

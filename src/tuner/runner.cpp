@@ -1,10 +1,14 @@
 #include "tunespace/tuner/runner.hpp"
 
+#include <algorithm>
+
 #include "tunespace/tuner/session.hpp"
 
 namespace tunespace::tuner {
 
 double TuningRun::best_at(double time) const {
+  // Contract: a point exactly at `time` is included (<=, not <); with an
+  // empty trajectory or `time` before the first improvement the answer is 0.
   double best = 0;
   for (const auto& pt : trajectory) {
     if (pt.time_seconds > time) break;
@@ -13,26 +17,36 @@ double TuningRun::best_at(double time) const {
   return best;
 }
 
-// Both overloads are thin shims over the one canonical stepper-backed entry
-// point, run_session_loop (session.cpp): the spec overload only adds space
-// construction, then chains through the view overload.  The virtual clock,
-// budget and overhead accounting live exactly once, in SessionStepper,
-// shared with the SessionManager workers, the Portfolio members and the
-// TuningService.
+std::vector<ParetoPoint> TuningRun::pareto() const {
+  std::vector<ParetoPoint> sorted = front;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [this](const ParetoPoint& a, const ParetoPoint& b) {
+                     const double sa = objectives.scalarize(a.measurement);
+                     const double sb = objectives.scalarize(b.measurement);
+                     if (sa != sb) return sa > sb;
+                     return a.row < b.row;
+                   });
+  return sorted;
+}
+
+// Both deprecated overloads are thin shims over run_session (session.cpp),
+// the one canonical stepper-backed entry point: they build the equivalent
+// SessionRequest and forward.  The virtual clock, budget and overhead
+// accounting live exactly once, in SessionStepper, shared with the
+// SessionManager workers, the Portfolio members and the TuningService.
 
 TuningRun run_tuning(const TuningProblem& spec, const Method& method,
                      const PerformanceModel& model, Optimizer& optimizer,
                      const TuningOptions& options) {
-  // Construction: real measured latency, charged to the virtual clock.
-  searchspace::SearchSpace space(spec, method);
-  return run_tuning(space, model, optimizer, options, method.name);
+  return run_session(
+      make_session_request(spec, method, model, optimizer, options));
 }
 
 TuningRun run_tuning(const searchspace::SubSpace& view, const PerformanceModel& model,
                      Optimizer& optimizer, const TuningOptions& options,
                      const std::string& method_name) {
-  return run_session_loop(view, method_name, view.parent().construction_seconds(),
-                          model, optimizer, options);
+  return run_session(
+      make_session_request(view, model, optimizer, options, method_name));
 }
 
 }  // namespace tunespace::tuner

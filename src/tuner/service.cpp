@@ -73,10 +73,15 @@ RunSummary summarize(const TuningRun& run) {
   summary.budget_seconds = run.budget_seconds;
   summary.best_gflops = run.best_gflops;
   summary.evaluations = run.evaluations;
+  summary.objectives = run.objectives;
+  summary.best_score = run.best_score;
+  summary.best = run.best;
+  summary.front = run.front;
   summary.trajectory.reserve(run.trajectory.size());
   for (const auto& point : run.trajectory) {
     summary.trajectory.push_back({point.time_seconds, point.best_gflops,
-                                  static_cast<std::uint64_t>(point.evaluations)});
+                                  static_cast<std::uint64_t>(point.evaluations),
+                                  point.measurement});
   }
   return summary;
 }
@@ -262,16 +267,20 @@ OpenSessionResponse TuningService::open(const OpenSessionRequest& request) {
     tuning.overhead_per_request = request.overhead_per_request;
     tuning.fixed_construction_seconds = request.fixed_construction_seconds;
     tuning.construction_time_scale = request.construction_time_scale;
+    tuning.objectives = request.objectives;
 
     const bool cacheable = manager_.options().share_evaluations &&
                            kernel->spec.lambda_constraints().empty();
-    const std::uint64_t cache_fp =
-        util::mix64(space->fingerprint(), session->model->fingerprint());
+    // Cache entries are keyed by (space, model, objective set): sessions with
+    // different objective vectors must never exchange masked measurements.
+    const std::uint64_t cache_fp = util::mix64(
+        util::mix64(space->fingerprint(), session->model->fingerprint()),
+        tuning.objectives.fingerprint());
     auto model = session->model;  // kept alive by the cost closure
     session->stepper = std::make_unique<SessionStepper>(
         session->view, method.name, space->construction_seconds(),
         *session->optimizer, tuning,
-        [model](double gflops) { return model->evaluation_cost(gflops); },
+        [model](const Measurement& m) { return model->evaluation_cost(m.gflops); },
         cacheable ? &manager_.eval_cache() : nullptr, cache_fp, &session->stats);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -325,13 +334,21 @@ SuggestResponse TuningService::suggest(const SuggestRequest& request) {
 ReportResponse TuningService::report(const ReportRequest& request) {
   const auto session = find(request.session_id);
   std::lock_guard<std::mutex> lock(session->mutex);
-  const double best_before = session->stepper->run().best_gflops;
+  const double best_before = session->stepper->run().best_score;
   const bool had_best = !session->stepper->run().trajectory.empty();
-  session->stepper->report(request.gflops, request.measure_seconds);
+  // v2 clients fill the full measurement vector; v1 clients fill only the
+  // scalar gflops field (an all-zero vector marks it unset).
+  if (request.measurement != Measurement{}) {
+    session->stepper->report(request.measurement, request.measure_seconds);
+  } else {
+    session->stepper->report(request.gflops, request.measure_seconds);
+  }
   ReportResponse response;
   response.session_id = session->id;
   response.best_gflops = session->stepper->run().best_gflops;
-  response.improved = !had_best || response.best_gflops > best_before;
+  response.best_score = session->stepper->run().best_score;
+  response.best = session->stepper->run().best;
+  response.improved = !had_best || response.best_score > best_before;
   response.finished =
       session->stepper->finished() || eval_cap_reached(*session);
   response.now_seconds = session->stepper->now();
@@ -345,6 +362,8 @@ BestResponse TuningService::best(const BestRequest& request) {
   BestResponse response;
   response.session_id = session->id;
   response.best_gflops = session->stepper->run().best_gflops;
+  response.best_score = session->stepper->run().best_score;
+  response.best = session->stepper->run().best;
   if (session->stepper->best().has_value()) {
     response.config = named_config(session->stepper->param_names(),
                                    session->stepper->best()->config);
@@ -446,13 +465,16 @@ void TuningService::save_state() const {
   struct Entry {
     std::uint64_t fingerprint;
     std::uint64_t row;
-    std::uint64_t bits;
+    std::uint64_t gflops_bits;
+    std::uint64_t watts_bits;
   };
   std::vector<Entry> entries;
-  manager_.eval_cache().for_each(
-      [&entries](std::uint64_t fingerprint, std::uint64_t row, double gflops) {
-        entries.push_back({fingerprint, row, std::bit_cast<std::uint64_t>(gflops)});
-      });
+  manager_.eval_cache().for_each([&entries](std::uint64_t fingerprint,
+                                            std::uint64_t row,
+                                            const Measurement& m) {
+    entries.push_back({fingerprint, row, std::bit_cast<std::uint64_t>(m.gflops),
+                       std::bit_cast<std::uint64_t>(m.watts)});
+  });
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
     return a.fingerprint != b.fingerprint ? a.fingerprint < b.fingerprint
                                           : a.row < b.row;
@@ -465,12 +487,14 @@ void TuningService::save_state() const {
   }
   // Measurements are doubles round-tripped as raw bit patterns, so a warm
   // restart serves bit-identical values and never perturbs a session.
-  std::fprintf(file, "TSEC 1\n");
+  // TSEC 2 appends a watts column to the v1 (fp, row, gflops) rows.
+  std::fprintf(file, "TSEC 2\n");
   for (const Entry& entry : entries) {
-    std::fprintf(file, "%016llx %016llx %016llx\n",
+    std::fprintf(file, "%016llx %016llx %016llx %016llx\n",
                  static_cast<unsigned long long>(entry.fingerprint),
                  static_cast<unsigned long long>(entry.row),
-                 static_cast<unsigned long long>(entry.bits));
+                 static_cast<unsigned long long>(entry.gflops_bits),
+                 static_cast<unsigned long long>(entry.watts_bits));
   }
   const bool ok = std::fflush(file) == 0;
   std::fclose(file);
@@ -486,15 +510,28 @@ void TuningService::load_eval_cache() {
   char magic[8] = {0};
   int version = 0;
   if (std::fscanf(file, "%7s %d", magic, &version) != 2 ||
-      std::string_view(magic) != "TSEC" || version != 1) {
+      std::string_view(magic) != "TSEC" || (version != 1 && version != 2)) {
     std::fclose(file);
     return;  // stale or foreign format: start cold
   }
-  unsigned long long fingerprint = 0, row = 0, bits = 0;
-  while (std::fscanf(file, "%llx %llx %llx", &fingerprint, &row, &bits) == 3) {
-    manager_.eval_cache().insert(
-        static_cast<std::uint64_t>(fingerprint), static_cast<std::uint64_t>(row),
-        std::bit_cast<double>(static_cast<std::uint64_t>(bits)));
+  if (version == 1) {
+    // Legacy scalar rows: widen each to a gflops-only measurement vector.
+    unsigned long long fingerprint = 0, row = 0, bits = 0;
+    while (std::fscanf(file, "%llx %llx %llx", &fingerprint, &row, &bits) == 3) {
+      manager_.eval_cache().insert(
+          static_cast<std::uint64_t>(fingerprint), static_cast<std::uint64_t>(row),
+          Measurement{std::bit_cast<double>(static_cast<std::uint64_t>(bits)),
+                      0.0});
+    }
+  } else {
+    unsigned long long fingerprint = 0, row = 0, gflops = 0, watts = 0;
+    while (std::fscanf(file, "%llx %llx %llx %llx", &fingerprint, &row, &gflops,
+                       &watts) == 4) {
+      manager_.eval_cache().insert(
+          static_cast<std::uint64_t>(fingerprint), static_cast<std::uint64_t>(row),
+          Measurement{std::bit_cast<double>(static_cast<std::uint64_t>(gflops)),
+                      std::bit_cast<double>(static_cast<std::uint64_t>(watts))});
+    }
   }
   std::fclose(file);
 }
@@ -528,6 +565,9 @@ SessionInfo TuningService::info_of(Session& session) const {
   info.evaluations = session.stepper->run().evaluations;
   info.shared_cache_hits = session.stats.shared_cache_hits;
   info.model_evaluations = session.stats.model_evaluations;
+  info.objectives = session.stepper->run().objectives;
+  info.best_score = session.stepper->run().best_score;
+  info.best = session.stepper->run().best;
   return info;
 }
 

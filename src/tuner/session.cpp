@@ -28,7 +28,7 @@ struct SharedEvalCache::Stripe {
     }
   };
   mutable std::mutex mutex;
-  std::unordered_map<Key, double, KeyHash> map;
+  std::unordered_map<Key, Measurement, KeyHash> map;
   // Counters live per stripe so hot lookups never contend on one cache line.
   mutable std::atomic<std::uint64_t> hits{0};
   mutable std::atomic<std::uint64_t> misses{0};
@@ -49,8 +49,8 @@ std::size_t SharedEvalCache::stripe_of(std::uint64_t space_fingerprint,
          stripes_.size();
 }
 
-std::optional<double> SharedEvalCache::lookup(std::uint64_t space_fingerprint,
-                                              std::uint64_t parent_row) const {
+std::optional<Measurement> SharedEvalCache::lookup(
+    std::uint64_t space_fingerprint, std::uint64_t parent_row) const {
   const Stripe& stripe = *stripes_[stripe_of(space_fingerprint, parent_row)];
   std::lock_guard<std::mutex> lock(stripe.mutex);
   const auto it = stripe.map.find({space_fingerprint, parent_row});
@@ -63,10 +63,11 @@ std::optional<double> SharedEvalCache::lookup(std::uint64_t space_fingerprint,
 }
 
 void SharedEvalCache::insert(std::uint64_t space_fingerprint,
-                             std::uint64_t parent_row, double gflops) {
+                             std::uint64_t parent_row,
+                             const Measurement& measurement) {
   Stripe& stripe = *stripes_[stripe_of(space_fingerprint, parent_row)];
   std::lock_guard<std::mutex> lock(stripe.mutex);
-  stripe.map.emplace(Stripe::Key{space_fingerprint, parent_row}, gflops);
+  stripe.map.emplace(Stripe::Key{space_fingerprint, parent_row}, measurement);
 }
 
 std::size_t SharedEvalCache::size() const {
@@ -91,11 +92,12 @@ std::uint64_t SharedEvalCache::misses() const {
 }
 
 void SharedEvalCache::for_each(
-    const std::function<void(std::uint64_t, std::uint64_t, double)>& fn) const {
+    const std::function<void(std::uint64_t, std::uint64_t, const Measurement&)>&
+        fn) const {
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mutex);
-    for (const auto& [key, gflops] : stripe->map) {
-      fn(key.fingerprint, key.row, gflops);
+    for (const auto& [key, measurement] : stripe->map) {
+      fn(key.fingerprint, key.row, measurement);
     }
   }
 }
@@ -140,6 +142,7 @@ SessionStepper::SessionStepper(searchspace::SubSpace view,
       rng_(options.seed) {
   run_.method_name = std::move(method_name);
   run_.budget_seconds = options_.budget_seconds;
+  run_.objectives = options_.objectives;
   const double charged = options_.fixed_construction_seconds >= 0
                              ? options_.fixed_construction_seconds
                              : construction_seconds;
@@ -168,7 +171,9 @@ SessionStepper::SessionStepper(searchspace::SubSpace view,
                    clock_.now() >= options_.budget_seconds ||
                    (hooks_.stop && hooks_.stop(clock_.now()));
           },
-          &rng_};
+          &rng_,
+          /*measure=*/[this](std::size_t row) { return measure_row(row); },
+          /*objectives=*/&options_.objectives};
       optimizer_->run(ctx);
     } catch (const AbortStepper&) {
       // cancel() unwinding the optimizer: not an error.
@@ -204,46 +209,76 @@ void SessionStepper::wait_parked(std::unique_lock<std::mutex>& lock) {
 }
 
 double SessionStepper::evaluate(std::size_t row) {
+  return options_.objectives.scalarize(measure_row(row));
+}
+
+Measurement SessionStepper::measure_row(std::size_t row) {
   if (hooks_.before_request) hooks_.before_request(clock_.now());
   clock_.advance(options_.overhead_per_request);
   const auto it = memo_.find(row);
   if (it != memo_.end()) return it->second;  // memoized: overhead only
-  if (clock_.now() >= options_.budget_seconds) return 0.0;
+  if (clock_.now() >= options_.budget_seconds) return Measurement{};
   // Cross-session sharing: the measurements are deterministic per
-  // (space, model) fingerprint, so a cached value is bit-identical to a
-  // fresh one and sharing only skips measurement work — the virtual
-  // timeline (full evaluation cost) and the evaluation count are charged
-  // either way, keeping a session's TuningRun independent of who measured
-  // first.
+  // (space, model, objective-set) fingerprint, so a cached vector is
+  // bit-identical to a fresh one and sharing only skips measurement work —
+  // the virtual timeline (full evaluation cost) and the evaluation count
+  // are charged either way, keeping a session's TuningRun independent of
+  // who measured first.
   const std::uint64_t parent_row = view_.parent_row(row);
-  double perf;
+  Measurement measured;
   double cost_seconds;
-  const std::optional<double> cached =
+  const std::optional<Measurement> cached =
       shared_cache_ ? shared_cache_->lookup(cache_fingerprint_, parent_row)
                     : std::nullopt;
   if (cached) {
-    perf = *cached;
-    cost_seconds = cost_(perf);
+    measured = *cached;  // inserted masked, under the same objective set
+    cost_seconds = cost_(measured);
     if (stats_) stats_->shared_cache_hits++;
   } else {
     const Reply reply = yield_ask({row, parent_row, view_.config(row)});
-    perf = reply.gflops;
-    cost_seconds = reply.cost_seconds >= 0 ? reply.cost_seconds : cost_(perf);
+    // Mask to the session's objective set *before* any session state sees
+    // the vector: a session only records what it asked to measure, which
+    // is what keeps closed-loop, ask/tell and v1-wire replays of the same
+    // session bit-identical.
+    measured = options_.objectives.mask(reply.measurement);
+    cost_seconds =
+        reply.cost_seconds >= 0 ? reply.cost_seconds : cost_(measured);
     if (stats_) stats_->model_evaluations++;
     if (shared_cache_) {
-      shared_cache_->insert(cache_fingerprint_, parent_row, perf);
+      shared_cache_->insert(cache_fingerprint_, parent_row, measured);
     }
   }
   clock_.advance(cost_seconds);
-  memo_.emplace(row, perf);
+  memo_.emplace(row, measured);
   run_.evaluations++;
-  if (perf > run_.best_gflops) {
-    run_.best_gflops = perf;
-    run_.trajectory.push_back({clock_.now(), perf, run_.evaluations});
+  update_front(row, parent_row, measured);
+  const double score = options_.objectives.scalarize(measured);
+  if (score > run_.best_score) {
+    run_.best_score = score;
+    run_.best = measured;
+    run_.best_gflops = measured.gflops;
+    run_.trajectory.push_back(
+        {clock_.now(), measured.gflops, run_.evaluations, measured});
     best_ = Suggestion{row, parent_row, view_.config(row)};
   }
-  if (hooks_.on_eval) hooks_.on_eval(row, perf, clock_.now());
-  return perf;
+  if (hooks_.on_eval) hooks_.on_eval(row, score, clock_.now());
+  return measured;
+}
+
+void SessionStepper::update_front(std::size_t row, std::uint64_t parent_row,
+                                  const Measurement& measurement) {
+  // Insertion order is the virtual-clock evaluation order, so the front is
+  // as deterministic as the trajectory.  Weak dominance drops duplicates:
+  // re-measuring an equal vector never grows the front.
+  const ObjectiveSpec& spec = options_.objectives;
+  for (const ParetoPoint& point : run_.front) {
+    if (spec.dominates_or_equal(point.measurement, measurement)) return;
+  }
+  std::erase_if(run_.front, [&](const ParetoPoint& point) {
+    return spec.dominates(measurement, point.measurement);
+  });
+  run_.front.push_back({static_cast<std::uint64_t>(row), parent_row,
+                        measurement, clock_.now(), run_.evaluations});
 }
 
 SessionStepper::Reply SessionStepper::yield_ask(Suggestion ask) {
@@ -278,6 +313,11 @@ std::optional<Suggestion> SessionStepper::suggest() {
 }
 
 void SessionStepper::report(double gflops, double measure_seconds) {
+  report(Measurement{gflops, 0.0}, measure_seconds);
+}
+
+void SessionStepper::report(const Measurement& measurement,
+                            double measure_seconds) {
   if (finished_) {
     throw ServiceError(ErrorCode::kSessionFinished,
                        "report() on a finished session");
@@ -289,7 +329,7 @@ void SessionStepper::report(double gflops, double measure_seconds) {
   bool completed = false;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    reply_ = {gflops, measure_seconds};
+    reply_ = {measurement, measure_seconds};
     pending_.reset();
     resume_ = true;
     awaiting_report_ = false;
@@ -339,6 +379,99 @@ TuningRun SessionStepper::take_run() {
 // The session loop: a closed-loop driver over the stepper
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Borrow a reference as a shared_ptr without taking ownership (the aliasing
+/// constructor with an empty control block); the referent must outlive it.
+std::shared_ptr<const PerformanceModel> borrow(const PerformanceModel& model) {
+  return std::shared_ptr<const PerformanceModel>(std::shared_ptr<void>(),
+                                                 &model);
+}
+
+/// The resolved-view core of run_session: everything after the space exists.
+TuningRun run_session_over(const searchspace::SubSpace& view,
+                           const std::string& method_name,
+                           double construction_seconds,
+                           const SessionRequest& request) {
+  auto owned = request.optimizer ? nullptr : request.make_optimizer();
+  Optimizer& optimizer = request.optimizer ? *request.optimizer : *owned;
+  const PerformanceModel& model = *request.model;
+  SessionStepper stepper(
+      view, method_name, construction_seconds, optimizer, request.options,
+      [&model](const Measurement& m) { return model.evaluation_cost(m.gflops); },
+      request.shared_cache, request.cache_fingerprint, request.stats,
+      request.hooks);
+  while (std::optional<Suggestion> ask = stepper.suggest()) {
+    stepper.report(model.measure(stepper.param_names(), ask->config));
+  }
+  return stepper.take_run();
+}
+
+}  // namespace
+
+TuningRun run_session(const SessionRequest& request) {
+  if (!request.model) {
+    throw ServiceError(ErrorCode::kInvalidArgument,
+                       "run_session: SessionRequest::model is required");
+  }
+  if (!request.optimizer && !request.make_optimizer) {
+    throw ServiceError(
+        ErrorCode::kInvalidArgument,
+        "run_session: set SessionRequest::optimizer or make_optimizer");
+  }
+  if (request.view) {
+    searchspace::SubSpace view = *request.view;
+    if (!request.restriction.trivial()) view = view.restrict(request.restriction);
+    const double construction =
+        request.construction_seconds >= 0
+            ? request.construction_seconds
+            : request.view->parent().construction_seconds();
+    return run_session_over(
+        view, request.method_name.empty() ? "subspace" : request.method_name,
+        construction, request);
+  }
+  // Fresh construction: real measured latency, charged to the virtual clock
+  // (subject to TuningOptions::fixed_construction_seconds, as always).
+  Method built;
+  if (request.method == nullptr) {
+    built = request.make_method ? request.make_method() : optimized_method();
+  }
+  const Method& method = request.method ? *request.method : built;
+  searchspace::SearchSpace space(request.spec, method);
+  searchspace::SubSpace view(space);
+  if (!request.restriction.trivial()) view = view.restrict(request.restriction);
+  return run_session_over(view, method.name, space.construction_seconds(),
+                          request);
+}
+
+SessionRequest make_session_request(const TuningProblem& spec,
+                                    const Method& method,
+                                    const PerformanceModel& model,
+                                    Optimizer& optimizer,
+                                    const TuningOptions& options) {
+  SessionRequest request;
+  request.spec = spec;
+  request.model = borrow(model);
+  request.options = options;
+  request.optimizer = &optimizer;
+  request.method = &method;
+  return request;
+}
+
+SessionRequest make_session_request(const searchspace::SubSpace& view,
+                                    const PerformanceModel& model,
+                                    Optimizer& optimizer,
+                                    const TuningOptions& options,
+                                    const std::string& method_name) {
+  SessionRequest request;
+  request.model = borrow(model);
+  request.options = options;
+  request.optimizer = &optimizer;
+  request.view = view;
+  request.method_name = method_name;
+  return request;
+}
+
 TuningRun run_session_loop(const searchspace::SubSpace& view,
                            const std::string& method_name,
                            double construction_seconds,
@@ -347,14 +480,14 @@ TuningRun run_session_loop(const searchspace::SubSpace& view,
                            SharedEvalCache* shared_cache,
                            std::uint64_t cache_fingerprint, SessionStats* stats,
                            const SessionHooks& hooks) {
-  SessionStepper stepper(
-      view, method_name, construction_seconds, optimizer, options,
-      [&model](double gflops) { return model.evaluation_cost(gflops); },
-      shared_cache, cache_fingerprint, stats, hooks);
-  while (std::optional<Suggestion> ask = stepper.suggest()) {
-    stepper.report(model.gflops(stepper.param_names(), ask->config));
-  }
-  return stepper.take_run();
+  SessionRequest request =
+      make_session_request(view, model, optimizer, options, method_name);
+  request.construction_seconds = construction_seconds;
+  request.shared_cache = shared_cache;
+  request.cache_fingerprint = cache_fingerprint;
+  request.stats = stats;
+  request.hooks = hooks;
+  return run_session(request);
 }
 
 // ---------------------------------------------------------------------------
@@ -441,28 +574,33 @@ std::shared_ptr<const searchspace::SearchSpace> SessionManager::acquire_space(
 
 SessionResult SessionManager::run_one(SessionRequest& request) {
   SessionResult result;
-  const Method method =
-      request.make_method ? request.make_method() : optimized_method();
+  Method built;
+  if (request.method == nullptr) {
+    built = request.make_method ? request.make_method() : optimized_method();
+  }
+  const Method& method = request.method ? *request.method : built;
   auto space = acquire_space(request.spec, method, &result.stats);
 
   searchspace::SubSpace view(space);  // shared-ownership handoff
-  if (!request.restriction.trivial()) {
-    view = view.restrict(request.restriction);
-  }
 
-  // Measurements may be shared only when the (space, model) pair is
-  // identifiable: lambda-constraint spaces have colliding fingerprints, so
-  // they never share.
+  // Measurements may be shared only when the (space, model, objective-set)
+  // triple is identifiable: lambda-constraint spaces have colliding
+  // fingerprints, so they never share.  The objective set is part of the
+  // key because cached vectors are masked to it.
   const bool cacheable =
       options_.share_evaluations && request.spec.lambda_constraints().empty();
   const std::uint64_t cache_fp =
-      mix64(space->fingerprint(), request.model->fingerprint());
+      mix64(mix64(space->fingerprint(), request.model->fingerprint()),
+            request.options.objectives.fingerprint());
 
-  auto optimizer = request.make_optimizer();
-  result.run = run_session_loop(
-      view, method.name, space->construction_seconds(), *request.model,
-      *optimizer, request.options, cacheable ? &eval_cache_ : nullptr, cache_fp,
-      &result.stats);
+  SessionRequest resolved = request;
+  resolved.view = view;
+  resolved.method_name = method.name;
+  resolved.construction_seconds = space->construction_seconds();
+  resolved.shared_cache = cacheable ? &eval_cache_ : nullptr;
+  resolved.cache_fingerprint = cache_fp;
+  resolved.stats = &result.stats;
+  result.run = run_session(resolved);
   return result;
 }
 
@@ -610,7 +748,8 @@ PortfolioResult run_portfolio(const searchspace::SubSpace& view,
   SharedEvalCache local_cache;
   SharedEvalCache* cache = shared_cache ? shared_cache : &local_cache;
   const std::uint64_t cache_fp =
-      mix64(view.parent().fingerprint(), model.fingerprint());
+      mix64(mix64(view.parent().fingerprint(), model.fingerprint()),
+            options.base.objectives.fingerprint());
 
   const double construction = view.parent().construction_seconds();
   const double charged = options.base.fixed_construction_seconds >= 0
@@ -635,16 +774,20 @@ PortfolioResult run_portfolio(const searchspace::SubSpace& view,
       member_options.seed = seeds[m];
       SessionHooks hooks;
       hooks.before_request = [&race, m](double now) { race.wait_turn(m, now); };
-      hooks.on_eval = [&race](std::size_t, double gflops, double now) {
-        race.record(gflops, now);
+      hooks.on_eval = [&race](std::size_t, double score, double now) {
+        race.record(score, now);
       };
       hooks.stop = [&race, m](double now) { return race.should_stop(m, now); };
       result.members[m].optimizer_name = optimizers[m]->name();
       result.members[m].seed = seeds[m];
-      result.members[m].run =
-          run_session_loop(view, "portfolio:" + optimizers[m]->name(),
-                           construction, model, *optimizers[m], member_options,
-                           cache, cache_fp, nullptr, hooks);
+      SessionRequest member =
+          make_session_request(view, model, *optimizers[m], member_options,
+                               "portfolio:" + optimizers[m]->name());
+      member.construction_seconds = construction;
+      member.shared_cache = cache;
+      member.cache_fingerprint = cache_fp;
+      member.hooks = hooks;
+      result.members[m].run = run_session(member);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
@@ -666,6 +809,8 @@ PortfolioResult run_portfolio(const searchspace::SubSpace& view,
   result.merged.method_name = "portfolio";
   result.merged.budget_seconds = options.base.budget_seconds;
   result.merged.construction_seconds = charged;
+  result.merged.objectives = options.base.objectives;
+  const ObjectiveSpec& spec = options.base.objectives;
   struct Tagged {
     TrajectoryPoint point;
     std::size_t member;
@@ -684,11 +829,47 @@ PortfolioResult run_portfolio(const searchspace::SubSpace& view,
     return a.member < b.member;
   });
   for (const Tagged& t : all) {
-    if (t.point.best_gflops > result.merged.best_gflops) {
+    const double score = spec.scalarize(t.point.measurement);
+    if (score > result.merged.best_score) {
+      result.merged.best_score = score;
+      result.merged.best = t.point.measurement;
       result.merged.best_gflops = t.point.best_gflops;
       result.merged.trajectory.push_back(t.point);
       result.winner = t.member;
     }
+  }
+  // Merge the member fronts in the same (time, member) order so the
+  // portfolio-wide front is as deterministic as the merged trajectory.
+  struct TaggedFront {
+    ParetoPoint point;
+    std::size_t member;
+  };
+  std::vector<TaggedFront> fronts;
+  for (std::size_t m = 0; m < n; ++m) {
+    for (const auto& pt : result.members[m].run.front) {
+      fronts.push_back({pt, m});
+    }
+  }
+  std::stable_sort(fronts.begin(), fronts.end(),
+                   [](const TaggedFront& a, const TaggedFront& b) {
+                     if (a.point.time_seconds != b.point.time_seconds) {
+                       return a.point.time_seconds < b.point.time_seconds;
+                     }
+                     return a.member < b.member;
+                   });
+  for (const TaggedFront& t : fronts) {
+    bool covered = false;
+    for (const ParetoPoint& held : result.merged.front) {
+      if (spec.dominates_or_equal(held.measurement, t.point.measurement)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+    std::erase_if(result.merged.front, [&](const ParetoPoint& held) {
+      return spec.dominates(t.point.measurement, held.measurement);
+    });
+    result.merged.front.push_back(t.point);
   }
   return result;
 }
@@ -700,6 +881,7 @@ std::vector<std::unique_ptr<Optimizer>> default_portfolio() {
   members.push_back(std::make_unique<SimulatedAnnealing>());
   members.push_back(std::make_unique<HillClimber>());
   members.push_back(std::make_unique<DifferentialEvolution>());
+  members.push_back(std::make_unique<Nsga2>());
   return members;
 }
 

@@ -14,6 +14,7 @@
 #include "tunespace/searchspace/sampling.hpp"
 #include "tunespace/searchspace/view.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 #include "tunespace/util/rng.hpp"
 
 using namespace tunespace;
@@ -286,7 +287,8 @@ TEST(EmptyViewBehavior, SamplingAndTuningOverAnEmptyViewAreNoOps) {
   tuner::HotspotModel model;
   tuner::TuningOptions options;
   options.budget_seconds = 50.0;
-  const auto run = tuner::run_tuning(empty, model, rs, options);
+  const auto run =
+      tuner::run_session(tuner::make_session_request(empty, model, rs, options));
   EXPECT_EQ(run.evaluations, 0u);
   EXPECT_TRUE(run.trajectory.empty());
   EXPECT_EQ(run.best_gflops, 0.0);

@@ -17,6 +17,7 @@
 #include "tunespace/solver/solution_iterator.hpp"
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 
 using namespace tunespace;
 using csp::Value;
@@ -231,7 +232,8 @@ TEST(DifferentialEvolutionTest, FindsGoodConfigurationsAndTerminates) {
   options.budget_seconds = 150.0;
   options.seed = 13;
   auto methods = tuner::construction_methods(false);
-  auto run = tuner::run_tuning(spec, methods[0], model, de, options);
+  auto run = tuner::run_session(
+      tuner::make_session_request(spec, methods[0], model, de, options));
   EXPECT_GT(run.evaluations, 10u);
   EXPECT_GT(run.best_gflops, 0.0);
 }

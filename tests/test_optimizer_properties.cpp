@@ -1,4 +1,4 @@
-// Property tests for all five optimizers, each run over both a full space
+// Property tests for all six optimizers, each run over both a full space
 // and a restricted SubSpace view: the budget is always respected, the
 // best-so-far trajectory is monotone, TuningRun::best_at agrees with the
 // trajectory, and a fixed seed reproduces the identical run across repeats
@@ -38,7 +38,8 @@ std::unique_ptr<tuner::Optimizer> make_optimizer(int which) {
     case 1: return std::make_unique<tuner::GeneticAlgorithm>();
     case 2: return std::make_unique<tuner::SimulatedAnnealing>();
     case 3: return std::make_unique<tuner::HillClimber>();
-    default: return std::make_unique<tuner::DifferentialEvolution>();
+    case 4: return std::make_unique<tuner::DifferentialEvolution>();
+    default: return std::make_unique<tuner::Nsga2>();
   }
 }
 
@@ -74,8 +75,8 @@ class OptimizerProperties
   tuner::TuningRun tune(std::uint64_t seed, double budget) const {
     auto optimizer = make_optimizer(std::get<0>(GetParam()));
     tuner::HotspotModel model;
-    return tuner::run_tuning(view(), model, *optimizer,
-                             fixed_options(seed, budget));
+    return tuner::run_session(tuner::make_session_request(
+        view(), model, *optimizer, fixed_options(seed, budget)));
   }
 };
 
@@ -161,15 +162,16 @@ TEST_P(OptimizerProperties, IdenticalUnderTheSessionManager) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    FiveOptimizersTimesFullAndView, OptimizerProperties,
-    ::testing::Combine(::testing::Range(0, 5), ::testing::Bool()),
+    SixOptimizersTimesFullAndView, OptimizerProperties,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Bool()),
     [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
-      const char* name = "DifferentialEvolution";
+      const char* name = "Nsga2";
       switch (std::get<0>(info.param)) {
         case 0: name = "RandomSearch"; break;
         case 1: name = "GeneticAlgorithm"; break;
         case 2: name = "SimulatedAnnealing"; break;
         case 3: name = "HillClimber"; break;
+        case 4: name = "DifferentialEvolution"; break;
         default: break;
       }
       return std::string(name) + (std::get<1>(info.param) ? "_View" : "_Full");

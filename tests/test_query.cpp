@@ -20,6 +20,7 @@
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/kernels.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 
 using namespace tunespace;
 using searchspace::SearchSpace;
@@ -576,7 +577,8 @@ TEST(SubSpaceOptimizers, RunTuningOverViewChargesParentConstruction) {
   tuner::TuningOptions options;
   options.budget_seconds = 50.0;
   options.seed = 2;
-  const auto run = tuner::run_tuning(view, model, rs, options, "restricted");
+  const auto run = tuner::run_session(
+      tuner::make_session_request(view, model, rs, options, "restricted"));
   EXPECT_EQ(run.method_name, "restricted");
   EXPECT_EQ(run.construction_seconds, space.construction_seconds());
   EXPECT_GT(run.evaluations, 0u);

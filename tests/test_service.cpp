@@ -4,8 +4,11 @@
 // from a persisted state directory.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "tunespace/tuner/service.hpp"
 
@@ -261,6 +264,67 @@ TEST(Service, WarmRestartReplaysFromThePersistedEvalCache) {
     const auto info = service.info(opened.session_id);
     EXPECT_EQ(info.model_evaluations, 0u);
     EXPECT_EQ(info.shared_cache_hits, cold_run.evaluations);
+    const auto warm_run = service.close({opened.session_id}).run;
+    EXPECT_EQ(warm_run, cold_run);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, EvalCacheSavesAsTsec2AndLoadsLegacyTsec1) {
+  const auto dir = scratch_dir();
+  const auto& kernel = *tuner::find_service_kernel("hotspot");
+
+  tuner::RunSummary cold_run;
+  {
+    tuner::TuningServiceOptions options;
+    options.state_dir = dir.string();
+    TuningService service(options);
+    const auto opened = service.open(quick_request("hotspot", 9, 2.0));
+    cold_run = drive(service, opened.session_id, kernel,
+                     opened.info.param_names);
+    EXPECT_GT(cold_run.evaluations, 0u);
+    service.save_state();
+  }
+
+  // The persisted file is TSEC 2: a version header and four hex columns
+  // (fingerprint, row, gflops bits, watts bits).
+  const auto path = dir / "eval_cache.tsv";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "TSEC 2");
+  std::vector<std::array<std::string, 4>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::array<std::string, 4> row;
+    ASSERT_TRUE(fields >> row[0] >> row[1] >> row[2] >> row[3]) << line;
+    rows.push_back(row);
+  }
+  in.close();
+  ASSERT_FALSE(rows.empty());
+
+  // Rewrite the file as its TSEC 1 ancestor (three columns, scalar gflops;
+  // the scalar session's watts column is all zeros, so this is lossless).
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "TSEC 1\n";
+    for (const auto& row : rows) {
+      EXPECT_EQ(row[3], "0000000000000000");  // scalar sessions mask watts
+      out << row[0] << ' ' << row[1] << ' ' << row[2] << '\n';
+    }
+  }
+
+  // A restarted service loads the legacy file (widening each row to a
+  // gflops-only vector) and replays the session bit-identically from it.
+  {
+    tuner::TuningServiceOptions options;
+    options.state_dir = dir.string();
+    TuningService service(options);
+    EXPECT_EQ(service.stats().cache_entries, rows.size());
+    const auto opened = service.open(quick_request("hotspot", 9, 2.0));
+    EXPECT_TRUE(service.suggest({opened.session_id}).finished);
     const auto warm_run = service.close({opened.session_id}).run;
     EXPECT_EQ(warm_run, cold_run);
   }

@@ -64,7 +64,9 @@ tuner::TuningRun isolated_run(const tuner::TuningProblem& spec,
   tuner::RandomSearch rs;
   tuner::HotspotModel model;
   const tuner::Method method = tuner::optimized_method();
-  return tuner::run_tuning(spec, method, model, rs, fixed_options(seed, budget));
+  return tuner::run_session(
+      tuner::make_session_request(spec, method, model, rs,
+                                  fixed_options(seed, budget)));
 }
 
 }  // namespace
@@ -76,42 +78,53 @@ TEST(SharedEvalCache, LookupInsertAndCounters) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.lookup(1, 2).has_value());
   EXPECT_EQ(cache.misses(), 1u);
-  cache.insert(1, 2, 123.5);
+  cache.insert(1, 2, {123.5, 41.0});
   ASSERT_TRUE(cache.lookup(1, 2).has_value());
-  EXPECT_EQ(*cache.lookup(1, 2), 123.5);
-  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.lookup(1, 2)->gflops, 123.5);
+  EXPECT_EQ(cache.lookup(1, 2)->watts, 41.0);
+  EXPECT_EQ(cache.hits(), 3u);
   EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(SharedEvalCache, KeysAreExactNotHashed) {
   tuner::SharedEvalCache cache(1);  // one stripe: every key collides on it
-  cache.insert(10, 20, 1.0);
-  cache.insert(20, 10, 2.0);
-  EXPECT_EQ(*cache.lookup(10, 20), 1.0);
-  EXPECT_EQ(*cache.lookup(20, 10), 2.0);
+  cache.insert(10, 20, {1.0, 0.0});
+  cache.insert(20, 10, {2.0, 0.0});
+  EXPECT_EQ(cache.lookup(10, 20)->gflops, 1.0);
+  EXPECT_EQ(cache.lookup(20, 10)->gflops, 2.0);
   EXPECT_FALSE(cache.lookup(10, 10).has_value());
 }
 
 TEST(SharedEvalCache, FirstInsertWins) {
   tuner::SharedEvalCache cache;
-  cache.insert(1, 1, 5.0);
-  cache.insert(1, 1, 9.0);  // a racing duplicate must not change the value
-  EXPECT_EQ(*cache.lookup(1, 1), 5.0);
+  cache.insert(1, 1, {5.0, 0.0});
+  cache.insert(1, 1, {9.0, 0.0});  // a racing duplicate must not change the value
+  EXPECT_EQ(cache.lookup(1, 1)->gflops, 5.0);
   EXPECT_EQ(cache.size(), 1u);
 }
 
-// --- run_session_loop vs the legacy API -------------------------------------
+// --- run_session vs the deprecated shims ------------------------------------
 
-TEST(SessionLoop, LegacyRunTuningDelegatesToTheSharedCore) {
+TEST(SessionLoop, DeprecatedShimsMatchRunSession) {
+  // Dedicated shim test: the [[deprecated]] entry points must forward to
+  // run_session with identical results until they are removed (see
+  // CONTRIBUTING.md).
   const auto spec = small_spec();
   const searchspace::SearchSpace space(spec);
   tuner::HotspotModel model;
   tuner::RandomSearch rs1, rs2;
-  const auto direct = tuner::run_session_loop(
+  const tuner::Method method = tuner::optimized_method();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto via_loop = tuner::run_session_loop(
       space, "optimized", space.construction_seconds(), model, rs1,
       fixed_options(17));
-  const auto legacy = isolated_run(spec, 17);
-  EXPECT_EQ(direct, legacy);
+  const auto via_run_tuning =
+      tuner::run_tuning(spec, method, model, rs2, fixed_options(17));
+#pragma GCC diagnostic pop
+  const auto canonical = isolated_run(spec, 17);
+  EXPECT_EQ(via_loop, canonical);
+  EXPECT_EQ(via_run_tuning, canonical);
 }
 
 TEST(SessionLoop, SharedCacheDoesNotChangeTheResult) {
@@ -121,14 +134,24 @@ TEST(SessionLoop, SharedCacheDoesNotChangeTheResult) {
   tuner::SharedEvalCache cache;
   tuner::SessionStats stats_cold, stats_warm;
   tuner::RandomSearch rs1, rs2, rs3;
-  const auto plain = tuner::run_session_loop(
-      space, "optimized", 0, model, rs1, fixed_options(5));
-  const auto cold = tuner::run_session_loop(
-      space, "optimized", 0, model, rs2, fixed_options(5), &cache,
-      space.fingerprint(), &stats_cold);
-  const auto warm = tuner::run_session_loop(
-      space, "optimized", 0, model, rs3, fixed_options(5), &cache,
-      space.fingerprint(), &stats_warm);
+  const auto loop_request = [&](tuner::Optimizer& optimizer) {
+    auto request =
+        tuner::make_session_request(searchspace::SubSpace(space), model,
+                                    optimizer, fixed_options(5), "optimized");
+    request.construction_seconds = 0;
+    return request;
+  };
+  const auto plain = tuner::run_session(loop_request(rs1));
+  auto cold_request = loop_request(rs2);
+  cold_request.shared_cache = &cache;
+  cold_request.cache_fingerprint = space.fingerprint();
+  cold_request.stats = &stats_cold;
+  const auto cold = tuner::run_session(cold_request);
+  auto warm_request = loop_request(rs3);
+  warm_request.shared_cache = &cache;
+  warm_request.cache_fingerprint = space.fingerprint();
+  warm_request.stats = &stats_warm;
+  const auto warm = tuner::run_session(warm_request);
   EXPECT_EQ(plain, cold);
   EXPECT_EQ(plain, warm);
   EXPECT_EQ(stats_cold.shared_cache_hits, 0u);
@@ -201,7 +224,8 @@ TEST(SessionManager, RestrictionMatchesManualViewTuning) {
       searchspace::query::eq("sh_power", csp::Value(1)));
   tuner::RandomSearch rs;
   tuner::HotspotModel model;
-  auto expected = tuner::run_tuning(view, model, rs, fixed_options(11));
+  auto expected = tuner::run_session(
+      tuner::make_session_request(view, model, rs, fixed_options(11)));
   expected.method_name = "optimized";  // manager reports the method name
   EXPECT_EQ(results[0].run, expected);
 }
@@ -289,7 +313,7 @@ TEST(Portfolio, DeterministicForARootSeed) {
   const searchspace::SearchSpace space(small_spec());
   const auto a = race_once(space, 99);
   const auto b = race_once(space, 99);
-  ASSERT_EQ(a.members.size(), 5u);
+  ASSERT_EQ(a.members.size(), 6u);
   for (std::size_t m = 0; m < a.members.size(); ++m) {
     EXPECT_EQ(a.members[m].seed, b.members[m].seed);
     EXPECT_EQ(a.members[m].run, b.members[m].run) << a.members[m].optimizer_name;
@@ -366,7 +390,7 @@ TEST(Portfolio, MembersShareMeasurements) {
                                            tuner::default_portfolio(), options,
                                            &cache);
   EXPECT_GT(result.merged.evaluations, 0u);
-  // On a 26-row space five racers must re-request rows another member
+  // On a 26-row space six racers must re-request rows another member
   // already measured.
   EXPECT_GT(cache.hits(), 0u);
   EXPECT_LE(cache.size(), space.size());

@@ -1,5 +1,5 @@
 // Tests for the SessionStepper ask/tell core: bit-identity of a manual
-// suggest/report replay against the closed-loop run_tuning path for every
+// suggest/report replay against the closed-loop run_session path for every
 // optimizer (over the full space and a restricted view), the ask/tell
 // ordering contract, cancellation, shared-cache interaction and custom
 // measurement charges.
@@ -34,12 +34,14 @@ tuner::TuningOptions fixed_options(std::uint64_t seed, double budget = 120.0) {
 }
 
 tuner::SessionStepper::CostFn cost_of(const tuner::PerformanceModel& model) {
-  return [&model](double gflops) { return model.evaluation_cost(gflops); };
+  return [&model](const tuner::Measurement& m) {
+    return model.evaluation_cost(m.gflops);
+  };
 }
 
 /// The closed loop a remote client would run: answer every suggestion with
 /// the model.  By the stepper's determinism contract this must reproduce
-/// run_session_loop bit for bit.
+/// run_session bit for bit.
 tuner::TuningRun drive(tuner::SessionStepper& stepper,
                        const tuner::PerformanceModel& model) {
   while (auto ask = stepper.suggest()) {
@@ -59,9 +61,11 @@ TEST(Stepper, ReplayMatchesClosedLoopForEveryOptimizerFullSpace) {
   tuner::HotspotModel model;
   for (const auto& name : tuner::optimizer_names()) {
     auto opt_loop = tuner::make_optimizer(name);
-    const auto loop = tuner::run_session_loop(
-        space, "optimized", space.construction_seconds(), model, *opt_loop,
-        fixed_options(7));
+    auto loop_request = tuner::make_session_request(
+        searchspace::SubSpace(space), model, *opt_loop, fixed_options(7),
+        "optimized");
+    loop_request.construction_seconds = space.construction_seconds();
+    const auto loop = tuner::run_session(loop_request);
 
     auto opt_step = tuner::make_optimizer(name);
     tuner::SessionStepper stepper(space, "optimized",
@@ -82,9 +86,10 @@ TEST(Stepper, ReplayMatchesClosedLoopForEveryOptimizerRestrictedView) {
   tuner::HotspotModel model;
   for (const auto& name : tuner::optimizer_names()) {
     auto opt_loop = tuner::make_optimizer(name);
-    const auto loop = tuner::run_session_loop(
-        view, "optimized", space->construction_seconds(), model, *opt_loop,
-        fixed_options(23));
+    auto loop_request = tuner::make_session_request(
+        view, model, *opt_loop, fixed_options(23), "optimized");
+    loop_request.construction_seconds = space->construction_seconds();
+    const auto loop = tuner::run_session(loop_request);
 
     auto opt_step = tuner::make_optimizer(name);
     tuner::SessionStepper stepper(view, "optimized",
@@ -95,13 +100,12 @@ TEST(Stepper, ReplayMatchesClosedLoopForEveryOptimizerRestrictedView) {
   }
 }
 
-TEST(Stepper, RunTuningOverloadsAgreeWithTheStepper) {
+TEST(Stepper, SpecRequestsAgreeWithTheStepper) {
   const auto spec = small_spec();
   tuner::HotspotModel model;
   tuner::RandomSearch rs;
-  const auto legacy =
-      tuner::run_tuning(spec, tuner::optimized_method(), model, rs,
-                        fixed_options(41));
+  const auto legacy = tuner::run_session(tuner::make_session_request(
+      spec, tuner::optimized_method(), model, rs, fixed_options(41)));
 
   const searchspace::SearchSpace space(spec, tuner::optimized_method());
   tuner::RandomSearch rs2;
@@ -235,7 +239,8 @@ TEST(Stepper, SharedCacheHitsResolveInternallyWithoutChangingTheRun) {
     names.push_back(view.param_name(p));
   }
   for (std::size_t row = 0; row < view.size(); ++row) {
-    cache.insert(fp, view.parent_row(row), model.gflops(names, view.config(row)));
+    cache.insert(fp, view.parent_row(row),
+                 {model.gflops(names, view.config(row)), 0.0});
   }
   tuner::RandomSearch rs2;
   tuner::SessionStats stats;

@@ -5,6 +5,7 @@
 
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/runner.hpp"
+#include "tunespace/tuner/session.hpp"
 
 using namespace tunespace;
 using tuner::EvalContext;
@@ -86,7 +87,8 @@ TEST_P(EveryOptimizer, FindsGoodConfigurationsWithinBudget) {
   options.budget_seconds = 200.0;
   options.seed = 11;
   auto method = optimized_method();
-  auto run = tuner::run_tuning(small_spec(), method, model, *optimizer, options);
+  auto run = tuner::run_session(
+      tuner::make_session_request(small_spec(), method, model, *optimizer, options));
   EXPECT_GT(run.evaluations, 5u);
   EXPECT_GT(run.best_gflops, 0.0);
   // The trajectory must be monotonically improving over time.
@@ -102,7 +104,8 @@ TEST_P(EveryOptimizer, RespectsBudget) {
   tuner::TuningOptions options;
   options.budget_seconds = 20.0;  // just a handful of evaluations
   auto method = optimized_method();
-  auto run = tuner::run_tuning(small_spec(), method, model, *optimizer, options);
+  auto run = tuner::run_session(
+      tuner::make_session_request(small_spec(), method, model, *optimizer, options));
   EXPECT_LE(run.evaluations, 60u);
   for (const auto& pt : run.trajectory) {
     EXPECT_LE(pt.time_seconds, options.budget_seconds + 6.0);  // last eval may straddle
@@ -119,8 +122,10 @@ TEST(Runner, DeterministicForFixedSeed) {
   options.seed = 21;
   auto m1 = optimized_method();
   auto m2 = optimized_method();
-  auto a = tuner::run_tuning(small_spec(), m1, model, rs1, options);
-  auto b = tuner::run_tuning(small_spec(), m2, model, rs2, options);
+  auto a = tuner::run_session(
+      tuner::make_session_request(small_spec(), m1, model, rs1, options));
+  auto b = tuner::run_session(
+      tuner::make_session_request(small_spec(), m2, model, rs2, options));
   EXPECT_EQ(a.best_gflops, b.best_gflops);
   EXPECT_EQ(a.evaluations, b.evaluations);
 }
@@ -133,7 +138,8 @@ TEST(Runner, ConstructionLatencyDelaysFirstEvaluation) {
   // Inflate construction latency so it eats most of the budget.
   options.construction_time_scale = 1e6;
   auto method = optimized_method();
-  auto run = tuner::run_tuning(small_spec(), method, model, rs, options);
+  auto run = tuner::run_session(
+      tuner::make_session_request(small_spec(), method, model, rs, options));
   if (!run.trajectory.empty()) {
     EXPECT_GT(run.trajectory.front().time_seconds,
               run.construction_seconds * options.construction_time_scale * 0.99);
@@ -146,7 +152,8 @@ TEST(Runner, ExhaustedBudgetBeforeConstructionYieldsNoEvals) {
   tuner::TuningOptions options;
   options.budget_seconds = 1e-9;
   auto method = optimized_method();
-  auto run = tuner::run_tuning(small_spec(), method, model, rs, options);
+  auto run = tuner::run_session(
+      tuner::make_session_request(small_spec(), method, model, rs, options));
   EXPECT_EQ(run.evaluations, 0u);
   EXPECT_TRUE(run.trajectory.empty());
   EXPECT_EQ(run.best_at(1.0), 0.0);
@@ -170,7 +177,8 @@ TEST(Runner, RandomSamplingOnHotspotSubset) {
   options.budget_seconds = 60.0;
   options.seed = 3;
   auto method = optimized_method();
-  auto run = tuner::run_tuning(rw.spec, method, model, rs, options);
+  auto run = tuner::run_session(
+      tuner::make_session_request(rw.spec, method, model, rs, options));
   EXPECT_GT(run.evaluations, 0u);
   EXPECT_GT(run.best_gflops, 0.0);
 }

@@ -22,6 +22,7 @@ TEST(Umbrella, EndToEndThroughSingleInclude) {
   tuner::TuningOptions options;
   options.budget_seconds = 10.0;
   auto methods = tuner::construction_methods(false);
-  auto run = tuner::run_tuning(spec, methods[0], model, optimizer, options);
+  auto run = tuner::run_session(
+      tuner::make_session_request(spec, methods[0], model, optimizer, options));
   EXPECT_GT(run.best_gflops, 0.0);
 }

@@ -2,16 +2,22 @@
 //
 //   tunespace_client [--host H] [--port P] [--kernel NAME]
 //                    [--optimizer NAME] [--budget S] [--seed N]
-//                    [--tenant NAME] [--min-cache-hits N] [--drain]
+//                    [--tenant NAME] [--objectives SPEC]
+//                    [--min-cache-hits N] [--drain]
 //
 // Opens one session, answers every suggestion with the kernel's local
 // performance model (the client links the library, so it owns the same
 // deterministic surface the in-process tuner uses), and closes the session
-// printing the run summary.  --drain then asks the server to drain and
-// waits until it quiesces — the graceful-shutdown path the CI smoke job
-// exercises.  --min-cache-hits fails the run unless the service served at
-// least that many shared-cache hits, which is how the smoke job proves a
-// warm restart actually reused the persisted eval cache.
+// printing the run summary.  --objectives takes a comma-separated list of
+// name:direction:weight triples (direction/weight optional), e.g.
+// "gflops:maximize:1,watts:minimize:0.01"; the session then tunes the full
+// objective vector over the v2 wire and the client reports complete
+// measurements and prints the Pareto front size plus perf-per-watt of the
+// incumbent.  --drain then asks the server to drain and waits until it
+// quiesces — the graceful-shutdown path the CI smoke job exercises.
+// --min-cache-hits fails the run unless the service served at least that
+// many shared-cache hits, which is how the smoke job proves a warm restart
+// actually reused the persisted eval cache.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +33,54 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--kernel NAME] "
                "[--optimizer NAME] [--budget S] [--seed N] [--tenant NAME] "
-               "[--min-cache-hits N] [--drain]\n",
+               "[--objectives name:dir:weight,...] [--min-cache-hits N] "
+               "[--drain]\n",
                argv0);
   std::exit(2);
+}
+
+/// "gflops:maximize:1,watts:minimize:0.01" -> ObjectiveSpec.  Direction and
+/// weight are optional per objective (defaults: maximize, 1.0).
+tunespace::tuner::ObjectiveSpec parse_objectives(const std::string& text,
+                                                 const char* argv0) {
+  using tunespace::tuner::Direction;
+  using tunespace::tuner::Objective;
+  tunespace::tuner::ObjectiveSpec spec;
+  spec.objectives.clear();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string part = text.substr(start, comma - start);
+    start = comma + 1;
+    if (part.empty()) continue;
+    Objective objective;
+    const std::size_t c1 = part.find(':');
+    objective.name = part.substr(0, c1);
+    if (c1 != std::string::npos) {
+      const std::size_t c2 = part.find(':', c1 + 1);
+      const std::string dir = part.substr(c1 + 1, c2 - c1 - 1);
+      if (dir == "minimize" || dir == "min") {
+        objective.direction = Direction::kMinimize;
+      } else if (dir == "maximize" || dir == "max" || dir.empty()) {
+        objective.direction = Direction::kMaximize;
+      } else {
+        std::fprintf(stderr, "%s: bad objective direction '%s'\n", argv0,
+                     dir.c_str());
+        std::exit(2);
+      }
+      if (c2 != std::string::npos) {
+        objective.weight = std::atof(part.c_str() + c2 + 1);
+      }
+    }
+    spec.objectives.push_back(std::move(objective));
+  }
+  if (spec.objectives.empty()) {
+    std::fprintf(stderr, "%s: --objectives needs at least one objective\n",
+                 argv0);
+    std::exit(2);
+  }
+  return spec;
 }
 
 }  // namespace
@@ -66,6 +117,8 @@ int main(int argc, char** argv) {
       open_request.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--tenant") {
       open_request.tenant = next();
+    } else if (arg == "--objectives") {
+      open_request.objectives = parse_objectives(next(), argv[0]);
     } else if (arg == "--min-cache-hits") {
       min_cache_hits = std::atoll(next());
     } else if (arg == "--drain") {
@@ -88,13 +141,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "tunespace_client: server did not answer ping\n");
       return 1;
     }
+    std::printf("connected (protocol v%d)\n", client.negotiated_version());
 
+    const bool multi_objective = !open_request.objectives.is_single();
     const auto opened = client.open(open_request);
-    std::printf("opened session %llu over %s (%llu rows, optimizer %s)\n",
+    std::printf("opened session %llu over %s (%llu rows, optimizer %s, "
+                "%zu objectives)\n",
                 static_cast<unsigned long long>(opened.session_id),
                 opened.info.kernel.c_str(),
                 static_cast<unsigned long long>(opened.info.space_rows),
-                opened.info.optimizer.c_str());
+                opened.info.optimizer.c_str(), opened.info.objectives.size());
 
     // The ask/tell loop: measure every suggestion with the local model.
     const std::vector<std::string>& names = opened.info.param_names;
@@ -105,8 +161,15 @@ int main(int argc, char** argv) {
       tunespace::csp::Config config;
       config.reserve(suggestion.config.size());
       for (const auto& entry : suggestion.config) config.push_back(entry.value);
-      const double gflops = kernel->model->gflops(names, config);
-      client.report({opened.session_id, gflops, -1.0});
+      ReportRequest report;
+      report.session_id = opened.session_id;
+      if (multi_objective) {
+        report.measurement = kernel->model->measure(names, config);
+        report.gflops = report.measurement.gflops;
+      } else {
+        report.gflops = kernel->model->gflops(names, config);
+      }
+      client.report(report);
       measured++;
     }
 
@@ -118,6 +181,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(closed.run.evaluations),
                 static_cast<unsigned long long>(measured),
                 closed.run.trajectory.size());
+    if (multi_objective) {
+      const double watts = closed.run.best.watts;
+      std::printf("multi-objective: score %.6f, Pareto front %zu points, "
+                  "incumbent %.3f GFLOP/s at %.1f W (%.4f GFLOP/s/W)\n",
+                  closed.run.best_score, closed.run.front.size(),
+                  closed.run.best.gflops, watts,
+                  watts > 0 ? closed.run.best.gflops / watts : 0.0);
+      if (closed.run.front.empty()) {
+        std::fprintf(stderr, "tunespace_client: empty Pareto front\n");
+        return 1;
+      }
+    }
 
     if (min_cache_hits >= 0) {
       const auto stats = client.stats();
