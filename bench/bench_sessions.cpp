@@ -11,8 +11,16 @@
 // seconds over all cases); per-case speedups and the shared-cache hit
 // throughput are reported alongside.
 //
-// CI gate:  bench_sessions --min-speedup <x>
-// exits non-zero when the aggregate speedup drops below <x>.
+// The transfer leg runs three sequential warm-start sessions over one
+// shared eval cache: the third session, seeded from the rows the first two
+// accumulated, must reach the first session's final best in fewer
+// evaluations.  Warm-start with an empty cache (and warm-start off) must
+// stay bit-identical to a cold run — that identity is a hard failure
+// regardless of flags.
+//
+// CI gate:  bench_sessions --min-speedup <x> [--min-transfer-speedup <y>]
+// exits non-zero when the aggregate speedup drops below <x> or the
+// transfer evals-to-target speedup drops below <y>.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +33,7 @@
 #include "bench_common.hpp"
 #include "tunespace/spaces/realworld.hpp"
 #include "tunespace/tuner/session.hpp"
+#include "tunespace/util/rng.hpp"
 #include "tunespace/util/table.hpp"
 #include "tunespace/util/timer.hpp"
 
@@ -147,6 +156,90 @@ MultiObjectiveReport run_multi_objective(const spaces::RealWorldSpace& rw,
   return report;
 }
 
+/// Transfer leg: cache-seeded warm starts across sequential sessions.
+struct TransferReport {
+  bool identical = true;          ///< cold == cache-attached == warm-on-empty
+  std::uint64_t seeded_rows = 0;  ///< rows seeded into the third session
+  std::uint64_t evals_to_target_cold = 0;
+  std::uint64_t evals_to_target_warm = 0;
+  double evals_to_target_speedup = 0;
+};
+
+/// Evaluations the run needed before its best first reached `target`
+/// (falls back to the full evaluation count if it never did).
+std::uint64_t evals_to_target(const tuner::TuningRun& run, double target) {
+  for (const auto& pt : run.trajectory) {
+    if (pt.best_gflops >= target) return pt.evaluations;
+  }
+  return run.evaluations;
+}
+
+tuner::TuningRun transfer_session(const searchspace::SubSpace& view,
+                                  const tuner::PerformanceModel& model,
+                                  std::size_t which, std::uint64_t seed,
+                                  bool warm, tuner::SharedEvalCache* cache,
+                                  std::uint64_t cache_fp,
+                                  tuner::SessionStats* stats = nullptr) {
+  const auto optimizer = make_optimizer(which);
+  tuner::TuningOptions options = session_options(seed);
+  options.warm_start = warm;
+  auto request = tuner::make_session_request(view, model, *optimizer, options);
+  request.shared_cache = cache;
+  request.cache_fingerprint = cache_fp;
+  request.stats = stats;
+  return tuner::run_session(request);
+}
+
+TransferReport run_transfer(const spaces::RealWorldSpace& rw,
+                            const tuner::PerformanceModel& model) {
+  TransferReport report;
+  const searchspace::SearchSpace space(rw.spec);
+  const searchspace::SubSpace view(space);
+  const std::uint64_t cache_fp =
+      util::mix64(util::mix64(space.fingerprint(), model.fingerprint()),
+                  tuner::ObjectiveSpec{}.fingerprint());
+
+  // The hard identity wall: the same session cold, with an empty shared
+  // cache attached, and with warm-start requested over an empty cache must
+  // all trace the exact same run — transfer is invisible until the cache
+  // actually has rows to seed from.
+  const auto cold = transfer_session(view, model, 0, 301, false, nullptr, 0);
+  tuner::SharedEvalCache scratch;
+  const auto cache_off =
+      transfer_session(view, model, 0, 301, false, &scratch, cache_fp);
+  tuner::SharedEvalCache cache;
+  const auto first =
+      transfer_session(view, model, 0, 301, true, &cache, cache_fp);
+  report.identical = cold == cache_off && cold == first;
+  if (!report.identical) {
+    std::fprintf(stderr,
+                 "[sessions] %s transfer session diverged from its cold "
+                 "run: cold %.4f/%zu evals, cache-off %.4f/%zu, "
+                 "warm-empty %.4f/%zu\n",
+                 rw.name.c_str(), cold.best_gflops, cold.evaluations,
+                 cache_off.best_gflops, cache_off.evaluations,
+                 first.best_gflops, first.evaluations);
+  }
+
+  // Sessions two and three keep feeding the same cache; the third starts
+  // from the best rows the first two measured.
+  transfer_session(view, model, 1, 302, true, &cache, cache_fp);
+  tuner::SessionStats third_stats;
+  const auto third =
+      transfer_session(view, model, 2, 303, true, &cache, cache_fp, &third_stats);
+
+  const double target = first.best_gflops;
+  report.seeded_rows = third_stats.seeded_rows;
+  report.evals_to_target_cold = evals_to_target(first, target);
+  report.evals_to_target_warm = evals_to_target(third, target);
+  report.evals_to_target_speedup =
+      report.evals_to_target_warm > 0
+          ? static_cast<double>(report.evals_to_target_cold) /
+                static_cast<double>(report.evals_to_target_warm)
+          : 0;
+  return report;
+}
+
 CaseReport run_case(const spaces::RealWorldSpace& rw, std::size_t sessions,
                     const tuner::PerformanceModel& model) {
   CaseReport report;
@@ -201,11 +294,17 @@ CaseReport run_case(const spaces::RealWorldSpace& rw, std::size_t sessions,
 
 int main(int argc, char** argv) {
   double gate_speedup = 0;
+  double gate_transfer = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
       gate_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-transfer-speedup") == 0 &&
+               i + 1 < argc) {
+      gate_transfer = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--min-speedup <x>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--min-speedup <x>] [--min-transfer-speedup <y>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -258,6 +357,16 @@ int main(int argc, char** argv) {
       mo.identical ? "yes" : "NO", mo.pareto_front_size,
       mo.perf_per_watt_improvement);
 
+  const auto transfer = run_transfer(spaces::hotspot(), hotspot_model);
+  std::printf(
+      "transfer: identical %s, %llu seeded rows, evals-to-target %llu cold "
+      "vs %llu warm (%.2fx)\n",
+      transfer.identical ? "yes" : "NO",
+      static_cast<unsigned long long>(transfer.seeded_rows),
+      static_cast<unsigned long long>(transfer.evals_to_target_cold),
+      static_cast<unsigned long long>(transfer.evals_to_target_warm),
+      transfer.evals_to_target_speedup);
+
   if (std::FILE* f = std::fopen("BENCH_sessions.json", "w")) {
     std::fprintf(f, "{\n  \"bench\": \"sessions\",\n");
     std::fprintf(f, "  \"fast_mode\": %s,\n", bench::fast_mode() ? "true" : "false");
@@ -272,6 +381,16 @@ int main(int argc, char** argv) {
                  "\"perf_per_watt_improvement\": %.4f},\n",
                  mo.identical ? "true" : "false", mo.pareto_front_size,
                  mo.perf_per_watt_improvement);
+    std::fprintf(f,
+                 "  \"transfer\": {\"identical\": %s, \"seeded_rows\": %llu, "
+                 "\"evals_to_target_cold\": %llu, "
+                 "\"evals_to_target_warm\": %llu, "
+                 "\"evals_to_target_speedup\": %.2f},\n",
+                 transfer.identical ? "true" : "false",
+                 static_cast<unsigned long long>(transfer.seeded_rows),
+                 static_cast<unsigned long long>(transfer.evals_to_target_cold),
+                 static_cast<unsigned long long>(transfer.evals_to_target_warm),
+                 transfer.evals_to_target_speedup);
     std::fprintf(f, "  \"cases\": [\n");
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const CaseReport& r = reports[i];
@@ -293,7 +412,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write BENCH_sessions.json\n");
   }
 
-  if (!all_identical || !mo.identical) {
+  if (!all_identical || !mo.identical || !transfer.identical) {
     std::fprintf(stderr,
                  "FAIL: a managed session diverged from its isolated "
                  "counterpart (see above)\n");
@@ -303,6 +422,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: aggregate speedup %.1fx below the %.1fx gate\n",
                  aggregate_speedup, gate_speedup);
+    return 1;
+  }
+  if (gate_transfer > 0 && transfer.evals_to_target_speedup < gate_transfer) {
+    std::fprintf(stderr,
+                 "FAIL: transfer evals-to-target speedup %.2fx below the "
+                 "%.2fx gate\n",
+                 transfer.evals_to_target_speedup, gate_transfer);
     return 1;
   }
   return 0;

@@ -33,7 +33,11 @@ applies one rule per metric kind:
 
 A gated metric (or a whole BENCH file) present in the baseline but absent
 from the current run is itself a failure — otherwise renaming a metric
-would silently erase its gate.  Everything else (names, thread lists,
+would silently erase its gate.  The reverse direction is covered too: a
+BENCH_*.json the current run produced with *no* committed baseline is a
+failure (a new bench must arrive with its reference, otherwise its gates
+never engage), except under --ratchet, which adopts the new file into the
+baseline directory on first sight.  Everything else (names, thread lists,
 fast_mode flags) is ignored.  Exits non-zero when any gated metric
 regresses or disappears, unless --warn-only is given (used by per-PR CI,
 where the report is uploaded as an artifact and the scheduled
@@ -51,6 +55,7 @@ workflow_dispatch refresh=true path).
 import argparse
 import json
 import os
+import shutil
 import sys
 
 GATED_EXACT_KEYS = {"rows", "rows_out", "solutions", "file_bytes", "rows_parent"}
@@ -234,7 +239,12 @@ def main():
 
     names = sorted(n for n in os.listdir(args.baseline_dir)
                    if n.startswith("BENCH_") and n.endswith(".json"))
-    if not names:
+    current_names = sorted(
+        n for n in os.listdir(args.current_dir)
+        if n.startswith("BENCH_") and n.endswith(".json")
+    ) if os.path.isdir(args.current_dir) else []
+    new_names = [n for n in current_names if n not in names]
+    if not names and not new_names:
         print(f"no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
         return 2
 
@@ -257,6 +267,20 @@ def main():
         failures.extend(file_failures)
         compared += 1
 
+    # New bench outputs with no committed reference: a gate that never
+    # engages is as bad as an erased one, so this fails unless --ratchet
+    # adopts the file as its own first baseline below.
+    for name in new_names:
+        if args.ratchet:
+            report.append(f"## {name}\n\n*new bench output: adopting as its "
+                          f"first baseline*\n")
+        else:
+            report.append(f"## {name}\n\n*new bench output with no committed "
+                          f"baseline*\n")
+            failures.append(f"{name}: the current run produced {name} but no "
+                            f"baseline is committed — run the baseline refresh "
+                            f"(or --ratchet) to adopt it")
+
     if failures:
         report.append("## Result: FAIL")
         report.extend(f"- {f}" for f in failures)
@@ -269,12 +293,16 @@ def main():
         with open(args.report, "w") as f:
             f.write(text)
 
-    if compared == 0:
+    if compared == 0 and not new_names:
         print("no overlapping BENCH_*.json files to compare", file=sys.stderr)
         return 2
     if failures and not args.warn_only:
         return 1
     if args.ratchet and not failures:
+        for name in new_names:
+            baseline_path = os.path.join(args.baseline_dir, name)
+            shutil.copyfile(os.path.join(args.current_dir, name), baseline_path)
+            print(f"adopted {baseline_path}")
         for name in names:
             current_path = os.path.join(args.current_dir, name)
             if not os.path.exists(current_path):

@@ -104,6 +104,14 @@ struct OpenSessionRequest {
   /// objective (maximize gflops), which is also what a v1 envelope with no
   /// objectives field means.
   ObjectiveSpec objectives{};
+  /// Opt-in cross-session transfer (TuningOptions::warm_start): seed the
+  /// session from the service's shared eval cache before the optimizer
+  /// starts.  Absent on the wire means off, so v2 envelopes from older
+  /// clients keep their exact pre-transfer behavior.
+  bool warm_start = false;
+  /// Use the surrogate-guided model-based optimizer regardless of the
+  /// `optimizer` field.  Absent on the wire means off.
+  bool surrogate = false;
 
   friend bool operator==(const OpenSessionRequest&,
                          const OpenSessionRequest&) = default;
@@ -130,6 +138,8 @@ struct SessionInfo {
   ObjectiveSpec objectives{};   ///< the session's objective set
   double best_score = 0;      ///< scalarized score of the incumbent
   Measurement best{};           ///< incumbent objective vector
+  std::uint64_t seeded_rows = 0;       ///< warm-start rows charged at open
+  std::uint64_t surrogate_refits = 0;  ///< model-based optimizer refits
 
   friend bool operator==(const SessionInfo&, const SessionInfo&) = default;
 };
@@ -265,6 +275,10 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t spaces_built = 0;
   std::uint64_t spaces_shared = 0;
+  /// Warm-start rows charged across all opened sessions.
+  std::uint64_t seeded_rows = 0;
+  /// Surrogate refits accumulated from closed sessions.
+  std::uint64_t surrogate_refits = 0;
 
   friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
 };

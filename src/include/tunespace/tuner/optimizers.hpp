@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tunespace/searchspace/searchspace.hpp"
@@ -43,6 +44,17 @@ struct EvalContext {
   std::function<Measurement(std::size_t row)> measure{};
   /// The session's objective set; null means the legacy single objective.
   const ObjectiveSpec* objectives = nullptr;
+  /// Warm-start observations the session charged before the optimizer
+  /// started (TuningOptions::warm_start): view-local rows with their masked
+  /// measurements, in seeding order.  Null when the session started cold —
+  /// model-based optimizers treat them as free training data, everyone else
+  /// ignores them (the rows are memoized, so re-requesting one costs only
+  /// the per-request overhead).
+  const std::vector<std::pair<std::size_t, Measurement>>* seeded = nullptr;
+  /// Invoked each time a model-based optimizer (re)fits its surrogate; the
+  /// session runtime counts these into SessionStats::surrogate_refits.  May
+  /// be null.
+  std::function<void()> on_surrogate_refit{};
 };
 
 /// Search strategy interface.
@@ -149,7 +161,35 @@ class Nsga2 : public Optimizer {
   Params params_;
 };
 
-/// The stable names of the six standard optimizers, in portfolio order.
+/// Model-based search guided by the ridge Surrogate (surrogate.hpp): after
+/// a uniform initial design (shrunk by however many warm-start seeds the
+/// session charged — those are free training data), candidate batches are
+/// drawn from the existing samplers (uniform samples + the incumbent's
+/// Hamming-1 neighbourhood), pre-ranked by the surrogate's predicted
+/// scalarized score, and the top few evaluated; the model refits every
+/// `refit_every` evaluations from everything observed so far.  Every random
+/// draw goes through the context Rng and the surrogate fit is a pure
+/// function of the observation set, so the whole search is deterministic
+/// from the session seed — including under the portfolio's lockstep race.
+class SurrogateGuided : public Optimizer {
+ public:
+  struct Params {
+    std::size_t initial_design = 12;  ///< uniform evals before the first fit
+    std::size_t batch = 16;           ///< candidates sampled per round
+    std::size_t evals_per_round = 4;  ///< top-ranked candidates evaluated
+    std::size_t refit_every = 8;      ///< evaluations between refits
+    double ridge_lambda = 1e-3;       ///< Surrogate ridge penalty
+  };
+  SurrogateGuided() = default;
+  explicit SurrogateGuided(Params params) : params_(params) {}
+  std::string name() const override { return "surrogate"; }
+  void run(EvalContext& ctx) override;
+
+ private:
+  Params params_;
+};
+
+/// The stable names of the seven standard optimizers, in portfolio order.
 std::vector<std::string> optimizer_names();
 
 /// Construct a default-parameter optimizer by its name() string — the

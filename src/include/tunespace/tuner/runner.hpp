@@ -92,6 +92,16 @@ struct TuningOptions {
   /// enter any session state, and improvements are judged by its weighted
   /// scalarization.
   ObjectiveSpec objectives{};
+  /// Opt-in cross-session transfer: seed the session with the shared eval
+  /// cache's best rows for its cache fingerprint before the optimizer
+  /// starts.  Seeds are ranked by scalarized score (descending, ties by
+  /// ascending parent row), capped at `warm_start_top_k`, and charged as
+  /// normal evaluations — they advance the clock, count into the
+  /// trajectory/front and consume budget exactly like optimizer-requested
+  /// rows.  Hard gate: with the option off, or with no cached rows for the
+  /// fingerprint, the session is bit-identical to a cold run.
+  bool warm_start = false;
+  std::size_t warm_start_top_k = 8;
 };
 
 /// Run one tuning session: construct the space with `method`, then drive

@@ -144,6 +144,11 @@ class TuningService {
   std::uint64_t opened_ = 0;
   std::uint64_t closed_ = 0;
   std::uint64_t rejected_ = 0;
+  /// Transfer-learning counters: seeded rows accumulate at open (seeding
+  /// completes inside the stepper constructor), surrogate refits at close
+  /// (the stepper is quiescent after cancel, so the read races with no one).
+  std::uint64_t seeded_rows_ = 0;
+  std::uint64_t surrogate_refits_ = 0;
   bool draining_ = false;
 };
 

@@ -105,6 +105,13 @@ class SharedEvalCache {
                                          const Measurement& measurement)>& fn)
       const;
 
+  /// Every cached (parent row, measurement) under one fingerprint, sorted
+  /// by ascending row — the deterministic enumeration warm-start seeding
+  /// ranks from.  A scan, not a lookup: it does not touch the hit/miss
+  /// counters.
+  std::vector<std::pair<std::uint64_t, Measurement>> entries_for(
+      std::uint64_t space_fingerprint) const;
+
  private:
   struct Stripe;
   std::size_t stripe_of(std::uint64_t space_fingerprint,
@@ -119,6 +126,8 @@ struct SessionStats {
   double session_seconds = 0;       ///< wall seconds in the session loop
   std::uint64_t shared_cache_hits = 0;    ///< evals served by SharedEvalCache
   std::uint64_t model_evaluations = 0;    ///< evals actually computed
+  std::uint64_t seeded_rows = 0;          ///< warm-start rows charged at open
+  std::uint64_t surrogate_refits = 0;     ///< model-based optimizer refits
 };
 
 /// Internal hooks the Portfolio scheduler injects into the session loop;
@@ -225,6 +234,12 @@ class SessionStepper {
   /// Best measured configuration so far; nullopt before the first
   /// improvement.
   const std::optional<Suggestion>& best() const { return best_; }
+  /// Warm-start observations charged before the optimizer started (empty
+  /// for cold sessions): view-local rows with their masked measurements, in
+  /// seeding order.
+  const std::vector<std::pair<std::size_t, Measurement>>& seeded() const {
+    return seeded_;
+  }
 
  private:
   struct Reply {
@@ -238,6 +253,7 @@ class SessionStepper {
   // its scalarized view, the fitness the legacy optimizers consume.
   Measurement measure_row(std::size_t row);
   double evaluate(std::size_t row);
+  void seed_from_cache();  // TuningOptions::warm_start, before the worker
   void update_front(std::size_t row, std::uint64_t parent_row,
                     const Measurement& measurement);
   Reply yield_ask(Suggestion ask);       // park the worker, wait for report
@@ -259,6 +275,7 @@ class SessionStepper {
   std::unordered_map<std::size_t, Measurement> memo_;
   TuningRun run_;
   std::optional<Suggestion> best_;
+  std::vector<std::pair<std::size_t, Measurement>> seeded_;
 
   // Rendezvous between the driver (public methods) and the worker thread.
   // All flags below are guarded by mutex_; outside a public call the worker
@@ -478,9 +495,29 @@ PortfolioResult run_portfolio(const searchspace::SubSpace& view,
                               const PortfolioOptions& options,
                               SharedEvalCache* shared_cache = nullptr);
 
-/// The standard six-optimizer portfolio (random sampling, genetic
+/// The standard seven-optimizer portfolio (random sampling, genetic
 /// algorithm, simulated annealing, hill climbing, differential evolution,
-/// NSGA-II non-dominated selection).
+/// NSGA-II non-dominated selection, surrogate-guided model-based search).
 std::vector<std::unique_ptr<Optimizer>> default_portfolio();
+
+/// Persist every entry of a SharedEvalCache as a TSEC file — one sorted
+/// "fingerprint row gflops watts" hex quad per line, so equal cache contents
+/// produce byte-identical files regardless of insertion order.  Throws
+/// ServiceError(kIo) on write failure.  This is the format the
+/// TuningService's state dir uses (eval_cache.tsv) and the unit fleet-level
+/// replication merges.
+void save_shared_eval_cache(const SharedEvalCache& cache,
+                            const std::string& path);
+
+/// Merge a TSEC file (version 1 or 2) into `cache`; returns the rows read.
+/// Insertion goes through SharedEvalCache::insert, so merging is
+/// first-insert-wins: loading files with overlapping keys keeps whichever
+/// value got there first, and loading them in any order yields the same
+/// cache when the overlapping values agree (the deterministic-model case —
+/// tested in test_transfer, the property fleet-level cache replication
+/// depends on).  A missing or foreign-format file loads zero rows (a warm
+/// restart must tolerate a cold or stale state dir).
+std::size_t load_shared_eval_cache(SharedEvalCache& cache,
+                                   const std::string& path);
 
 }  // namespace tunespace::tuner

@@ -1,0 +1,96 @@
+#pragma once
+// Deterministic, dependency-free performance surrogate for transfer learning.
+//
+// The shared eval cache (session.hpp) only exploits *exact* (space, model,
+// row) repeats; BENCH_sessions shows 1-12% hit rates because distinct
+// sessions rarely collide exactly.  The Surrogate exploits *near* matches:
+// it fits a ridge regression from accumulated (row -> Measurement)
+// observations over a space and predicts the objective vector of rows nobody
+// has measured yet, so a model-based optimizer (SurrogateGuided,
+// optimizers.hpp) can pre-rank candidate batches and spend its budget on the
+// configurations the accumulated evidence says are promising.
+//
+// Determinism contract (tested in test_transfer, documented in
+// CONTRIBUTING.md): fitting is bit-reproducible from the observation *set* —
+// observations are sorted by row (first-wins on duplicates) before the
+// normal equations are accumulated in fixed order, so the trained weights,
+// every predict() and every rank() are pure functions of {view, observation
+// set, params}, independent of the order observations arrived in.  That is
+// what lets a surrogate trained from a concurrently-populated shared cache
+// stay inside the repo's bit-identity walls.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tunespace/searchspace/view.hpp"
+#include "tunespace/tuner/objective.hpp"
+
+namespace tunespace::tuner {
+
+/// Ridge-regression surrogate over a SubSpace's packed parameter columns.
+///
+/// Features per parameter: the normalized ordinal position of the row's
+/// value among the view's present values (the §4.4 "true bounds"), plus the
+/// min-max-normalized numeric value itself (ordinal again for string
+/// parameters, where magnitude is meaningless) — 2P+1 dimensions with the
+/// intercept.  One weight vector is fit per Measurement component, so the
+/// model composes with any ObjectiveSpec: rank() scalarizes the predicted
+/// vectors under the caller's spec.
+class Surrogate {
+ public:
+  struct Params {
+    /// Ridge penalty added to the normal-equation diagonal; keeps the solve
+    /// well-posed for any observation set (including rank-deficient ones).
+    double ridge_lambda = 1e-3;
+  };
+
+  Surrogate() = default;
+  explicit Surrogate(Params params) : params_(params) {}
+
+  /// Fit from view-local (row, measurement) observations.  Duplicate rows
+  /// keep the first value (matching SharedEvalCache semantics); the
+  /// observation order does not matter.  An empty set leaves the model
+  /// untrained.  The view must be the one predict()/rank() will use — the
+  /// feature normalization is derived from its present values.
+  void fit(const searchspace::SubSpace& view,
+           const std::vector<std::pair<std::size_t, Measurement>>& observations);
+
+  bool trained() const { return trained_; }
+  /// Distinct observations the last fit() consumed.
+  std::size_t observation_count() const { return observation_count_; }
+
+  /// Predicted objective vector of a view-local row; requires trained().
+  Measurement predict(const searchspace::SubSpace& view, std::size_t row) const;
+
+  /// Candidates reordered by predicted scalarized score (descending), ties
+  /// by ascending row — the deterministic order the model-based optimizer
+  /// consumes them in.  Untrained models return the candidates sorted by
+  /// row alone.
+  std::vector<std::size_t> rank(const searchspace::SubSpace& view,
+                                std::vector<std::size_t> candidates,
+                                const ObjectiveSpec& objectives) const;
+
+  /// Stable identity of the trained model: mixes the dimensionality, the
+  /// observation count and the bit patterns of every weight, so two
+  /// surrogates fingerprint equal iff they predict identically.
+  std::uint64_t fingerprint() const;
+
+ private:
+  std::vector<double> encode(const searchspace::SubSpace& view,
+                             std::size_t row) const;
+
+  Params params_;
+  bool trained_ = false;
+  std::size_t observation_count_ = 0;
+  std::size_t dims_ = 0;
+  std::vector<double> weights_gflops_;
+  std::vector<double> weights_watts_;
+  /// Per-parameter numeric range over the fit view's present values; a
+  /// degenerate range (hi <= lo, or a string parameter) falls back to the
+  /// ordinal feature.
+  std::vector<double> value_lo_;
+  std::vector<double> value_hi_;
+};
+
+}  // namespace tunespace::tuner

@@ -13,7 +13,7 @@ namespace tunespace::tuner {
 
 std::vector<std::string> optimizer_names() {
   return {"random-sampling", "genetic-algorithm", "simulated-annealing",
-          "hill-climbing", "differential-evolution", "nsga2"};
+          "hill-climbing", "differential-evolution", "nsga2", "surrogate"};
 }
 
 std::unique_ptr<Optimizer> make_optimizer(const std::string& name) {
@@ -25,6 +25,7 @@ std::unique_ptr<Optimizer> make_optimizer(const std::string& name) {
     return std::make_unique<DifferentialEvolution>();
   }
   if (name == "nsga2") return std::make_unique<Nsga2>();
+  if (name == "surrogate") return std::make_unique<SurrogateGuided>();
   throw ServiceError(ErrorCode::kInvalidArgument,
                      "unknown optimizer '" + name + "'");
 }

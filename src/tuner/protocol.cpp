@@ -253,6 +253,10 @@ Value to_json(const OpenSessionRequest& request) {
   if (!request.objectives.is_single()) {
     body.set("objectives", to_json(request.objectives));
   }
+  // Transfer-learning flags ride the same absent-means-off convention, so a
+  // cold open's envelope is byte-identical to the pre-transfer wire.
+  if (request.warm_start) body.set("warm_start", true);
+  if (request.surrogate) body.set("surrogate", true);
   return body;
 }
 
@@ -283,6 +287,12 @@ OpenSessionRequest open_session_request_from_json(const Value& value) {
   if (const Value* objectives = value.find("objectives")) {
     request.objectives = objective_spec_from_json(*objectives);
   }
+  if (const Value* warm = value.find("warm_start")) {
+    request.warm_start = warm->as_bool();
+  }
+  if (const Value* surrogate = value.find("surrogate")) {
+    request.surrogate = surrogate->as_bool();
+  }
   return request;
 }
 
@@ -309,6 +319,8 @@ Value to_json(const SessionInfo& info) {
   body.set("objectives", to_json(info.objectives));
   body.set("best_score", info.best_score);
   body.set("best", to_json(info.best));
+  body.set("seeded_rows", info.seeded_rows);
+  body.set("surrogate_refits", info.surrogate_refits);
   return body;
 }
 
@@ -342,6 +354,13 @@ SessionInfo session_info_from_json(const Value& value) {
     info.best = measurement_from_json(*best);
   } else {
     info.best = Measurement{info.best_gflops, 0.0};
+  }
+  // Absent on envelopes from pre-transfer servers: zero.
+  if (const Value* seeded = value.find("seeded_rows")) {
+    info.seeded_rows = seeded->as_uint();
+  }
+  if (const Value* refits = value.find("surrogate_refits")) {
+    info.surrogate_refits = refits->as_uint();
   }
   return info;
 }
@@ -560,6 +579,8 @@ Value to_json(const ServiceStats& stats) {
   body.set("cache_misses", stats.cache_misses);
   body.set("spaces_built", stats.spaces_built);
   body.set("spaces_shared", stats.spaces_shared);
+  body.set("seeded_rows", stats.seeded_rows);
+  body.set("surrogate_refits", stats.surrogate_refits);
   return body;
 }
 
@@ -575,6 +596,13 @@ ServiceStats service_stats_from_json(const Value& value) {
   stats.cache_misses = value.at("cache_misses").as_uint();
   stats.spaces_built = value.at("spaces_built").as_uint();
   stats.spaces_shared = value.at("spaces_shared").as_uint();
+  // Absent on envelopes from pre-transfer servers: zero.
+  if (const Value* seeded = value.find("seeded_rows")) {
+    stats.seeded_rows = seeded->as_uint();
+  }
+  if (const Value* refits = value.find("surrogate_refits")) {
+    stats.surrogate_refits = refits->as_uint();
+  }
   return stats;
 }
 

@@ -193,8 +193,13 @@ OpenSessionResponse TuningService::open(const OpenSessionRequest& request) {
   require_finite_nonnegative(request.overhead_per_request, "overhead_per_request");
   require_finite_nonnegative(request.construction_time_scale,
                              "construction_time_scale");
+  // A surrogate=true open wins over whatever the optimizer field says — the
+  // flag is the v2-compatible way to request model-based search.
   auto optimizer = make_optimizer(
-      request.optimizer.empty() ? std::string("random-sampling") : request.optimizer);
+      request.surrogate
+          ? std::string("surrogate")
+          : (request.optimizer.empty() ? std::string("random-sampling")
+                                       : request.optimizer));
   const Method method = resolve_method(request.method);
 
   // Admission control: reserve a slot under the registry lock, so the
@@ -268,6 +273,7 @@ OpenSessionResponse TuningService::open(const OpenSessionRequest& request) {
     tuning.fixed_construction_seconds = request.fixed_construction_seconds;
     tuning.construction_time_scale = request.construction_time_scale;
     tuning.objectives = request.objectives;
+    tuning.warm_start = request.warm_start;
 
     const bool cacheable = manager_.options().share_evaluations &&
                            kernel->spec.lambda_constraints().empty();
@@ -299,6 +305,9 @@ OpenSessionResponse TuningService::open(const OpenSessionRequest& request) {
     sessions_.emplace(session->id, session);
     pending_opens_--;
     opened_++;
+    // Seeding finished inside the stepper constructor, so the per-session
+    // count is final here.
+    seeded_rows_ += session->stats.seeded_rows;
   }
   OpenSessionResponse response;
   std::lock_guard<std::mutex> lock(session->mutex);
@@ -401,6 +410,11 @@ CloseSessionResponse TuningService::close(const CloseSessionRequest& request) {
   }
   std::lock_guard<std::mutex> lock(session->mutex);
   session->stepper->cancel();  // no-op if the session already finished
+  {
+    // The stepper is quiescent after cancel, so the refit counter is final.
+    std::lock_guard<std::mutex> registry(mutex_);
+    surrogate_refits_ += session->stats.surrogate_refits;
+  }
   CloseSessionResponse response;
   response.session_id = request.session_id;
   response.run = summarize(session->stepper->run());
@@ -416,6 +430,8 @@ ServiceStats TuningService::stats() const {
     stats.total_closed = closed_;
     stats.total_rejected = rejected_;
     stats.draining = draining_;
+    stats.seeded_rows = seeded_rows_;
+    stats.surrogate_refits = surrogate_refits_;
   }
   const SharedEvalCache& cache = manager_.eval_cache();
   stats.cache_entries = cache.size();
@@ -462,78 +478,11 @@ std::string TuningService::eval_cache_path() const {
 
 void TuningService::save_state() const {
   if (options_.state_dir.empty()) return;
-  struct Entry {
-    std::uint64_t fingerprint;
-    std::uint64_t row;
-    std::uint64_t gflops_bits;
-    std::uint64_t watts_bits;
-  };
-  std::vector<Entry> entries;
-  manager_.eval_cache().for_each([&entries](std::uint64_t fingerprint,
-                                            std::uint64_t row,
-                                            const Measurement& m) {
-    entries.push_back({fingerprint, row, std::bit_cast<std::uint64_t>(m.gflops),
-                       std::bit_cast<std::uint64_t>(m.watts)});
-  });
-  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    return a.fingerprint != b.fingerprint ? a.fingerprint < b.fingerprint
-                                          : a.row < b.row;
-  });
-  const std::string path = eval_cache_path();
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "w");
-  if (file == nullptr) {
-    throw ServiceError(ErrorCode::kIo, "cannot write " + tmp);
-  }
-  // Measurements are doubles round-tripped as raw bit patterns, so a warm
-  // restart serves bit-identical values and never perturbs a session.
-  // TSEC 2 appends a watts column to the v1 (fp, row, gflops) rows.
-  std::fprintf(file, "TSEC 2\n");
-  for (const Entry& entry : entries) {
-    std::fprintf(file, "%016llx %016llx %016llx %016llx\n",
-                 static_cast<unsigned long long>(entry.fingerprint),
-                 static_cast<unsigned long long>(entry.row),
-                 static_cast<unsigned long long>(entry.gflops_bits),
-                 static_cast<unsigned long long>(entry.watts_bits));
-  }
-  const bool ok = std::fflush(file) == 0;
-  std::fclose(file);
-  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw ServiceError(ErrorCode::kIo, "cannot persist " + path);
-  }
+  save_shared_eval_cache(manager_.eval_cache(), eval_cache_path());
 }
 
 void TuningService::load_eval_cache() {
-  std::FILE* file = std::fopen(eval_cache_path().c_str(), "r");
-  if (file == nullptr) return;  // cold start
-  char magic[8] = {0};
-  int version = 0;
-  if (std::fscanf(file, "%7s %d", magic, &version) != 2 ||
-      std::string_view(magic) != "TSEC" || (version != 1 && version != 2)) {
-    std::fclose(file);
-    return;  // stale or foreign format: start cold
-  }
-  if (version == 1) {
-    // Legacy scalar rows: widen each to a gflops-only measurement vector.
-    unsigned long long fingerprint = 0, row = 0, bits = 0;
-    while (std::fscanf(file, "%llx %llx %llx", &fingerprint, &row, &bits) == 3) {
-      manager_.eval_cache().insert(
-          static_cast<std::uint64_t>(fingerprint), static_cast<std::uint64_t>(row),
-          Measurement{std::bit_cast<double>(static_cast<std::uint64_t>(bits)),
-                      0.0});
-    }
-  } else {
-    unsigned long long fingerprint = 0, row = 0, gflops = 0, watts = 0;
-    while (std::fscanf(file, "%llx %llx %llx %llx", &fingerprint, &row, &gflops,
-                       &watts) == 4) {
-      manager_.eval_cache().insert(
-          static_cast<std::uint64_t>(fingerprint), static_cast<std::uint64_t>(row),
-          Measurement{std::bit_cast<double>(static_cast<std::uint64_t>(gflops)),
-                      std::bit_cast<double>(static_cast<std::uint64_t>(watts))});
-    }
-  }
-  std::fclose(file);
+  load_shared_eval_cache(manager_.eval_cache(), eval_cache_path());
 }
 
 std::shared_ptr<TuningService::Session> TuningService::find(
@@ -568,6 +517,8 @@ SessionInfo TuningService::info_of(Session& session) const {
   info.objectives = session.stepper->run().objectives;
   info.best_score = session.stepper->run().best_score;
   info.best = session.stepper->run().best;
+  info.seeded_rows = session.stats.seeded_rows;
+  info.surrogate_refits = session.stats.surrogate_refits;
   return info;
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
+#include <cstdio>
 #include <future>
+#include <string_view>
 #include <thread>
 
 #include "tunespace/util/timer.hpp"
@@ -102,6 +105,22 @@ void SharedEvalCache::for_each(
   }
 }
 
+std::vector<std::pair<std::uint64_t, Measurement>> SharedEvalCache::entries_for(
+    std::uint64_t space_fingerprint) const {
+  std::vector<std::pair<std::uint64_t, Measurement>> entries;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    for (const auto& [key, measurement] : stripe->map) {
+      if (key.fingerprint == space_fingerprint) {
+        entries.emplace_back(key.row, measurement);
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
 // ---------------------------------------------------------------------------
 // SessionStepper: the session core as a resumable ask/tell state machine
 // ---------------------------------------------------------------------------
@@ -160,6 +179,20 @@ SessionStepper::SessionStepper(searchspace::SubSpace view,
     return;
   }
 
+  // Warm start (opt-in): charge the cache's best rows for this fingerprint
+  // as the session's first evaluations, before the optimizer exists.  Every
+  // seed is a guaranteed cache hit (the entry was just enumerated and the
+  // cache never evicts), so measure_row never reaches the rendezvous and
+  // this runs safely on the constructor thread.  With the option off or the
+  // cache cold this is a no-op — no clock charge, no Rng draw — keeping the
+  // session bit-identical to a cold run.
+  seed_from_cache();
+  if (clock_.now() >= options_.budget_seconds) {
+    done_ = true;  // the seeds consumed the whole budget
+    finalize();
+    return;
+  }
+
   worker_ = std::thread([this] {
     try {
       EvalContext ctx{
@@ -174,6 +207,10 @@ SessionStepper::SessionStepper(searchspace::SubSpace view,
           &rng_,
           /*measure=*/[this](std::size_t row) { return measure_row(row); },
           /*objectives=*/&options_.objectives};
+      ctx.seeded = seeded_.empty() ? nullptr : &seeded_;
+      ctx.on_surrogate_refit = [this] {
+        if (stats_) stats_->surrogate_refits++;
+      };
       optimizer_->run(ctx);
     } catch (const AbortStepper&) {
       // cancel() unwinding the optimizer: not an error.
@@ -210,6 +247,42 @@ void SessionStepper::wait_parked(std::unique_lock<std::mutex>& lock) {
 
 double SessionStepper::evaluate(std::size_t row) {
   return options_.objectives.scalarize(measure_row(row));
+}
+
+void SessionStepper::seed_from_cache() {
+  if (!options_.warm_start || shared_cache_ == nullptr ||
+      options_.warm_start_top_k == 0) {
+    return;
+  }
+  struct Seed {
+    double score;
+    std::size_t local;
+  };
+  std::vector<Seed> seeds;
+  for (const auto& [parent_row, measurement] :
+       shared_cache_->entries_for(cache_fingerprint_)) {
+    if (const auto local = view_.local_of(parent_row)) {
+      seeds.push_back({options_.objectives.scalarize(measurement), *local});
+    }
+  }
+  // entries_for returns rows ascending and the sort is stable, so ties
+  // break by ascending row — the documented deterministic seeding order.
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [](const Seed& a, const Seed& b) { return a.score > b.score; });
+  if (seeds.size() > options_.warm_start_top_k) {
+    seeds.resize(options_.warm_start_top_k);
+  }
+  for (const Seed& seed : seeds) {
+    if (clock_.now() >= options_.budget_seconds) break;
+    // A guaranteed cache hit: charged through the normal request flow
+    // (overhead, evaluation cost, trajectory, front), exactly like an
+    // optimizer-requested row.
+    const std::uint64_t before = run_.evaluations;
+    const Measurement measured = measure_row(seed.local);
+    if (run_.evaluations == before) break;  // the overhead drained the budget
+    seeded_.emplace_back(seed.local, measured);
+    if (stats_) stats_->seeded_rows++;
+  }
 }
 
 Measurement SessionStepper::measure_row(std::size_t row) {
@@ -882,7 +955,91 @@ std::vector<std::unique_ptr<Optimizer>> default_portfolio() {
   members.push_back(std::make_unique<HillClimber>());
   members.push_back(std::make_unique<DifferentialEvolution>());
   members.push_back(std::make_unique<Nsga2>());
+  members.push_back(std::make_unique<SurrogateGuided>());
   return members;
+}
+
+// ---------------------------------------------------------------------------
+// TSEC persistence: the mergeable eval-cache file format
+// ---------------------------------------------------------------------------
+
+void save_shared_eval_cache(const SharedEvalCache& cache,
+                            const std::string& path) {
+  struct Entry {
+    std::uint64_t fingerprint;
+    std::uint64_t row;
+    std::uint64_t gflops_bits;
+    std::uint64_t watts_bits;
+  };
+  std::vector<Entry> entries;
+  cache.for_each([&entries](std::uint64_t fingerprint, std::uint64_t row,
+                            const Measurement& m) {
+    entries.push_back({fingerprint, row, std::bit_cast<std::uint64_t>(m.gflops),
+                       std::bit_cast<std::uint64_t>(m.watts)});
+  });
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.fingerprint != b.fingerprint ? a.fingerprint < b.fingerprint
+                                          : a.row < b.row;
+  });
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) {
+    throw ServiceError(ErrorCode::kIo, "cannot write " + tmp);
+  }
+  // Measurements are doubles round-tripped as raw bit patterns, so a warm
+  // restart serves bit-identical values and never perturbs a session.
+  // TSEC 2 appends a watts column to the v1 (fp, row, gflops) rows.
+  std::fprintf(file, "TSEC 2\n");
+  for (const Entry& entry : entries) {
+    std::fprintf(file, "%016llx %016llx %016llx %016llx\n",
+                 static_cast<unsigned long long>(entry.fingerprint),
+                 static_cast<unsigned long long>(entry.row),
+                 static_cast<unsigned long long>(entry.gflops_bits),
+                 static_cast<unsigned long long>(entry.watts_bits));
+  }
+  const bool ok = std::fflush(file) == 0;
+  std::fclose(file);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ServiceError(ErrorCode::kIo, "cannot persist " + path);
+  }
+}
+
+std::size_t load_shared_eval_cache(SharedEvalCache& cache,
+                                   const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return 0;  // cold start
+  char magic[8] = {0};
+  int version = 0;
+  if (std::fscanf(file, "%7s %d", magic, &version) != 2 ||
+      std::string_view(magic) != "TSEC" || (version != 1 && version != 2)) {
+    std::fclose(file);
+    return 0;  // stale or foreign format: start cold
+  }
+  std::size_t rows_read = 0;
+  if (version == 1) {
+    // Legacy scalar rows: widen each to a gflops-only measurement vector.
+    unsigned long long fingerprint = 0, row = 0, bits = 0;
+    while (std::fscanf(file, "%llx %llx %llx", &fingerprint, &row, &bits) == 3) {
+      cache.insert(
+          static_cast<std::uint64_t>(fingerprint), static_cast<std::uint64_t>(row),
+          Measurement{std::bit_cast<double>(static_cast<std::uint64_t>(bits)),
+                      0.0});
+      rows_read++;
+    }
+  } else {
+    unsigned long long fingerprint = 0, row = 0, gflops = 0, watts = 0;
+    while (std::fscanf(file, "%llx %llx %llx %llx", &fingerprint, &row, &gflops,
+                       &watts) == 4) {
+      cache.insert(
+          static_cast<std::uint64_t>(fingerprint), static_cast<std::uint64_t>(row),
+          Measurement{std::bit_cast<double>(static_cast<std::uint64_t>(gflops)),
+                      std::bit_cast<double>(static_cast<std::uint64_t>(watts))});
+      rows_read++;
+    }
+  }
+  std::fclose(file);
+  return rows_read;
 }
 
 }  // namespace tunespace::tuner

@@ -1,4 +1,4 @@
-// Property tests for all six optimizers, each run over both a full space
+// Property tests for all seven optimizers, each run over both a full space
 // and a restricted SubSpace view: the budget is always respected, the
 // best-so-far trajectory is monotone, TuningRun::best_at agrees with the
 // trajectory, and a fixed seed reproduces the identical run across repeats
@@ -39,7 +39,8 @@ std::unique_ptr<tuner::Optimizer> make_optimizer(int which) {
     case 2: return std::make_unique<tuner::SimulatedAnnealing>();
     case 3: return std::make_unique<tuner::HillClimber>();
     case 4: return std::make_unique<tuner::DifferentialEvolution>();
-    default: return std::make_unique<tuner::Nsga2>();
+    case 5: return std::make_unique<tuner::Nsga2>();
+    default: return std::make_unique<tuner::SurrogateGuided>();
   }
 }
 
@@ -162,16 +163,17 @@ TEST_P(OptimizerProperties, IdenticalUnderTheSessionManager) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    SixOptimizersTimesFullAndView, OptimizerProperties,
-    ::testing::Combine(::testing::Range(0, 6), ::testing::Bool()),
+    SevenOptimizersTimesFullAndView, OptimizerProperties,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Bool()),
     [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
-      const char* name = "Nsga2";
+      const char* name = "SurrogateGuided";
       switch (std::get<0>(info.param)) {
         case 0: name = "RandomSearch"; break;
         case 1: name = "GeneticAlgorithm"; break;
         case 2: name = "SimulatedAnnealing"; break;
         case 3: name = "HillClimber"; break;
         case 4: name = "DifferentialEvolution"; break;
+        case 5: name = "Nsga2"; break;
         default: break;
       }
       return std::string(name) + (std::get<1>(info.param) ? "_View" : "_Full");

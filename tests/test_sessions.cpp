@@ -313,7 +313,7 @@ TEST(Portfolio, DeterministicForARootSeed) {
   const searchspace::SearchSpace space(small_spec());
   const auto a = race_once(space, 99);
   const auto b = race_once(space, 99);
-  ASSERT_EQ(a.members.size(), 6u);
+  ASSERT_EQ(a.members.size(), 7u);  // ...including the surrogate member
   for (std::size_t m = 0; m < a.members.size(); ++m) {
     EXPECT_EQ(a.members[m].seed, b.members[m].seed);
     EXPECT_EQ(a.members[m].run, b.members[m].run) << a.members[m].optimizer_name;

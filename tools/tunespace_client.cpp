@@ -3,7 +3,8 @@
 //   tunespace_client [--host H] [--port P] [--kernel NAME]
 //                    [--optimizer NAME] [--budget S] [--seed N]
 //                    [--tenant NAME] [--objectives SPEC]
-//                    [--min-cache-hits N] [--drain]
+//                    [--warm-start] [--surrogate]
+//                    [--min-cache-hits N] [--min-seeded-rows N] [--drain]
 //
 // Opens one session, answers every suggestion with the kernel's local
 // performance model (the client links the library, so it owns the same
@@ -17,7 +18,13 @@
 // quiesces — the graceful-shutdown path the CI smoke job exercises.
 // --min-cache-hits fails the run unless the service served at least that
 // many shared-cache hits, which is how the smoke job proves a warm restart
-// actually reused the persisted eval cache.
+// actually reused the persisted eval cache.  --warm-start opens the session
+// with cache-seeded transfer (OpenSessionRequest::warm_start) and
+// --min-seeded-rows fails unless the session was seeded with at least that
+// many cached rows; --surrogate forces the model-based optimizer.  Every run
+// prints a greppable "model_evaluations=N seeded_rows=N" line so a smoke
+// script can assert that a warm session re-measured fewer configurations
+// than a cold one.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +40,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--kernel NAME] "
                "[--optimizer NAME] [--budget S] [--seed N] [--tenant NAME] "
-               "[--objectives name:dir:weight,...] [--min-cache-hits N] "
+               "[--objectives name:dir:weight,...] [--warm-start] "
+               "[--surrogate] [--min-cache-hits N] [--min-seeded-rows N] "
                "[--drain]\n",
                argv0);
   std::exit(2);
@@ -96,6 +104,7 @@ int main(int argc, char** argv) {
   open_request.fixed_construction_seconds = 0.5;
   bool drain = false;
   long long min_cache_hits = -1;
+  long long min_seeded_rows = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -119,8 +128,14 @@ int main(int argc, char** argv) {
       open_request.tenant = next();
     } else if (arg == "--objectives") {
       open_request.objectives = parse_objectives(next(), argv[0]);
+    } else if (arg == "--warm-start") {
+      open_request.warm_start = true;
+    } else if (arg == "--surrogate") {
+      open_request.surrogate = true;
     } else if (arg == "--min-cache-hits") {
       min_cache_hits = std::atoll(next());
+    } else if (arg == "--min-seeded-rows") {
+      min_seeded_rows = std::atoll(next());
     } else if (arg == "--drain") {
       drain = true;
     } else {
@@ -151,6 +166,19 @@ int main(int argc, char** argv) {
                 opened.info.kernel.c_str(),
                 static_cast<unsigned long long>(opened.info.space_rows),
                 opened.info.optimizer.c_str(), opened.info.objectives.size());
+    if (opened.info.seeded_rows > 0) {
+      std::printf("warm start seeded %llu cached rows\n",
+                  static_cast<unsigned long long>(opened.info.seeded_rows));
+    }
+    if (min_seeded_rows >= 0 &&
+        opened.info.seeded_rows < static_cast<std::uint64_t>(min_seeded_rows)) {
+      std::fprintf(stderr,
+                   "tunespace_client: expected >= %lld seeded rows, saw %llu "
+                   "— warm start did not take\n",
+                   min_seeded_rows,
+                   static_cast<unsigned long long>(opened.info.seeded_rows));
+      return 1;
+    }
 
     // The ask/tell loop: measure every suggestion with the local model.
     const std::vector<std::string>& names = opened.info.param_names;
@@ -172,6 +200,13 @@ int main(int argc, char** argv) {
       client.report(report);
       measured++;
     }
+
+    // Greppable transfer line: the smoke job compares this count between a
+    // cold and a warm run of the same session.
+    const auto final_info = client.info(opened.session_id);
+    std::printf("model_evaluations=%llu seeded_rows=%llu\n",
+                static_cast<unsigned long long>(final_info.model_evaluations),
+                static_cast<unsigned long long>(final_info.seeded_rows));
 
     const auto closed = client.close_session(opened.session_id);
     std::printf("session %llu finished: best %.3f GFLOP/s, %llu evaluations "
