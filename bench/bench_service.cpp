@@ -321,6 +321,45 @@ int main(int argc, char** argv) {
       mo.identical ? "yes" : "NO", mo.pareto_front_size,
       mo.perf_per_watt_improvement);
 
+  // Connection churn: sequential connect/ping/disconnect cycles against a
+  // deliberately small worker pool.  This is the fd-recycling path — every
+  // departed connection must be reclaimed by its close event, so the count
+  // can exceed any fd budget; a leak shows up here as EMFILE long before
+  // the loop ends.
+  const std::size_t churn_connections = bench::fast_mode() ? 200 : 1000;
+  double churn_seconds = 0;
+  bool churn_ok = true;
+  {
+    tuner::TuningService service;
+    tuner::ServiceServerOptions server_options;
+    server_options.port = 0;
+    server_options.workers = 2;
+    tuner::ServiceServer server(service, server_options);
+    server.start();
+    tuner::ServiceClientOptions client_options;
+    client_options.port = server.port();
+    timer.reset();
+    for (std::size_t i = 0; i < churn_connections && churn_ok; ++i) {
+      try {
+        tuner::ServiceClient client(client_options);
+        churn_ok = client.ping();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[service] churn connect %zu failed: %s\n", i,
+                     e.what());
+        churn_ok = false;
+      }
+    }
+    churn_seconds = timer.seconds();
+    server.stop();
+  }
+  const double churn_cps =
+      churn_seconds > 0 ? static_cast<double>(churn_connections) / churn_seconds
+                        : 0;
+  std::printf("connection churn: %zu sequential connects in %.4fs "
+              "(%.0f connects/s, 2 workers), %s\n",
+              churn_connections, churn_seconds, churn_cps,
+              churn_ok ? "all served" : "FAILED");
+
   if (std::FILE* f = std::fopen("BENCH_service.json", "w")) {
     std::fprintf(f, "{\n  \"bench\": \"service\",\n");
     std::fprintf(f, "  \"fast_mode\": %s,\n", bench::fast_mode() ? "true" : "false");
@@ -336,6 +375,8 @@ int main(int argc, char** argv) {
                  "\"perf_per_watt_improvement\": %.4f},\n",
                  mo.identical ? "true" : "false", mo.pareto_front_size,
                  mo.perf_per_watt_improvement);
+    std::fprintf(f, "  \"churn_connections\": %zu,\n", churn_connections);
+    std::fprintf(f, "  \"churn_connects_per_second\": %.1f,\n", churn_cps);
     std::fprintf(f, "  \"identical\": %s\n", identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -343,6 +384,13 @@ int main(int argc, char** argv) {
 
   if (!identical || !mo.identical) {
     std::fprintf(stderr, "[service] FAIL: transports are not bit-identical\n");
+    return 1;
+  }
+  if (!churn_ok) {
+    std::fprintf(stderr,
+                 "[service] FAIL: connection churn leg did not survive %zu "
+                 "sequential connects\n",
+                 churn_connections);
     return 1;
   }
   if (gate_rps > 0 && inprocess_rps < gate_rps) {

@@ -20,15 +20,45 @@ int listen_tcp(const std::string& host, std::uint16_t port);
 /// The locally-bound port of a socket (resolves ephemeral binds).
 std::uint16_t local_port(int fd);
 
-/// Connect to host:port, retrying until `timeout_seconds` elapse — covering
-/// the race where a client starts before the server finished binding.
-/// Throws kIo once the deadline expires.
+/// Connect to host:port, retrying *transient* failures (see
+/// transient_connect_errno) until `timeout_seconds` elapse — covering the
+/// race where a client starts before the server finished binding.  Hard
+/// errors (ENETUNREACH, EACCES, ...) fail immediately, and a zero or
+/// negative timeout means exactly one attempt.  Throws kIo.
 int connect_tcp(const std::string& host, std::uint16_t port,
                 double timeout_seconds);
 
-/// accept(2) bounded by a poll timeout; returns -1 on timeout (so accept
-/// loops can observe a stop flag).  Throws kIo on a real error.
+/// accept(2) bounded by a poll timeout; returns -1 on timeout or on a
+/// *transient* accept failure (see transient_accept_errno), so accept loops
+/// observe their stop flag and retry with the poll timeout as the backoff
+/// instead of dying under fd pressure.  Throws kIo only on errors that mean
+/// the listener itself is gone.
 int accept_timeout(int listen_fd, int timeout_ms);
+
+/// True for accept(2) errnos that signal transient pressure, not a dead
+/// listener: fd exhaustion (EMFILE/ENFILE), kernel buffer pressure
+/// (ENOBUFS/ENOMEM), a peer that aborted while queued in the backlog
+/// (ECONNABORTED), interruption (EINTR) and spurious readiness
+/// (EAGAIN/EWOULDBLOCK).  An accept path must retry these — treating them
+/// as fatal turns a full-fd-table moment into a server that never accepts
+/// again.
+bool transient_accept_errno(int err) noexcept;
+
+/// True for connect(2) errnos worth retrying against a deadline — the
+/// server may not have bound yet (ECONNREFUSED), the handshake timed out
+/// (ETIMEDOUT), or the attempt never completed (EAGAIN/EINTR).  Routing and
+/// permission failures are deliberately excluded: retrying ENETUNREACH or
+/// EACCES for the whole timeout only hides a misconfiguration.
+bool transient_connect_errno(int err) noexcept;
+
+/// Put `fd` into O_NONBLOCK mode (epoll front end).  Throws kIo.
+void set_nonblocking(int fd);
+
+/// Nonblocking accept(2) for the epoll accept path: returns the connected
+/// fd (TCP_NODELAY set) or -1 with `err_out` carrying the errno — 0 when
+/// the backlog was simply empty.  Never throws; the caller owns the retry
+/// policy.
+int accept_nonblocking(int listen_fd, int& err_out) noexcept;
 
 void close_fd(int fd) noexcept;
 

@@ -85,6 +85,58 @@ void write_frame(ByteStream& stream, std::string_view payload);
 /// truncation.
 std::optional<std::string> read_frame(ByteStream& stream);
 
+// -- HTTP/1.1 gateway codec --------------------------------------------------
+// The HTTP gateway maps POST /v1/{op} with a JSON body onto the same
+// dispatch table as the frame protocol, so curl and browser clients reach
+// every op without speaking the length-prefix codec.  Deliberately minimal:
+// Content-Length bodies only (chunked transfer encoding is rejected with
+// 501), no query strings, one request at a time per connection.  The parser
+// is incremental — it never blocks and never consumes a partial request —
+// which is what lets the epoll event loop feed it straight from a
+// per-connection read buffer.
+
+/// Upper bound on the header block of one gateway request; longer blocks
+/// are rejected with 431 (a desynchronized or hostile peer, same reasoning
+/// as kMaxFrameBytes).
+inline constexpr std::size_t kMaxHttpHeaderBytes = 64u * 1024u;
+
+struct HttpRequest {
+  std::string method;            ///< e.g. "POST"
+  std::string target;            ///< e.g. "/v1/suggest"
+  std::string body;              ///< Content-Length bytes (empty when none)
+  bool keep_alive = true;        ///< HTTP/1.1 default; "Connection: close" clears
+  bool expect_continue = false;  ///< "Expect: 100-continue" was present
+  /// The request line and headers parsed fully (set even when the verdict
+  /// is kNeedMore because body bytes are still in flight — the server uses
+  /// this window to emit the interim 100 Continue).
+  bool headers_complete = false;
+};
+
+enum class HttpParse : std::uint8_t {
+  kNeedMore,  ///< buffer holds a prefix of a valid request; read more
+  kOk,        ///< one full request parsed; `consumed` bytes were used
+  kBad,       ///< irrecoverable; respond with `error_status` and close
+};
+
+/// Incrementally parse one HTTP/1.1 request from the front of `buffer`.
+/// On kOk, `request` is complete and `consumed` says how many bytes the
+/// request occupied (erase them before the next parse).  On kBad,
+/// `error_status`/`error` describe the rejection (400 malformed, 501
+/// chunked, 413 oversized body, 431 oversized headers).
+HttpParse parse_http_request(std::string_view buffer, HttpRequest& request,
+                             std::size_t& consumed, int& error_status,
+                             std::string& error);
+
+/// "/v1/{op}" -> "op"; empty when the target is not a gateway path.
+std::string http_op_from_target(std::string_view target);
+
+/// Serialize an HTTP/1.1 response carrying a JSON body.
+std::string encode_http_response(int status, std::string_view json_body,
+                                 bool keep_alive);
+
+/// The HTTP status a wire error code maps to (200 for kOk).
+int http_status_for(ErrorCode code);
+
 // -- Envelopes ---------------------------------------------------------------
 
 /// {"op": op, ...body members} — body must be an object (or null for none).

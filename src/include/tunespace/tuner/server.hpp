@@ -1,16 +1,31 @@
 #pragma once
-// TCP front end for a TuningService: accepts connections and maps
-// length-prefixed JSON frames (protocol.hpp) onto service entry points.
+// TCP front end for a TuningService: an epoll event loop mapping
+// length-prefixed JSON frames (protocol.hpp) — and, optionally, HTTP/1.1
+// POST /v1/{op} gateway requests — onto service entry points.
 //
-// One thread per connection; a connection carries any number of requests
-// (sessions are not bound to connections — a client may reconnect and keep
-// driving its session by id, which is what makes the ask/tell surface
-// resumable across client restarts).  Any ServiceError becomes an error
-// frame carrying the stable code; other exceptions map to kInternal.  The
-// "drain" op supports graceful shutdown: stop admissions, optionally wait
-// for live sessions to close, and — with exit_when_drained — release
-// wait() so the hosting binary can stop, persist state and exit.
+// One event-loop thread owns every socket: it accepts, reassembles frames
+// and HTTP requests incrementally from per-connection read buffers, and
+// flushes reply bytes through per-connection write buffers.  Service calls
+// never run on the event-loop thread — complete requests are handed to a
+// small fixed worker pool, so a slow suggest() or a blocking drain cannot
+// stall accepts or other connections' I/O.  Transient accept failures
+// (EMFILE/ENFILE/ENOBUFS, aborted backlog entries) are retried after a
+// short backoff, shedding the oldest idle connection under fd exhaustion —
+// the listener survives fd pressure instead of silently dying.  Departed
+// connections are reclaimed on their close events, not lazily on the next
+// accept.
+//
+// A connection carries any number of requests (sessions are not bound to
+// connections — a client may reconnect and keep driving its session by id,
+// which is what makes the ask/tell surface resumable across client
+// restarts).  Any ServiceError becomes an error frame carrying the stable
+// code; other exceptions map to kInternal.  The "drain" op supports
+// graceful shutdown: stop admissions, optionally wait for live sessions to
+// close, and — with exit_when_drained — release wait() so the hosting
+// binary can stop, persist state and exit; the drain reply is always
+// flushed to the wire before wait() is released.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -25,10 +40,18 @@ struct ServiceServerOptions {
   /// Release wait() once a drain request observes the service fully
   /// drained (the scripted-session / CI smoke workflow).
   bool exit_when_drained = false;
+  /// Worker threads executing service calls (dispatch never runs on the
+  /// event-loop thread).  Clamped to at least 1.
+  std::size_t workers = 4;
+  /// Also serve the HTTP/1.1 gateway (POST /v1/{op} with a JSON body) on
+  /// its own port, mapped 1:1 onto the same dispatch table as the frames.
+  bool enable_http = false;
+  std::uint16_t http_port = 0;  ///< 0 = ephemeral; read back via http_port()
 };
 
-/// Serves one TuningService over TCP.  start() spawns the accept loop;
-/// stop() (or destruction) closes the listener and joins every thread.
+/// Serves one TuningService over TCP.  start() spawns the event loop and
+/// the worker pool; stop() (or destruction) closes the listeners, every
+/// connection, and joins every thread.
 class ServiceServer {
  public:
   explicit ServiceServer(TuningService& service, ServiceServerOptions options = {});
@@ -51,8 +74,17 @@ class ServiceServer {
   /// (idempotent).  Live sessions survive in the service.
   void stop();
 
-  /// The bound port (resolves an ephemeral request); valid after start().
+  /// The bound frame port (resolves an ephemeral request); valid after
+  /// start().
   std::uint16_t port() const;
+
+  /// The bound HTTP gateway port; 0 unless options.enable_http.
+  std::uint16_t http_port() const;
+
+  /// Connections currently held open by the event loop (both protocols).
+  /// A departed client's connection is reclaimed by its close event, so
+  /// this drops without any new connection arriving.
+  std::size_t active_connections() const;
 
  private:
   struct Impl;

@@ -3,12 +3,14 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -62,11 +64,23 @@ std::uint16_t local_port(int fd) {
   return ntohs(addr.sin_port);
 }
 
+bool transient_accept_errno(int err) noexcept {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM ||
+         err == ECONNABORTED || err == EINTR || err == EAGAIN ||
+         err == EWOULDBLOCK;
+}
+
+bool transient_connect_errno(int err) noexcept {
+  return err == ECONNREFUSED || err == EAGAIN || err == ETIMEDOUT ||
+         err == EINTR;
+}
+
 int connect_tcp(const std::string& host, std::uint16_t port,
                 double timeout_seconds) {
   const sockaddr_in addr = make_addr(host, port);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_seconds);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(std::max(timeout_seconds, 0.0));
   while (true) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) fail("socket");
@@ -77,7 +91,10 @@ int connect_tcp(const std::string& host, std::uint16_t port,
     }
     const int err = errno;
     ::close(fd);
-    if (std::chrono::steady_clock::now() >= deadline) {
+    // Retry only failures the passage of time can cure, and only while a
+    // positive timeout leaves room; everything else fails on this attempt.
+    if (!transient_connect_errno(err) || timeout_seconds <= 0 ||
+        std::chrono::steady_clock::now() >= deadline) {
       errno = err;
       fail("connect " + host + ":" + std::to_string(port));
     }
@@ -95,9 +112,31 @@ int accept_timeout(int listen_fd, int timeout_ms) {
   if (ready == 0) return -1;
   const int fd = ::accept(listen_fd, nullptr, nullptr);
   if (fd < 0) {
-    if (errno == EINTR || errno == ECONNABORTED) return -1;
+    // Transient pressure (fd exhaustion, an aborted backlog entry, a
+    // signal) is "no connection this round", with the caller's poll
+    // timeout as the backoff — never a reason to abandon the listener.
+    if (transient_accept_errno(errno)) return -1;
     fail("accept");
   }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+int accept_nonblocking(int listen_fd, int& err_out) noexcept {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+  if (fd < 0) {
+    err_out = (errno == EAGAIN || errno == EWOULDBLOCK) ? 0 : errno;
+    return -1;
+  }
+  err_out = 0;
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return fd;

@@ -1,5 +1,6 @@
 #include "tunespace/tuner/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -35,6 +36,199 @@ std::optional<std::string> read_frame(ByteStream& stream) {
     throw ServiceError(ErrorCode::kIo, "connection closed mid-frame");
   }
   return payload;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP/1.1 gateway codec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+/// Case-insensitive token search in a comma-separated header value.
+bool has_token(std::string_view value, std::string_view token) {
+  const std::string haystack = lower(value);
+  std::size_t pos = 0;
+  while (pos <= haystack.size()) {
+    const std::size_t comma = std::min(haystack.find(',', pos), haystack.size());
+    if (trim(std::string_view(haystack).substr(pos, comma - pos)) == token) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+  return false;
+}
+
+const char* http_reason(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+HttpParse parse_http_request(std::string_view buffer, HttpRequest& request,
+                             std::size_t& consumed, int& error_status,
+                             std::string& error) {
+  request = HttpRequest{};
+  consumed = 0;
+  error_status = 400;
+  error.clear();
+
+  const std::size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (buffer.size() > kMaxHttpHeaderBytes) {
+      error_status = 431;
+      error = "request header block exceeds 64 KiB";
+      return HttpParse::kBad;
+    }
+    return HttpParse::kNeedMore;
+  }
+  if (header_end > kMaxHttpHeaderBytes) {
+    error_status = 431;
+    error = "request header block exceeds 64 KiB";
+    return HttpParse::kBad;
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = buffer.find("\r\n");
+  const std::string_view line = buffer.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    error = "malformed request line";
+    return HttpParse::kBad;
+  }
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    error = "unsupported HTTP version";
+    return HttpParse::kBad;
+  }
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.keep_alive = version == "HTTP/1.1";
+
+  std::uint64_t content_length = 0;
+  std::size_t pos = line_end + 2;
+  while (pos < header_end + 2) {
+    const std::size_t eol = buffer.find("\r\n", pos);
+    const std::string_view header = buffer.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (header.empty()) break;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos) {
+      error = "malformed header line";
+      return HttpParse::kBad;
+    }
+    const std::string name = lower(trim(header.substr(0, colon)));
+    const std::string_view value = trim(header.substr(colon + 1));
+    if (name == "content-length") {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string_view::npos) {
+        error = "malformed Content-Length";
+        return HttpParse::kBad;
+      }
+      content_length = 0;
+      for (const char c : value) {
+        content_length = content_length * 10 + static_cast<std::uint64_t>(c - '0');
+        if (content_length > kMaxFrameBytes) break;  // overflow-proof
+      }
+    } else if (name == "transfer-encoding") {
+      error_status = 501;
+      error = "chunked transfer encoding is not supported; send Content-Length";
+      return HttpParse::kBad;
+    } else if (name == "connection") {
+      if (has_token(value, "close")) request.keep_alive = false;
+      if (has_token(value, "keep-alive")) request.keep_alive = true;
+    } else if (name == "expect") {
+      if (has_token(value, "100-continue")) request.expect_continue = true;
+    }
+  }
+  request.headers_complete = true;
+
+  if (content_length > kMaxFrameBytes) {
+    error_status = 413;
+    error = "request body exceeds 16 MiB";
+    return HttpParse::kBad;
+  }
+  const std::size_t total =
+      header_end + 4 + static_cast<std::size_t>(content_length);
+  if (buffer.size() < total) return HttpParse::kNeedMore;
+  request.body = std::string(
+      buffer.substr(header_end + 4, static_cast<std::size_t>(content_length)));
+  consumed = total;
+  return HttpParse::kOk;
+}
+
+std::string http_op_from_target(std::string_view target) {
+  constexpr std::string_view kPrefix = "/v1/";
+  if (target.size() <= kPrefix.size() || target.substr(0, kPrefix.size()) != kPrefix) {
+    return {};
+  }
+  const std::string_view op = target.substr(kPrefix.size());
+  if (op.find('/') != std::string_view::npos ||
+      op.find('?') != std::string_view::npos) {
+    return {};
+  }
+  return std::string(op);
+}
+
+std::string encode_http_response(int status, std::string_view json_body,
+                                 bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    http_reason(status) + "\r\n";
+  out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(json_body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += json_body;
+  return out;
+}
+
+int http_status_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return 200;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kProtocol:
+    case ErrorCode::kUnsupportedVersion: return 400;
+    case ErrorCode::kUnknownSession: return 404;
+    case ErrorCode::kWrongState:
+    case ErrorCode::kSessionFinished: return 409;
+    case ErrorCode::kAdmissionLimit: return 429;
+    case ErrorCode::kDraining: return 503;
+    case ErrorCode::kSpaceBuildFailed:
+    case ErrorCode::kIo:
+    case ErrorCode::kInternal: return 500;
+  }
+  return 500;
 }
 
 std::string encode_request(const std::string& op, const Value& body) {

@@ -1,14 +1,18 @@
 // tunespace_serve: host a TuningService over TCP.
 //
-//   tunespace_serve [--host H] [--port P] [--state-dir DIR]
-//                   [--max-sessions N] [--max-per-tenant N]
+//   tunespace_serve [--host H] [--port P] [--http-port P] [--workers N]
+//                   [--state-dir DIR] [--max-sessions N] [--max-per-tenant N]
 //                   [--max-evals N] [--exit-when-drained]
 //
 // Prints one "listening on H:P" line once the socket is bound (scripts and
-// the CI smoke job key on it), then serves until SIGINT/SIGTERM or — with
+// the CI smoke job key on it; with --http-port a second "http listening"
+// line follows), then serves until SIGINT/SIGTERM or — with
 // --exit-when-drained — until a client completes a drain.  With a state
 // directory, space snapshots and the shared eval cache persist across
-// restarts, so a relaunched server warm-starts.
+// restarts, so a relaunched server warm-starts.  --http-port serves the
+// HTTP/1.1 gateway (POST /v1/{op}, JSON body) next to the frame port, so
+// curl can drive every op; --workers caps the service-call thread pool of
+// the epoll event loop.
 
 #include <atomic>
 #include <csignal>
@@ -27,9 +31,9 @@ void on_signal(int) { g_stop.store(true); }
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host H] [--port P] [--state-dir DIR] "
-               "[--max-sessions N] [--max-per-tenant N] [--max-evals N] "
-               "[--exit-when-drained]\n",
+               "usage: %s [--host H] [--port P] [--http-port P] [--workers N] "
+               "[--state-dir DIR] [--max-sessions N] [--max-per-tenant N] "
+               "[--max-evals N] [--exit-when-drained]\n",
                argv0);
   std::exit(2);
 }
@@ -53,6 +57,11 @@ int main(int argc, char** argv) {
       server_options.host = next();
     } else if (arg == "--port") {
       server_options.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--http-port") {
+      server_options.enable_http = true;
+      server_options.http_port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--workers") {
+      server_options.workers = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--state-dir") {
       service_options.state_dir = next();
     } else if (arg == "--max-sessions") {
@@ -80,6 +89,10 @@ int main(int argc, char** argv) {
     server.start();
     std::printf("tunespace_serve listening on %s:%u\n",
                 server_options.host.c_str(), server.port());
+    if (server_options.enable_http) {
+      std::printf("tunespace_serve http listening on %s:%u\n",
+                  server_options.host.c_str(), server.http_port());
+    }
     std::fflush(stdout);
 
     while (!g_stop.load()) {
